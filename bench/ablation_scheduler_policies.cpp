@@ -1,0 +1,95 @@
+/// \file ablation_scheduler_policies.cpp
+/// Extension ablation (E13): the paper assumes local schedulers prioritize by
+/// relative tightness and notes the analysis "can be modified if a different
+/// scheduling policy is used" (§3).  This bench swaps the priority rule in
+/// the stage-two analysis (and the sequential decode built on it) and
+/// measures the achievable total worth per rule: tightness-aware scheduling
+/// should deploy more worth in the QoS-limited scenario because it protects
+/// exactly the strings whose latency budgets are scarce.
+
+#include <cstdio>
+
+#include "analysis/session.hpp"
+#include "core/imr.hpp"
+#include "core/ordered.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+/// MWF-ordered sequential decode under an explicit priority rule.
+tsce::analysis::Fitness decode_with_rule(const tsce::model::SystemModel& m,
+                                         tsce::analysis::PriorityRule rule) {
+  tsce::analysis::AllocationSession session(m, rule);
+  for (const auto k : tsce::core::mwf_order(m)) {
+    const auto assignment = tsce::core::imr_map_string(m, session.util(), k);
+    if (!session.try_commit(k, assignment)) break;
+  }
+  return session.fitness();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tsce;
+  std::int64_t machines = 5;
+  std::int64_t strings = 28;
+  std::int64_t runs = 8;
+  std::int64_t seed = 37;
+  bool csv = false;
+  util::Flags flags(
+      "ablation_scheduler_policies — total worth achievable when local "
+      "schedulers prioritize by tightness (paper), rate-monotonic, or worth "
+      "(QoS-limited workload)");
+  flags.add("machines", &machines, "machine count M");
+  flags.add("strings", &strings, "string count Q");
+  flags.add("runs", &runs, "instances");
+  flags.add("seed", &seed, "base RNG seed");
+  flags.add("csv", &csv, "emit CSV");
+  if (!flags.parse(argc, argv)) return 0;
+
+  auto gen_config =
+      workload::GeneratorConfig::for_scenario(workload::Scenario::kQosLimited);
+  gen_config.num_machines = static_cast<std::size_t>(machines);
+  gen_config.num_strings = static_cast<std::size_t>(strings);
+
+  constexpr analysis::PriorityRule kRules[] = {
+      analysis::PriorityRule::kRelativeTightness,
+      analysis::PriorityRule::kRateMonotonic,
+      analysis::PriorityRule::kWorth,
+  };
+  util::RunningStats worth[3], slack[3];
+
+  util::Rng master(static_cast<std::uint64_t>(seed));
+  for (std::int64_t run = 0; run < runs; ++run) {
+    util::Rng instance_rng = master.spawn();
+    const model::SystemModel m = workload::generate(gen_config, instance_rng);
+    for (int r = 0; r < 3; ++r) {
+      const auto fitness = decode_with_rule(m, kRules[r]);
+      worth[r].add(fitness.total_worth);
+      slack[r].add(fitness.slackness);
+    }
+  }
+
+  std::printf("== Local-scheduler priority rules, QoS-limited scenario "
+              "(M=%lld, Q=%lld, %lld runs, MWF ordering) ==\n\n",
+              static_cast<long long>(machines), static_cast<long long>(strings),
+              static_cast<long long>(runs));
+  util::Table table({"priority rule", "total worth", "slackness"});
+  for (int r = 0; r < 3; ++r) {
+    table.add_row({analysis::to_string(kRules[r]),
+                   util::format_mean_ci(worth[r], 1),
+                   util::format_mean_ci(slack[r], 3)});
+  }
+  if (csv) {
+    table.print_csv();
+  } else {
+    table.print();
+  }
+  std::printf("\nExpected shape: relative tightness (the paper's rule) deploys "
+              "at least as much worth as the alternatives in the QoS-limited "
+              "regime.\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+#include "harness.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#include "core/baselines.hpp"
+#include "core/ordered.hpp"
+
+namespace tsce::bench {
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void ScenarioBenchConfig::register_flags(util::Flags& flags) {
+  flags.add("machines", &machines, "machine count M");
+  flags.add("strings", &strings, "string count Q");
+  flags.add("runs", &runs, "Monte-Carlo simulation runs");
+  flags.add("seed", &seed, "base RNG seed");
+  flags.add("ub", &with_upper_bound, "compute the LP upper bound per run");
+  flags.add("csv", &csv, "emit CSV instead of an aligned table");
+  flags.add("psg-population", &psg_population, "PSG population size");
+  flags.add("psg-iterations", &psg_iterations, "PSG iteration budget");
+  flags.add("psg-stagnation", &psg_stagnation, "PSG stagnation limit");
+  flags.add("psg-trials", &psg_trials, "PSG independent trials per run");
+}
+
+void ScenarioBenchConfig::apply_full_scale(workload::Scenario s) {
+  scenario = s;
+  machines = 12;
+  strings = s == workload::Scenario::kLightlyLoaded ? 25 : 150;
+  runs = 100;
+  psg_population = 250;
+  psg_iterations = 5000;
+  psg_stagnation = 300;
+  psg_trials = 4;
+}
+
+core::PsgOptions ScenarioBenchConfig::psg_options() const {
+  core::PsgOptions options;
+  options.ga.population_size = static_cast<std::size_t>(psg_population);
+  options.ga.max_iterations = static_cast<std::size_t>(psg_iterations);
+  options.ga.stagnation_limit = static_cast<std::size_t>(psg_stagnation);
+  options.ga.bias = 1.6;
+  options.trials = static_cast<std::size_t>(psg_trials);
+  return options;
+}
+
+std::vector<core::AllocatorPtr> paper_allocators(const core::PsgOptions& psg) {
+  std::vector<core::AllocatorPtr> allocators;
+  allocators.push_back(std::make_unique<core::Psg>(psg));
+  allocators.push_back(std::make_unique<core::MostWorthFirst>());
+  allocators.push_back(std::make_unique<core::TightestFirst>());
+  allocators.push_back(std::make_unique<core::SeededPsg>(psg));
+  return allocators;
+}
+
+ScenarioBenchResult run_scenario_bench(const ScenarioBenchConfig& config,
+                                       bool slackness_metric) {
+  auto gen_config = workload::GeneratorConfig::for_scenario(config.scenario);
+  gen_config.num_machines = static_cast<std::size_t>(config.machines);
+  gen_config.num_strings = static_cast<std::size_t>(config.strings);
+
+  const auto allocators = paper_allocators(config.psg_options());
+  ScenarioBenchResult result;
+  result.heuristics.resize(allocators.size());
+  for (std::size_t h = 0; h < allocators.size(); ++h) {
+    result.heuristics[h].name = allocators[h]->name();
+  }
+  result.upper_bound.name = "UB";
+
+  util::Rng master(static_cast<std::uint64_t>(config.seed));
+  for (std::int64_t run = 0; run < config.runs; ++run) {
+    util::Rng instance_rng = master.spawn();
+    const model::SystemModel m = workload::generate(gen_config, instance_rng);
+
+    for (std::size_t h = 0; h < allocators.size(); ++h) {
+      util::Rng search_rng = master.spawn();
+      const double t0 = now_seconds();
+      const auto alloc_result = allocators[h]->allocate(m, search_rng);
+      result.heuristics[h].seconds.add(now_seconds() - t0);
+      result.heuristics[h].metric.add(
+          slackness_metric ? alloc_result.fitness.slackness
+                           : static_cast<double>(alloc_result.fitness.total_worth));
+    }
+
+    if (config.with_upper_bound) {
+      const double t0 = now_seconds();
+      const auto ub = slackness_metric ? lp::upper_bound_slackness(m)
+                                       : lp::upper_bound_worth(m);
+      result.upper_bound.seconds.add(now_seconds() - t0);
+      if (ub.status == lp::SolveStatus::kOptimal) {
+        result.upper_bound.metric.add(ub.value);
+      } else {
+        ++result.ub_failures;
+        std::fprintf(stderr, "warning: run %lld UB LP: %s\n",
+                     static_cast<long long>(run), lp::to_string(ub.status));
+      }
+    }
+  }
+  return result;
+}
+
+void print_scenario_table(const ScenarioBenchConfig& config,
+                          const ScenarioBenchResult& result,
+                          const std::string& metric_name, int decimals) {
+  util::Table table({"heuristic", metric_name + " (mean \xC2\xB1 95% CI)",
+                     "time/run [s]"});
+  auto add = [&](const HeuristicSeries& series) {
+    if (series.metric.count() == 0) return;
+    table.add_row({series.name, util::format_mean_ci(series.metric, decimals),
+                   util::Table::num(series.seconds.mean(), 3)});
+  };
+  for (const auto& h : result.heuristics) add(h);
+  if (config.with_upper_bound) add(result.upper_bound);
+  if (config.csv) {
+    table.print_csv();
+  } else {
+    table.print();
+  }
+  if (result.ub_failures > 0) {
+    std::printf("(UB failed on %zu run(s))\n", result.ub_failures);
+  }
+}
+
+}  // namespace tsce::bench

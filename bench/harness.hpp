@@ -1,0 +1,82 @@
+/// \file harness.hpp
+/// Shared Monte-Carlo experiment runner for the figure/table benches.
+///
+/// Mirrors the paper's experimental procedure (§6, §8): for each simulation
+/// run a fresh random instance is generated, every heuristic allocates it,
+/// and the metric (total worth for scenarios 1-2, system slackness for
+/// scenario 3) is averaged across runs with a 95% confidence interval.  The
+/// LP upper bound is computed per instance with the in-repo simplex.
+///
+/// Defaults are scaled down from the paper (machines/strings/runs/PSG
+/// budget) so the whole bench suite completes in minutes on one core;
+/// --full restores paper-scale parameters (slow: the paper reports ~2 hours
+/// per PSG run at full scale).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/allocator.hpp"
+#include "core/psg.hpp"
+#include "lp/upper_bound.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/generator.hpp"
+
+namespace tsce::bench {
+
+struct ScenarioBenchConfig {
+  workload::Scenario scenario = workload::Scenario::kHighlyLoaded;
+  std::int64_t machines = 6;
+  std::int64_t strings = 32;
+  std::int64_t runs = 5;
+  std::int64_t seed = 2005;  // IPPS 2005
+  bool with_upper_bound = true;
+  bool csv = false;
+  // PSG budget (paper: 250 / 5000 / 300 / 4 trials; bench default reduced).
+  std::int64_t psg_population = 60;
+  std::int64_t psg_iterations = 400;
+  std::int64_t psg_stagnation = 150;
+  std::int64_t psg_trials = 2;
+
+  /// Registers the shared flags on \p flags (pointers into this object).
+  void register_flags(util::Flags& flags);
+  /// Applies --full: paper-scale machines/strings/runs/PSG budget.
+  void apply_full_scale(workload::Scenario scenario);
+  /// PSG options assembled from the flag fields.
+  [[nodiscard]] core::PsgOptions psg_options() const;
+};
+
+struct HeuristicSeries {
+  std::string name;
+  util::RunningStats metric;   ///< worth or slackness per run
+  util::RunningStats seconds;  ///< wall-clock per run
+};
+
+struct ScenarioBenchResult {
+  std::vector<HeuristicSeries> heuristics;
+  HeuristicSeries upper_bound;        ///< metric = UB value per run
+  std::size_t ub_failures = 0;        ///< runs where the LP did not solve
+};
+
+/// Builds the paper's heuristic set: PSG, MWF, TF, Seeded PSG.
+[[nodiscard]] std::vector<core::AllocatorPtr> paper_allocators(
+    const core::PsgOptions& psg);
+
+/// Runs the Monte-Carlo experiment.  \p slackness_metric selects the
+/// scenario-3 metric (system slackness of the complete mapping) instead of
+/// total worth.
+[[nodiscard]] ScenarioBenchResult run_scenario_bench(const ScenarioBenchConfig& config,
+                                                     bool slackness_metric);
+
+/// Prints the per-heuristic table in the paper's bar-chart order
+/// (PSG, MWF, TF, Seeded PSG, UB).
+void print_scenario_table(const ScenarioBenchConfig& config,
+                          const ScenarioBenchResult& result,
+                          const std::string& metric_name, int decimals);
+
+}  // namespace tsce::bench

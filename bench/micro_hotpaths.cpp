@@ -1,0 +1,156 @@
+/// \file micro_hotpaths.cpp
+/// google-benchmark microbenchmarks of the library's hot paths: utilization
+/// bookkeeping, IMR mapping, full permutation decode (the PSG inner loop),
+/// eq. (5)-(6) estimation, the simplex, and the discrete-event simulator.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/estimates.hpp"
+#include "dag/allocator.hpp"
+#include "dag/generator.hpp"
+#include "model/serialization.hpp"
+#include "analysis/session.hpp"
+#include "core/decode.hpp"
+#include "core/imr.hpp"
+#include "lp/upper_bound.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace tsce;
+
+model::SystemModel make_instance(std::size_t machines, std::size_t strings,
+                                 std::uint64_t seed = 99) {
+  util::Rng rng(seed);
+  auto config =
+      workload::GeneratorConfig::for_scenario(workload::Scenario::kHighlyLoaded);
+  config.num_machines = machines;
+  config.num_strings = strings;
+  return workload::generate(config, rng);
+}
+
+void BM_UtilizationAddRemove(benchmark::State& state) {
+  const auto m = make_instance(8, static_cast<std::size_t>(state.range(0)));
+  model::Allocation alloc(m);
+  util::Rng rng(1);
+  for (std::size_t k = 0; k < m.num_strings(); ++k) {
+    for (std::size_t i = 0; i < m.strings[k].size(); ++i) {
+      alloc.assign(static_cast<model::StringId>(k), static_cast<model::AppIndex>(i),
+                   static_cast<model::MachineId>(rng.bounded(8)));
+    }
+    alloc.set_deployed(static_cast<model::StringId>(k), true);
+  }
+  analysis::UtilizationState util(m);
+  for (auto _ : state) {
+    for (std::size_t k = 0; k < m.num_strings(); ++k) {
+      util.add_string(alloc, static_cast<model::StringId>(k));
+    }
+    for (std::size_t k = 0; k < m.num_strings(); ++k) {
+      util.remove_string(alloc, static_cast<model::StringId>(k));
+    }
+    benchmark::DoNotOptimize(util.slackness());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          static_cast<std::int64_t>(m.num_strings()));
+}
+BENCHMARK(BM_UtilizationAddRemove)->Arg(16)->Arg(64);
+
+void BM_ImrMapString(benchmark::State& state) {
+  const auto m = make_instance(static_cast<std::size_t>(state.range(0)), 20);
+  const analysis::UtilizationState util(m);
+  std::size_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::imr_map_string(m, util, static_cast<model::StringId>(k)));
+    k = (k + 1) % m.num_strings();
+  }
+}
+BENCHMARK(BM_ImrMapString)->Arg(4)->Arg(12);
+
+void BM_DecodeOrder(benchmark::State& state) {
+  const auto m =
+      make_instance(6, static_cast<std::size_t>(state.range(0)));
+  const auto order = core::identity_order(m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::decode_order(m, order));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m.num_strings()));
+}
+BENCHMARK(BM_DecodeOrder)->Arg(12)->Arg(24)->Arg(48);
+
+void BM_EstimateAll(benchmark::State& state) {
+  const auto m = make_instance(6, static_cast<std::size_t>(state.range(0)));
+  const auto decoded = core::decode_order(m, core::identity_order(m));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::estimate_all(m, decoded.allocation));
+  }
+}
+BENCHMARK(BM_EstimateAll)->Arg(12)->Arg(24);
+
+void BM_SimplexUpperBound(benchmark::State& state) {
+  const auto m = make_instance(4, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lp::upper_bound_worth(m));
+  }
+}
+BENCHMARK(BM_SimplexUpperBound)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_Simulate(benchmark::State& state) {
+  const auto m = make_instance(6, 8, 123);
+  const auto decoded = core::decode_order(m, core::identity_order(m));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::simulate(m, decoded.allocation, {.horizon_s = 200.0}));
+  }
+  state.SetLabel("200 simulated seconds");
+}
+BENCHMARK(BM_Simulate)->Unit(benchmark::kMillisecond);
+
+void BM_DagMapString(benchmark::State& state) {
+  util::Rng rng(7);
+  dag::DagGeneratorConfig config;
+  config.num_machines = static_cast<std::size_t>(state.range(0));
+  config.num_strings = 12;
+  const auto m = dag::generate_dag_system(config, rng);
+  const dag::DagUtilization util(m);
+  std::size_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dag::dag_map_string(m, util, static_cast<model::StringId>(k)));
+    k = (k + 1) % m.num_strings();
+  }
+}
+BENCHMARK(BM_DagMapString)->Arg(4)->Arg(12);
+
+void BM_JsonModelRoundTrip(benchmark::State& state) {
+  const auto m = make_instance(6, static_cast<std::size_t>(state.range(0)));
+  const std::string text = model::to_json(m).dump();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model::system_model_from_json(util::Json::parse(text)));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_JsonModelRoundTrip)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_SessionCommitUncommit(benchmark::State& state) {
+  const auto m = make_instance(6, 16);
+  analysis::AllocationSession session(m);
+  // Pre-commit half the strings as steady background load.
+  for (model::StringId k = 0; k < 8; ++k) {
+    const auto assignment = core::imr_map_string(m, session.util(), k);
+    (void)session.try_commit(k, assignment);
+  }
+  const auto assignment = core::imr_map_string(m, session.util(), 8);
+  for (auto _ : state) {
+    if (session.try_commit(8, assignment)) session.uncommit(8);
+  }
+}
+BENCHMARK(BM_SessionCommitUncommit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+/// \file workload_surge.cpp
+/// Operating through a workload surge: the scenario the paper's robustness
+/// story is about (§1).  A complete allocation is computed once (offline
+/// planning), then the input workload grows at runtime — more radar
+/// contacts, bigger sensor frames — without any reallocation.  The
+/// discrete-event simulator shows when QoS first degrades, and how that
+/// point relates to the analytic system slackness.
+
+#include <cstdio>
+
+#include "core/psg.hpp"
+#include "sim/simulator.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+#include "workload/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tsce;
+  std::int64_t machines = 6;
+  std::int64_t strings = 8;
+  std::int64_t seed = 47;
+  double max_surge = 3.0;
+  double step = 0.25;
+  util::Flags flags(
+      "workload_surge — fixed allocation under growing input workload; when "
+      "do QoS violations start, and what did slackness predict?");
+  flags.add("machines", &machines, "machine count M");
+  flags.add("strings", &strings, "string count Q");
+  flags.add("seed", &seed, "RNG seed");
+  flags.add("max-surge", &max_surge, "largest workload factor simulated");
+  flags.add("step", &step, "workload factor step");
+  if (!flags.parse(argc, argv)) return 0;
+
+  auto config =
+      workload::GeneratorConfig::for_scenario(workload::Scenario::kLightlyLoaded);
+  config.num_machines = static_cast<std::size_t>(machines);
+  config.num_strings = static_cast<std::size_t>(strings);
+  util::Rng rng(static_cast<std::uint64_t>(seed));
+  const model::SystemModel m = workload::generate(config, rng);
+
+  core::PsgOptions psg_options;
+  psg_options.ga.population_size = 40;
+  psg_options.ga.max_iterations = 250;
+  psg_options.ga.stagnation_limit = 120;
+  psg_options.trials = 2;
+  util::Rng search_rng(1);
+  const auto plan = core::SeededPsg(psg_options).allocate(m, search_rng);
+  if (plan.allocation.num_deployed() != m.num_strings()) {
+    std::printf("instance not lightly loaded enough for a complete mapping; "
+                "re-run with fewer --strings\n");
+    return 1;
+  }
+  std::printf("== Workload surge on a fixed allocation ==\n");
+  std::printf("planned slackness: %.3f -> utilization headroom suggests the "
+              "bottleneck saturates near factor %.2f\n\n",
+              plan.fitness.slackness, 1.0 / (1.0 - plan.fitness.slackness));
+
+  util::Table table({"workload factor", "datasets completed", "QoS violations",
+                     "worst mean latency ratio"});
+  for (double factor = 1.0; factor <= max_surge + 1e-9; factor += step) {
+    const auto surged = sim::scale_input_workload(m, factor);
+    const auto result = sim::simulate(surged, plan.allocation, {.horizon_s = 0.0});
+    std::size_t datasets = 0;
+    double worst_ratio = 0.0;
+    for (std::size_t k = 0; k < m.num_strings(); ++k) {
+      datasets += result.strings[k].datasets_completed;
+      if (result.strings[k].latency_s.count() > 0) {
+        worst_ratio = std::max(worst_ratio, result.strings[k].latency_s.mean() /
+                                                m.strings[k].max_latency_s);
+      }
+    }
+    table.add_row({util::Table::num(factor, 2), std::to_string(datasets),
+                   std::to_string(result.total_violations()),
+                   util::Table::num(worst_ratio, 2)});
+  }
+  table.print();
+  std::printf("\nReading: violations stay at 0 while the surge remains inside "
+              "the slack the planner left; the latency ratio crossing 1.0 is "
+              "the first QoS breach.\n");
+  return 0;
+}

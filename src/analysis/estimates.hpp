@@ -1,0 +1,57 @@
+/// \file estimates.hpp
+/// Shared-resource time estimation, eqs. (5)-(6).
+///
+/// For every deployed application the estimated computation time is its
+/// nominal time plus the average waiting caused by higher-priority
+/// applications sharing the CPU; transfers are estimated analogously on
+/// shared routes.  Priorities follow relative tightness (see tightness.hpp).
+
+#pragma once
+
+#include <vector>
+
+#include "analysis/priority.hpp"
+#include "analysis/utilization.hpp"
+#include "model/allocation.hpp"
+#include "model/system_model.hpp"
+
+namespace tsce::analysis {
+
+/// Per-string estimated times.  Entries for undeployed strings are empty.
+struct TimeEstimates {
+  /// comp[k][i] = estimated computation time of a_i^k, eq. (5).
+  std::vector<std::vector<double>> comp;
+  /// tran[k][i] = estimated transfer time of O[i] of string k, eq. (6);
+  /// tran[k] has size n_k - 1 (no entry for the final app).
+  std::vector<std::vector<double>> tran;
+  /// Scheduling priority value per string under the chosen rule — relative
+  /// tightness T[k] for the paper's default (NaN for undeployed strings).
+  std::vector<double> tightness;
+
+  /// Estimated end-to-end latency of string k: sum of all computation and
+  /// transfer estimates along the string.
+  [[nodiscard]] double latency(model::StringId k) const noexcept;
+};
+
+/// Estimated computation time of one deployed app (k,i), given the resident
+/// sets in \p util and per-string tightness values \p t_of.
+[[nodiscard]] double estimate_comp_time(const model::SystemModel& model,
+                                        const model::Allocation& alloc,
+                                        const UtilizationState& util,
+                                        const std::vector<double>& t_of,
+                                        model::StringId k, model::AppIndex i) noexcept;
+
+/// Estimated transfer time of the output of deployed app (k,i), i < n_k - 1.
+[[nodiscard]] double estimate_tran_time(const model::SystemModel& model,
+                                        const model::Allocation& alloc,
+                                        const UtilizationState& util,
+                                        const std::vector<double>& t_of,
+                                        model::StringId k, model::AppIndex i) noexcept;
+
+/// Computes estimates for every deployed string of \p alloc from scratch,
+/// prioritizing by \p rule (the paper's relative tightness by default).
+[[nodiscard]] TimeEstimates estimate_all(
+    const model::SystemModel& model, const model::Allocation& alloc,
+    PriorityRule rule = PriorityRule::kRelativeTightness);
+
+}  // namespace tsce::analysis

@@ -1,0 +1,112 @@
+#include "analysis/feasibility.hpp"
+
+#include <cstdio>
+
+namespace tsce::analysis {
+
+using model::Allocation;
+using model::MachineId;
+using model::StringId;
+using model::SystemModel;
+
+std::string Violation::to_string() const {
+  char buf[160];
+  switch (kind) {
+    case ViolationKind::kMachineOverload:
+      std::snprintf(buf, sizeof(buf), "machine %d overloaded: U=%.4f > 1", j1, value);
+      break;
+    case ViolationKind::kRouteOverload:
+      std::snprintf(buf, sizeof(buf), "route %d->%d overloaded: U=%.4f > 1", j1, j2,
+                    value);
+      break;
+    case ViolationKind::kCompThroughput:
+      std::snprintf(buf, sizeof(buf),
+                    "string %d app %d: t_comp=%.4f > P=%.4f (throughput)", k, i,
+                    value, bound);
+      break;
+    case ViolationKind::kTranThroughput:
+      std::snprintf(buf, sizeof(buf),
+                    "string %d transfer %d: t_tran=%.4f > P=%.4f (throughput)", k, i,
+                    value, bound);
+      break;
+    case ViolationKind::kLatency:
+      std::snprintf(buf, sizeof(buf), "string %d: latency=%.4f > Lmax=%.4f", k,
+                    value, bound);
+      break;
+  }
+  return buf;
+}
+
+FeasibilityReport check_stage_one(const UtilizationState& util) {
+  FeasibilityReport report;
+  const auto m = static_cast<MachineId>(util.num_machines());
+  for (MachineId j = 0; j < m; ++j) {
+    const double u = util.machine_util(j);
+    if (!within(u, 1.0)) {
+      report.stage_one_ok = false;
+      report.violations.push_back(
+          {ViolationKind::kMachineOverload, -1, -1, j, -1, u, 1.0});
+    }
+  }
+  for (MachineId j1 = 0; j1 < m; ++j1) {
+    for (MachineId j2 = 0; j2 < m; ++j2) {
+      if (j1 == j2) continue;
+      const double u = util.route_util(j1, j2);
+      if (!within(u, 1.0)) {
+        report.stage_one_ok = false;
+        report.violations.push_back(
+            {ViolationKind::kRouteOverload, -1, -1, j1, j2, u, 1.0});
+      }
+    }
+  }
+  return report;
+}
+
+FeasibilityReport check_stage_two(const SystemModel& model, const Allocation& alloc,
+                                  const TimeEstimates& est) {
+  FeasibilityReport report;
+  for (std::size_t k = 0; k < model.num_strings(); ++k) {
+    if (!alloc.deployed(static_cast<StringId>(k))) continue;
+    const auto& s = model.strings[k];
+    const double p = s.period_s;
+    for (std::size_t i = 0; i < est.comp[k].size(); ++i) {
+      if (!within(est.comp[k][i], p)) {
+        report.stage_two_ok = false;
+        report.violations.push_back({ViolationKind::kCompThroughput,
+                                     static_cast<StringId>(k),
+                                     static_cast<model::AppIndex>(i), -1, -1,
+                                     est.comp[k][i], p});
+      }
+    }
+    for (std::size_t i = 0; i < est.tran[k].size(); ++i) {
+      if (!within(est.tran[k][i], p)) {
+        report.stage_two_ok = false;
+        report.violations.push_back({ViolationKind::kTranThroughput,
+                                     static_cast<StringId>(k),
+                                     static_cast<model::AppIndex>(i), -1, -1,
+                                     est.tran[k][i], p});
+      }
+    }
+    const double latency = est.latency(static_cast<StringId>(k));
+    if (!within(latency, s.max_latency_s)) {
+      report.stage_two_ok = false;
+      report.violations.push_back({ViolationKind::kLatency, static_cast<StringId>(k),
+                                   -1, -1, -1, latency, s.max_latency_s});
+    }
+  }
+  return report;
+}
+
+FeasibilityReport check_feasibility(const SystemModel& model, const Allocation& alloc,
+                                    PriorityRule rule) {
+  const UtilizationState util = UtilizationState::from_allocation(model, alloc);
+  FeasibilityReport report = check_stage_one(util);
+  const TimeEstimates est = estimate_all(model, alloc, rule);
+  FeasibilityReport stage_two = check_stage_two(model, alloc, est);
+  report.stage_two_ok = stage_two.stage_two_ok;
+  report.violations.insert(report.violations.end(), stage_two.violations.begin(),
+                           stage_two.violations.end());
+  return report;
+}
+
+}  // namespace tsce::analysis

@@ -1,0 +1,29 @@
+#include "analysis/metrics.hpp"
+
+#include "analysis/utilization.hpp"
+
+namespace tsce::analysis {
+
+using model::Allocation;
+using model::StringId;
+using model::SystemModel;
+
+int total_worth(const SystemModel& model, const Allocation& alloc) noexcept {
+  int worth = 0;
+  for (std::size_t k = 0; k < model.num_strings(); ++k) {
+    if (alloc.deployed(static_cast<StringId>(k))) {
+      worth += model.strings[k].worth_factor();
+    }
+  }
+  return worth;
+}
+
+double system_slackness(const SystemModel& model, const Allocation& alloc) {
+  return UtilizationState::from_allocation(model, alloc).slackness();
+}
+
+Fitness evaluate(const SystemModel& model, const Allocation& alloc) {
+  return {total_worth(model, alloc), system_slackness(model, alloc)};
+}
+
+}  // namespace tsce::analysis

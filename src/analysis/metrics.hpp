@@ -1,0 +1,46 @@
+/// \file metrics.hpp
+/// The two-component performance metric (paper §4): total worth of feasibly
+/// deployed strings (primary) and system slackness (secondary), compared
+/// lexicographically.
+
+#pragma once
+
+#include <compare>
+
+#include "model/allocation.hpp"
+#include "model/system_model.hpp"
+
+namespace tsce::analysis {
+
+struct Fitness {
+  int total_worth = 0;
+  double slackness = 0.0;
+
+  /// Lexicographic: worth dominates, slackness breaks ties.
+  friend constexpr std::partial_ordering operator<=>(const Fitness& a,
+                                                     const Fitness& b) noexcept {
+    if (a.total_worth != b.total_worth) {
+      return a.total_worth <=> b.total_worth;
+    }
+    return a.slackness <=> b.slackness;
+  }
+  friend constexpr bool operator==(const Fitness& a, const Fitness& b) noexcept {
+    return a.total_worth == b.total_worth && a.slackness == b.slackness;
+  }
+};
+
+/// Sum of worth factors over deployed strings.  The heuristic pipeline only
+/// marks strings deployed after they pass the two-stage analysis, so this is
+/// the paper's "total worth".
+[[nodiscard]] int total_worth(const model::SystemModel& model,
+                              const model::Allocation& alloc) noexcept;
+
+/// System slackness Lambda, eq. (7).
+[[nodiscard]] double system_slackness(const model::SystemModel& model,
+                                      const model::Allocation& alloc);
+
+/// Both components at once.
+[[nodiscard]] Fitness evaluate(const model::SystemModel& model,
+                               const model::Allocation& alloc);
+
+}  // namespace tsce::analysis

@@ -1,0 +1,208 @@
+#include "analysis/session.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "analysis/estimates.hpp"
+#include "analysis/feasibility.hpp"
+#include "analysis/tightness.hpp"
+
+namespace tsce::analysis {
+
+using model::Allocation;
+using model::AppIndex;
+using model::MachineId;
+using model::StringId;
+using model::SystemModel;
+
+AllocationSession::AllocationSession(const SystemModel& model, PriorityRule rule)
+    : model_(&model),
+      rule_(rule),
+      alloc_(model),
+      util_(model),
+      t_of_(model.num_strings(), std::numeric_limits<double>::quiet_NaN()),
+      comp_(model.num_strings()),
+      tran_(model.num_strings()) {}
+
+void AllocationSession::uncommit(StringId k) {
+  const auto ku = static_cast<std::size_t>(k);
+  assert(alloc_.deployed(k));
+  const auto& s = model_->strings[ku];
+
+  // Resources the string occupied; their residents need re-estimation.
+  touched_machines_.clear();
+  touched_routes_.clear();
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const MachineId j = alloc_.machine_of(k, static_cast<AppIndex>(i));
+    if (std::find(touched_machines_.begin(), touched_machines_.end(), j) ==
+        touched_machines_.end()) {
+      touched_machines_.push_back(j);
+    }
+    if (i + 1 < s.size()) {
+      const MachineId j2 = alloc_.machine_of(k, static_cast<AppIndex>(i + 1));
+      if (j != j2) {
+        const auto route = std::make_pair(j, j2);
+        if (std::find(touched_routes_.begin(), touched_routes_.end(), route) ==
+            touched_routes_.end()) {
+          touched_routes_.push_back(route);
+        }
+      }
+    }
+  }
+
+  util_.remove_string(alloc_, k);
+  alloc_.clear_string(k);
+  t_of_[ku] = std::numeric_limits<double>::quiet_NaN();
+  comp_[ku].clear();
+  tran_[ku].clear();
+
+  affected_strings_.clear();
+  for (const MachineId j : touched_machines_) {
+    for (const AppRef& ref : util_.apps_on(j)) {
+      if (std::find(affected_strings_.begin(), affected_strings_.end(), ref.k) ==
+          affected_strings_.end()) {
+        affected_strings_.push_back(ref.k);
+      }
+    }
+  }
+  for (const auto& [j1, j2] : touched_routes_) {
+    for (const AppRef& ref : util_.transfers_on(j1, j2)) {
+      if (std::find(affected_strings_.begin(), affected_strings_.end(), ref.k) ==
+          affected_strings_.end()) {
+        affected_strings_.push_back(ref.k);
+      }
+    }
+  }
+  for (const StringId z : affected_strings_) refresh_estimates_of(z);
+}
+
+void AllocationSession::reset() {
+  alloc_ = Allocation(*model_);
+  util_ = UtilizationState(*model_);
+  std::fill(t_of_.begin(), t_of_.end(), std::numeric_limits<double>::quiet_NaN());
+  for (auto& c : comp_) c.clear();
+  for (auto& t : tran_) t.clear();
+}
+
+bool AllocationSession::try_commit(StringId k,
+                                   const std::vector<MachineId>& assignment) {
+  const auto ku = static_cast<std::size_t>(k);
+  const auto& s = model_->strings[ku];
+  assert(!alloc_.deployed(k));
+  assert(assignment.size() == s.size());
+
+  // Record the tentative assignment.
+  affected_strings_.clear();  // stale entries would poison a stage-one rollback
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    assert(assignment[i] != model::kUnassigned);
+    alloc_.assign(k, static_cast<AppIndex>(i), assignment[i]);
+  }
+  alloc_.set_deployed(k, true);
+  util_.add_string(alloc_, k);
+
+  // Resources touched by this string.
+  touched_machines_.clear();
+  touched_routes_.clear();
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const MachineId j = assignment[i];
+    if (std::find(touched_machines_.begin(), touched_machines_.end(), j) ==
+        touched_machines_.end()) {
+      touched_machines_.push_back(j);
+    }
+    if (i + 1 < s.size() && assignment[i] != assignment[i + 1]) {
+      const auto route = std::make_pair(assignment[i], assignment[i + 1]);
+      if (std::find(touched_routes_.begin(), touched_routes_.end(), route) ==
+          touched_routes_.end()) {
+        touched_routes_.push_back(route);
+      }
+    }
+  }
+
+  // Stage one on touched resources only (others are unchanged).
+  bool ok = true;
+  for (const MachineId j : touched_machines_) {
+    if (!within(util_.machine_util(j), 1.0)) ok = false;
+  }
+  for (const auto& [j1, j2] : touched_routes_) {
+    if (!within(util_.route_util(j1, j2), 1.0)) ok = false;
+  }
+
+  if (ok) {
+    t_of_[ku] = priority_value(*model_, alloc_, k, rule_);
+    ok = stage_two_after_add(k);
+  }
+
+  if (!ok) {
+    // Roll back: remove the string and restore estimates of everything it
+    // perturbed (recomputing is exact because the resident sets are restored).
+    util_.remove_string(alloc_, k);
+    alloc_.clear_string(k);
+    t_of_[ku] = std::numeric_limits<double>::quiet_NaN();
+    comp_[ku].clear();
+    tran_[ku].clear();
+    for (const StringId z : affected_strings_) {
+      if (z != k && alloc_.deployed(z)) refresh_estimates_of(z);
+    }
+    return false;
+  }
+  return true;
+}
+
+bool AllocationSession::stage_two_after_add(StringId k) {
+  // Collect strings whose estimates may change: owners of apps resident on
+  // touched machines and of transfers on touched routes, plus k itself.
+  affected_strings_.clear();
+  auto note = [&](StringId z) {
+    if (std::find(affected_strings_.begin(), affected_strings_.end(), z) ==
+        affected_strings_.end()) {
+      affected_strings_.push_back(z);
+    }
+  };
+  note(k);
+  for (const MachineId j : touched_machines_) {
+    for (const AppRef& ref : util_.apps_on(j)) note(ref.k);
+  }
+  for (const auto& [j1, j2] : touched_routes_) {
+    for (const AppRef& ref : util_.transfers_on(j1, j2)) note(ref.k);
+  }
+
+  for (const StringId z : affected_strings_) refresh_estimates_of(z);
+  return std::all_of(affected_strings_.begin(), affected_strings_.end(),
+                     [&](StringId z) { return string_meets_constraints(z); });
+}
+
+void AllocationSession::refresh_estimates_of(StringId z) {
+  // Full per-string refresh: strings are short (<= ~10 apps), so recomputing
+  // the whole string is cheaper than tracking which of its apps were touched.
+  const auto zu = static_cast<std::size_t>(z);
+  const auto& s = model_->strings[zu];
+  const std::size_t n = s.size();
+  comp_[zu].resize(n);
+  tran_[zu].resize(n > 0 ? n - 1 : 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    comp_[zu][i] = estimate_comp_time(*model_, alloc_, util_, t_of_, z,
+                                      static_cast<AppIndex>(i));
+    if (i + 1 < n) {
+      tran_[zu][i] = estimate_tran_time(*model_, alloc_, util_, t_of_, z,
+                                        static_cast<AppIndex>(i));
+    }
+  }
+}
+
+bool AllocationSession::string_meets_constraints(StringId z) const noexcept {
+  const auto zu = static_cast<std::size_t>(z);
+  const auto& s = model_->strings[zu];
+  double latency = 0.0;
+  for (const double c : comp_[zu]) {
+    if (!within(c, s.period_s)) return false;
+    latency += c;
+  }
+  for (const double t : tran_[zu]) {
+    if (!within(t, s.period_s)) return false;
+    latency += t;
+  }
+  return within(latency, s.max_latency_s);
+}
+
+}  // namespace tsce::analysis

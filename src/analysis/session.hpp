@@ -1,0 +1,85 @@
+/// \file session.hpp
+/// Incremental sequential-allocation session.
+///
+/// The ordering heuristics (MWF, TF, PSG decode) deploy strings one at a time
+/// and must re-run the two-stage feasibility analysis after every string.
+/// Re-checking the whole system from scratch is O(Q * A^2); AllocationSession
+/// exploits the fact that committing one string only perturbs the resources
+/// it touches — stage one is re-checked on touched resources only and stage
+/// two re-estimates only resident applications of touched machines/routes
+/// (higher-priority estimates are unchanged by construction of eqs. 5-6).
+/// A failed commit rolls back completely, leaving the previous feasible
+/// intermediate mapping intact (the MWF/TF termination rule).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/metrics.hpp"
+#include "analysis/priority.hpp"
+#include "analysis/utilization.hpp"
+#include "model/allocation.hpp"
+#include "model/system_model.hpp"
+#include "model/types.hpp"
+
+namespace tsce::analysis {
+
+class AllocationSession {
+ public:
+  explicit AllocationSession(
+      const model::SystemModel& model,
+      PriorityRule rule = PriorityRule::kRelativeTightness);
+
+  /// Attempts to deploy string \p k with the per-app machine \p assignment
+  /// (size n_k, no kUnassigned entries).  Runs the two-stage feasibility
+  /// analysis on the resulting intermediate mapping; on success the string is
+  /// committed and true is returned, otherwise the session state is unchanged
+  /// and false is returned.
+  bool try_commit(model::StringId k, const std::vector<model::MachineId>& assignment);
+
+  /// Removes a previously committed string, restoring the estimates of every
+  /// string that shared resources with it.  Enables backtracking searches
+  /// (e.g. the exact permutation enumeration).
+  void uncommit(model::StringId k);
+
+  /// Forgets all commitments.
+  void reset();
+
+  [[nodiscard]] const model::SystemModel& system() const noexcept { return *model_; }
+  [[nodiscard]] const model::Allocation& allocation() const noexcept { return alloc_; }
+  [[nodiscard]] const UtilizationState& util() const noexcept { return util_; }
+
+  [[nodiscard]] Fitness fitness() const noexcept {
+    return {total_worth(*model_, alloc_), util_.slackness()};
+  }
+
+  /// Estimated computation times of deployed string k (empty otherwise).
+  [[nodiscard]] const std::vector<double>& comp_estimates(model::StringId k) const noexcept {
+    return comp_[static_cast<std::size_t>(k)];
+  }
+  [[nodiscard]] const std::vector<double>& tran_estimates(model::StringId k) const noexcept {
+    return tran_[static_cast<std::size_t>(k)];
+  }
+
+ private:
+  /// Re-estimates every resident app/transfer on resources touched by string
+  /// k plus string k itself, then checks eq. (1) for each affected string.
+  [[nodiscard]] bool stage_two_after_add(model::StringId k);
+  void refresh_estimates_of(model::StringId k);
+  [[nodiscard]] bool string_meets_constraints(model::StringId k) const noexcept;
+
+  const model::SystemModel* model_;
+  PriorityRule rule_;
+  model::Allocation alloc_;
+  UtilizationState util_;
+  std::vector<double> t_of_;                 ///< tightness per deployed string (NaN otherwise)
+  std::vector<std::vector<double>> comp_;    ///< cached eq. (5) estimates
+  std::vector<std::vector<double>> tran_;    ///< cached eq. (6) estimates
+  // Scratch reused across commits to avoid churn.
+  std::vector<model::MachineId> touched_machines_;
+  std::vector<std::pair<model::MachineId, model::MachineId>> touched_routes_;
+  std::vector<model::StringId> affected_strings_;
+};
+
+}  // namespace tsce::analysis

@@ -1,0 +1,40 @@
+#include "analysis/tightness.hpp"
+
+namespace tsce::analysis {
+
+using model::Allocation;
+using model::AppIndex;
+using model::StringId;
+using model::SystemModel;
+
+double relative_tightness(const SystemModel& model, const Allocation& alloc,
+                          StringId k) noexcept {
+  const auto& s = model.strings[static_cast<std::size_t>(k)];
+  const auto n = static_cast<AppIndex>(s.size());
+  double total = 0.0;
+  for (AppIndex i = 0; i < n; ++i) {
+    const auto j = static_cast<std::size_t>(alloc.machine_of(k, i));
+    total += s.apps[static_cast<std::size_t>(i)].nominal_time_s[j];
+    if (i + 1 < n) {
+      total += model.network.transfer_s(s.apps[static_cast<std::size_t>(i)].output_kbytes,
+                                        alloc.machine_of(k, i), alloc.machine_of(k, i + 1));
+    }
+  }
+  return total / s.max_latency_s;
+}
+
+double approx_tightness(const SystemModel& model, StringId k) noexcept {
+  const auto& s = model.strings[static_cast<std::size_t>(k)];
+  const double inv_w_av = model.network.avg_inverse_bandwidth();
+  double total = 0.0;
+  const auto n = s.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    total += s.apps[i].avg_time_s();
+    if (i + 1 < n) {
+      total += model::kbytes_to_megabits(s.apps[i].output_kbytes) * inv_w_av;
+    }
+  }
+  return total / s.max_latency_s;
+}
+
+}  // namespace tsce::analysis

@@ -1,0 +1,116 @@
+#include "analysis/utilization.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tsce::analysis {
+
+using model::Allocation;
+using model::AppIndex;
+using model::MachineId;
+using model::StringId;
+using model::SystemModel;
+
+UtilizationState::UtilizationState(const SystemModel& model)
+    : model_(&model),
+      machine_util_(model.num_machines(), 0.0),
+      route_util_(model.num_machines() * model.num_machines(), 0.0),
+      machine_apps_(model.num_machines()),
+      route_transfers_(model.num_machines() * model.num_machines()) {}
+
+UtilizationState UtilizationState::from_allocation(const SystemModel& model,
+                                                   const Allocation& alloc) {
+  UtilizationState state(model);
+  for (std::size_t k = 0; k < alloc.num_strings(); ++k) {
+    if (alloc.deployed(static_cast<StringId>(k))) {
+      state.add_string(alloc, static_cast<StringId>(k));
+    }
+  }
+  return state;
+}
+
+double UtilizationState::machine_delta(StringId k, AppIndex i,
+                                       MachineId j) const noexcept {
+  const auto& s = model_->strings[static_cast<std::size_t>(k)];
+  const auto& a = s.apps[static_cast<std::size_t>(i)];
+  // (t[i,j] * u[i,j]) / P[k]: the minimum average CPU share that lets a_i^k
+  // finish each data set within one period.
+  return a.cpu_work(static_cast<std::size_t>(j)) / s.period_s;
+}
+
+double UtilizationState::route_delta(StringId k, AppIndex i, MachineId j1,
+                                     MachineId j2) const noexcept {
+  if (j1 == j2) return 0.0;  // intra-machine: infinite bandwidth
+  const auto& s = model_->strings[static_cast<std::size_t>(k)];
+  const auto& a = s.apps[static_cast<std::size_t>(i)];
+  // (O[i]/P[k]) / w[j1,j2]: minimum average bandwidth share over the period.
+  const double mbps_needed = model::kbytes_to_megabits(a.output_kbytes) / s.period_s;
+  return mbps_needed / model_->network.bandwidth_mbps(j1, j2);
+}
+
+void UtilizationState::apply_string(const Allocation& alloc, StringId k, double sign) {
+  const auto& s = model_->strings[static_cast<std::size_t>(k)];
+  const auto n = static_cast<AppIndex>(s.size());
+  for (AppIndex i = 0; i < n; ++i) {
+    const MachineId j = alloc.machine_of(k, i);
+    assert(j != model::kUnassigned);
+    machine_util_[static_cast<std::size_t>(j)] += sign * machine_delta(k, i, j);
+    auto& residents = machine_apps_[static_cast<std::size_t>(j)];
+    if (sign > 0) {
+      residents.push_back({k, i});
+    } else {
+      residents.erase(std::find(residents.begin(), residents.end(), AppRef{k, i}));
+    }
+    if (i + 1 < n) {
+      const MachineId j2 = alloc.machine_of(k, i + 1);
+      if (j != j2) {
+        const std::size_t r = route_index(j, j2);
+        route_util_[r] += sign * route_delta(k, i, j, j2);
+        auto& transfers = route_transfers_[r];
+        if (sign > 0) {
+          transfers.push_back({k, i});
+        } else {
+          transfers.erase(
+              std::find(transfers.begin(), transfers.end(), AppRef{k, i}));
+        }
+      }
+    }
+  }
+}
+
+void UtilizationState::add_string(const Allocation& alloc, StringId k) {
+  apply_string(alloc, k, 1.0);
+}
+
+void UtilizationState::remove_string(const Allocation& alloc, StringId k) {
+  apply_string(alloc, k, -1.0);
+  // Guard against drift from repeated add/remove cycles: clamp tiny negative
+  // residues to zero.
+  for (auto& u : machine_util_) {
+    if (u < 0.0 && u > -1e-12) u = 0.0;
+  }
+  for (auto& u : route_util_) {
+    if (u < 0.0 && u > -1e-12) u = 0.0;
+  }
+}
+
+double UtilizationState::max_machine_util() const noexcept {
+  double best = 0.0;
+  for (double u : machine_util_) best = std::max(best, u);
+  return best;
+}
+
+double UtilizationState::max_route_util() const noexcept {
+  double best = 0.0;
+  for (double u : route_util_) best = std::max(best, u);
+  return best;
+}
+
+double UtilizationState::slackness() const noexcept {
+  double min_slack = 1.0;
+  for (double u : machine_util_) min_slack = std::min(min_slack, 1.0 - u);
+  for (double u : route_util_) min_slack = std::min(min_slack, 1.0 - u);
+  return min_slack;
+}
+
+}  // namespace tsce::analysis

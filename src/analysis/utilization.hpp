@@ -1,0 +1,106 @@
+/// \file utilization.hpp
+/// Machine and communication-route utilization accounting, eqs. (2)-(3).
+///
+/// UtilizationState supports both batch computation from a complete
+/// allocation and incremental add/remove of single strings, which the
+/// sequential heuristics (IMR inside MWF/TF/PSG decode) rely on.  It also
+/// tracks which applications/transfers reside on each resource, which the
+/// stage-two time estimation reuses.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/allocation.hpp"
+#include "model/system_model.hpp"
+#include "model/types.hpp"
+
+namespace tsce::analysis {
+
+/// Reference to application i of string k.
+struct AppRef {
+  model::StringId k;
+  model::AppIndex i;
+  friend bool operator==(const AppRef&, const AppRef&) = default;
+};
+
+class UtilizationState {
+ public:
+  UtilizationState() = default;
+  explicit UtilizationState(const model::SystemModel& model);
+
+  /// Builds state for all deployed strings of \p alloc.
+  static UtilizationState from_allocation(const model::SystemModel& model,
+                                          const model::Allocation& alloc);
+
+  /// Adds every application/transfer of string k using its assignment in
+  /// \p alloc (string must be fully mapped).
+  void add_string(const model::Allocation& alloc, model::StringId k);
+  /// Exact inverse of add_string.
+  void remove_string(const model::Allocation& alloc, model::StringId k);
+
+  /// U_machine[j], eq. (2).
+  [[nodiscard]] double machine_util(model::MachineId j) const noexcept {
+    return machine_util_[static_cast<std::size_t>(j)];
+  }
+  /// U_route[j1,j2], eq. (3).  Intra-machine routes are always 0.
+  [[nodiscard]] double route_util(model::MachineId j1, model::MachineId j2) const noexcept {
+    return route_util_[route_index(j1, j2)];
+  }
+
+  /// Utilization contribution of app i of string k when placed on machine j.
+  [[nodiscard]] double machine_delta(model::StringId k, model::AppIndex i,
+                                     model::MachineId j) const noexcept;
+  /// Utilization contribution of the output transfer of app i of string k on
+  /// route j1->j2 (0 when j1 == j2).
+  [[nodiscard]] double route_delta(model::StringId k, model::AppIndex i,
+                                   model::MachineId j1, model::MachineId j2) const noexcept;
+
+  /// What-if U_machine[j, i, k] from the IMR description (paper §5).
+  [[nodiscard]] double machine_util_if(model::MachineId j, model::StringId k,
+                                       model::AppIndex i) const noexcept {
+    return machine_util(j) + machine_delta(k, i, j);
+  }
+  /// What-if U_route[j1, j2, i, k]: utilization of route j1->j2 if the output
+  /// of app i of string k were added to it.
+  [[nodiscard]] double route_util_if(model::MachineId j1, model::MachineId j2,
+                                     model::StringId k, model::AppIndex i) const noexcept {
+    return route_util(j1, j2) + route_delta(k, i, j1, j2);
+  }
+
+  /// Max utilization over all machines (0 when empty system).
+  [[nodiscard]] double max_machine_util() const noexcept;
+  /// Max utilization over all routes.
+  [[nodiscard]] double max_route_util() const noexcept;
+
+  /// System slackness, eq. (7): min residual capacity over machines & routes.
+  [[nodiscard]] double slackness() const noexcept;
+
+  /// Applications currently resident on machine j (unordered).
+  [[nodiscard]] const std::vector<AppRef>& apps_on(model::MachineId j) const noexcept {
+    return machine_apps_[static_cast<std::size_t>(j)];
+  }
+  /// Transfers resident on route j1->j2; AppRef names the *sending* app.
+  [[nodiscard]] const std::vector<AppRef>& transfers_on(model::MachineId j1,
+                                                        model::MachineId j2) const noexcept {
+    return route_transfers_[route_index(j1, j2)];
+  }
+
+  [[nodiscard]] std::size_t num_machines() const noexcept { return machine_util_.size(); }
+
+ private:
+  [[nodiscard]] std::size_t route_index(model::MachineId j1, model::MachineId j2) const noexcept {
+    return static_cast<std::size_t>(j1) * machine_util_.size() +
+           static_cast<std::size_t>(j2);
+  }
+  void apply_string(const model::Allocation& alloc, model::StringId k, double sign);
+
+  const model::SystemModel* model_ = nullptr;
+  std::vector<double> machine_util_;
+  std::vector<double> route_util_;  // M x M row-major; diagonal stays 0
+  std::vector<std::vector<AppRef>> machine_apps_;
+  std::vector<std::vector<AppRef>> route_transfers_;
+};
+
+}  // namespace tsce::analysis

@@ -1,0 +1,41 @@
+/// \file allocator.hpp
+/// Common interface for the initial static allocation heuristics.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/metrics.hpp"
+#include "model/allocation.hpp"
+#include "model/system_model.hpp"
+#include "util/rng.hpp"
+
+namespace tsce::core {
+
+struct AllocatorResult {
+  model::Allocation allocation;
+  analysis::Fitness fitness;
+  /// String ordering that produced the allocation (useful for seeding and
+  /// reporting); empty for allocators that do not search the permutation
+  /// space.
+  std::vector<model::StringId> order;
+  /// Number of full decode evaluations performed.
+  std::size_t evaluations = 0;
+};
+
+/// Stateless strategy object: allocate() may be called concurrently on
+/// different (model, rng) pairs.
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+
+  [[nodiscard]] virtual AllocatorResult allocate(const model::SystemModel& model,
+                                                 util::Rng& rng) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+using AllocatorPtr = std::unique_ptr<Allocator>;
+
+}  // namespace tsce::core

@@ -1,0 +1,128 @@
+#include "core/class_based.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "core/decode.hpp"
+#include "genitor/genitor.hpp"
+
+namespace tsce::core {
+
+using model::StringId;
+using model::SystemModel;
+using model::Worth;
+
+namespace {
+
+/// GENITOR problem over orderings of one worth class, evaluated by decoding
+/// the frozen base order followed by the class ordering.
+class ClassOrderProblem {
+ public:
+  using Chromosome = std::vector<StringId>;
+  using Fitness = analysis::Fitness;
+
+  ClassOrderProblem(const SystemModel& model, const std::vector<StringId>& base,
+                    std::vector<StringId> members)
+      : model_(&model), base_(&base), members_(std::move(members)) {}
+
+  [[nodiscard]] Fitness evaluate(const Chromosome& order) const {
+    std::vector<StringId> full = *base_;
+    full.insert(full.end(), order.begin(), order.end());
+    return decode_order(*model_, full).fitness;
+  }
+
+  [[nodiscard]] std::pair<Chromosome, Chromosome> crossover(const Chromosome& a,
+                                                            const Chromosome& b,
+                                                            util::Rng& rng) const {
+    if (a.size() < 2) return {a, b};
+    const auto cut = static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(a.size()) - 1));
+    return {PermutationProblem::reorder_top(a, b, cut),
+            PermutationProblem::reorder_top(b, a, cut)};
+  }
+
+  [[nodiscard]] Chromosome mutate(const Chromosome& c, util::Rng& rng) const {
+    Chromosome child = c;
+    if (child.size() < 2) return child;
+    const std::size_t i = rng.bounded(child.size());
+    std::size_t j = rng.bounded(child.size());
+    while (j == i) j = rng.bounded(child.size());
+    std::swap(child[i], child[j]);
+    return child;
+  }
+
+  [[nodiscard]] Chromosome random_chromosome(util::Rng& rng) const {
+    Chromosome c = members_;
+    rng.shuffle(c);
+    return c;
+  }
+
+ private:
+  const SystemModel* model_;
+  const std::vector<StringId>* base_;
+  std::vector<StringId> members_;
+};
+
+}  // namespace
+
+AllocatorResult ClassBasedAllocator::allocate(const SystemModel& model,
+                                              util::Rng& rng) const {
+  static constexpr std::array<Worth, 3> kClassOrder = {Worth::kHigh, Worth::kMedium,
+                                                       Worth::kLow};
+  std::vector<StringId> committed;  // deployed strings of frozen classes
+  std::size_t evaluations = 0;
+
+  for (const Worth worth_class : kClassOrder) {
+    std::vector<StringId> members;
+    for (std::size_t k = 0; k < model.num_strings(); ++k) {
+      if (model.strings[k].worth == worth_class) {
+        members.push_back(static_cast<StringId>(k));
+      }
+    }
+    if (members.empty()) continue;
+
+    std::vector<StringId> best_class_order;
+    if (members.size() == 1) {
+      best_class_order = members;
+      ++evaluations;
+    } else {
+      const ClassOrderProblem problem(model, committed, members);
+      genitor::Config config = options_.ga;
+      config.population_size = std::min<std::size_t>(
+          config.population_size, std::max<std::size_t>(4, members.size() * 4));
+      genitor::Genitor<ClassOrderProblem> ga(problem, config);
+      analysis::Fitness best_fitness{};
+      bool have_best = false;
+      for (std::size_t trial = 0; trial < std::max<std::size_t>(1, options_.trials);
+           ++trial) {
+        util::Rng trial_rng = rng.spawn();
+        auto ga_result = ga.run(trial_rng);
+        evaluations += ga_result.evaluations;
+        if (!have_best || best_fitness < ga_result.best_fitness) {
+          best_fitness = ga_result.best_fitness;
+          best_class_order = std::move(ga_result.best);
+          have_best = true;
+        }
+      }
+    }
+
+    // Freeze the deployed prefix of the class: strings the decode rejected
+    // are dropped (the class scheme never revisits them).
+    std::vector<StringId> full = committed;
+    full.insert(full.end(), best_class_order.begin(), best_class_order.end());
+    const DecodeResult decoded = decode_order(model, full);
+    for (const StringId k : best_class_order) {
+      if (decoded.allocation.deployed(k)) committed.push_back(k);
+    }
+  }
+
+  DecodeResult final_decode = decode_order(model, committed);
+  AllocatorResult result;
+  result.allocation = std::move(final_decode.allocation);
+  result.fitness = final_decode.fitness;
+  result.order = std::move(committed);
+  result.evaluations = evaluations + 1;
+  return result;
+}
+
+}  // namespace tsce::core

@@ -1,0 +1,37 @@
+#include "core/decode.hpp"
+
+#include <numeric>
+
+#include "analysis/session.hpp"
+#include "core/imr.hpp"
+
+namespace tsce::core {
+
+using model::StringId;
+using model::SystemModel;
+
+DecodeResult decode_order(const SystemModel& model,
+                          std::span<const StringId> order) {
+  analysis::AllocationSession session(model);
+  DecodeResult result;
+  result.first_failed = -1;
+  for (const StringId k : order) {
+    const auto assignment = imr_map_string(model, session.util(), k);
+    if (!session.try_commit(k, assignment)) {
+      result.first_failed = k;
+      break;
+    }
+    ++result.strings_deployed;
+  }
+  result.fitness = session.fitness();
+  result.allocation = session.allocation();
+  return result;
+}
+
+std::vector<StringId> identity_order(const SystemModel& model) {
+  std::vector<StringId> order(model.num_strings());
+  std::iota(order.begin(), order.end(), 0);
+  return order;
+}
+
+}  // namespace tsce::core

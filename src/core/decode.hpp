@@ -1,0 +1,37 @@
+/// \file decode.hpp
+/// Projection from the permutation space into the solution space (paper §5):
+/// strings are handed to the IMR in a given order; after each string the
+/// two-stage feasibility analysis runs on the intermediate mapping, and the
+/// first failure terminates the process (partial allocation), leaving the
+/// previous feasible mapping as the result.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "analysis/metrics.hpp"
+#include "model/allocation.hpp"
+#include "model/system_model.hpp"
+#include "model/types.hpp"
+
+namespace tsce::core {
+
+struct DecodeResult {
+  model::Allocation allocation;
+  analysis::Fitness fitness;
+  /// Number of strings deployed before the process stopped.
+  std::size_t strings_deployed = 0;
+  /// The string whose commit failed, or -1 when every string fit.
+  model::StringId first_failed = -1;
+};
+
+/// Decodes \p order (a permutation of string ids, possibly a prefix).
+[[nodiscard]] DecodeResult decode_order(const model::SystemModel& model,
+                                        std::span<const model::StringId> order);
+
+/// Identity order 0..Q-1.
+[[nodiscard]] std::vector<model::StringId> identity_order(
+    const model::SystemModel& model);
+
+}  // namespace tsce::core

@@ -1,0 +1,91 @@
+#include "core/dynamic.hpp"
+
+#include <algorithm>
+
+#include "analysis/session.hpp"
+#include "core/imr.hpp"
+
+namespace tsce::core {
+
+using analysis::AllocationSession;
+using model::AppIndex;
+using model::MachineId;
+using model::StringId;
+using model::SystemModel;
+
+namespace {
+
+std::vector<MachineId> assignment_of(const model::Allocation& alloc, StringId k) {
+  std::vector<MachineId> assignment(alloc.string_size(k));
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    assignment[i] = alloc.machine_of(k, static_cast<AppIndex>(i));
+  }
+  return assignment;
+}
+
+std::size_t count_migrations(const std::vector<MachineId>& before,
+                             const std::vector<MachineId>& after) {
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    if (before[i] != after[i]) ++moved;
+  }
+  return moved;
+}
+
+}  // namespace
+
+ReallocationResult reallocate(const SystemModel& updated_model,
+                              const model::Allocation& current,
+                              ReallocationOptions options) {
+  AllocationSession session(updated_model, options.rule);
+  ReallocationResult result;
+
+  // Strings ordered most-worth-first (tie: tighter period first, then id):
+  // when capacity is scarce the valuable strings get it.
+  std::vector<StringId> order;
+  for (std::size_t k = 0; k < updated_model.num_strings(); ++k) {
+    if (current.deployed(static_cast<StringId>(k))) {
+      order.push_back(static_cast<StringId>(k));
+    }
+  }
+  std::stable_sort(order.begin(), order.end(), [&](StringId a, StringId b) {
+    const auto& sa = updated_model.strings[static_cast<std::size_t>(a)];
+    const auto& sb = updated_model.strings[static_cast<std::size_t>(b)];
+    if (sa.worth_factor() != sb.worth_factor()) {
+      return sa.worth_factor() > sb.worth_factor();
+    }
+    return sa.period_s < sb.period_s;
+  });
+
+  // Pass 1: keep still-feasible mappings untouched.
+  std::vector<StringId> pending;
+  for (const StringId k : order) {
+    const auto old_assignment = assignment_of(current, k);
+    if (!session.try_commit(k, old_assignment)) {
+      pending.push_back(k);
+    }
+  }
+
+  // Pass 2: re-map violating strings via the IMR against the live state;
+  // strings that still do not fit anywhere are dropped.  (A later retry
+  // cannot help: failed commits consume no capacity and committed load only
+  // grows, so a second attempt faces a strictly harder system.)
+  (void)options.retry_dropped;
+  for (const StringId k : pending) {
+    const auto remapped = imr_map_string(updated_model, session.util(), k);
+    if (session.try_commit(k, remapped)) {
+      result.remapped.push_back(k);
+      result.migrations += count_migrations(assignment_of(current, k), remapped);
+    } else {
+      result.dropped.push_back(k);
+    }
+  }
+
+  std::sort(result.remapped.begin(), result.remapped.end());
+  std::sort(result.dropped.begin(), result.dropped.end());
+  result.allocation = session.allocation();
+  result.fitness = session.fitness();
+  return result;
+}
+
+}  // namespace tsce::core

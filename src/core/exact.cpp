@@ -1,0 +1,122 @@
+#include "core/exact.hpp"
+
+#include <stdexcept>
+
+#include "analysis/session.hpp"
+#include "core/imr.hpp"
+
+namespace tsce::core {
+
+using analysis::AllocationSession;
+using analysis::Fitness;
+using model::StringId;
+using model::SystemModel;
+
+namespace {
+
+/// Depth-first enumeration state.
+class Enumerator {
+ public:
+  Enumerator(const SystemModel& model, std::size_t max_evaluations)
+      : model_(model),
+        session_(model),
+        max_evaluations_(max_evaluations),
+        used_(model.num_strings(), false) {
+    remaining_worth_ = model.total_worth_available();
+  }
+
+  void run() {
+    order_.clear();
+    consider(session_.fitness());
+    descend();
+  }
+
+  [[nodiscard]] const model::Allocation& best_allocation() const noexcept {
+    return best_allocation_;
+  }
+  [[nodiscard]] Fitness best_fitness() const noexcept { return best_fitness_; }
+  [[nodiscard]] const std::vector<StringId>& best_order() const noexcept {
+    return best_order_;
+  }
+  [[nodiscard]] std::size_t evaluations() const noexcept { return evaluations_; }
+
+ private:
+  void consider(const Fitness& fitness) {
+    if (!have_best_ || best_fitness_ < fitness) {
+      best_fitness_ = fitness;
+      best_allocation_ = session_.allocation();
+      best_order_ = order_;
+      have_best_ = true;
+    }
+  }
+
+  void descend() {
+    if (evaluations_ >= max_evaluations_) return;
+    // Bound: even deploying every remaining string cannot beat the best.
+    const Fitness current = session_.fitness();
+    if (have_best_ &&
+        current.total_worth + remaining_worth_ < best_fitness_.total_worth) {
+      return;
+    }
+    bool leaf = true;
+    const auto q = static_cast<StringId>(model_.num_strings());
+    for (StringId k = 0; k < q; ++k) {
+      if (used_[static_cast<std::size_t>(k)]) continue;
+      leaf = false;
+      const auto assignment = imr_map_string(model_, session_.util(), k);
+      ++evaluations_;
+      const int worth_k = model_.strings[static_cast<std::size_t>(k)].worth_factor();
+      if (session_.try_commit(k, assignment)) {
+        used_[static_cast<std::size_t>(k)] = true;
+        remaining_worth_ -= worth_k;
+        order_.push_back(k);
+        descend();
+        order_.pop_back();
+        remaining_worth_ += worth_k;
+        used_[static_cast<std::size_t>(k)] = false;
+        session_.uncommit(k);
+      } else {
+        // The sequential decode stops at the first infeasible string: every
+        // completion of this prefix ending in k has the current value.
+        consider(current);
+      }
+      if (evaluations_ >= max_evaluations_) return;
+    }
+    if (leaf) consider(current);
+  }
+
+  const SystemModel& model_;
+  AllocationSession session_;
+  std::size_t max_evaluations_;
+  std::size_t evaluations_ = 0;
+  std::vector<bool> used_;
+  std::vector<StringId> order_;
+  int remaining_worth_ = 0;
+
+  bool have_best_ = false;
+  Fitness best_fitness_{};
+  model::Allocation best_allocation_;
+  std::vector<StringId> best_order_;
+};
+
+}  // namespace
+
+AllocatorResult ExactPermutationSearch::allocate(const SystemModel& model,
+                                                 util::Rng& /*rng*/) const {
+  if (model.num_strings() > options_.max_strings) {
+    throw std::invalid_argument(
+        "ExactPermutationSearch: instance too large (" +
+        std::to_string(model.num_strings()) + " strings > max " +
+        std::to_string(options_.max_strings) + ")");
+  }
+  Enumerator enumerator(model, options_.max_evaluations);
+  enumerator.run();
+  AllocatorResult result;
+  result.allocation = enumerator.best_allocation();
+  result.fitness = enumerator.best_fitness();
+  result.order = enumerator.best_order();
+  result.evaluations = enumerator.evaluations();
+  return result;
+}
+
+}  // namespace tsce::core

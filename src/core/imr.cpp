@@ -1,0 +1,169 @@
+#include "core/imr.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace tsce::core {
+
+using analysis::UtilizationState;
+using model::AppIndex;
+using model::MachineId;
+using model::StringId;
+using model::SystemModel;
+
+double computational_intensity(const SystemModel& model, StringId k,
+                               AppIndex i) noexcept {
+  const auto& s = model.strings[static_cast<std::size_t>(k)];
+  const auto& a = s.apps[static_cast<std::size_t>(i)];
+  return a.avg_time_s() * a.avg_util() / s.period_s;
+}
+
+namespace {
+
+/// Local view of resource usage: committed state plus the in-progress
+/// assignments of the string being mapped.
+class ScratchUtil {
+ public:
+  ScratchUtil(const SystemModel& model, const UtilizationState& util, StringId k)
+      : model_(model),
+        util_(util),
+        k_(k),
+        machine_extra_(model.num_machines(), 0.0),
+        route_extra_(model.num_machines() * model.num_machines(), 0.0) {}
+
+  [[nodiscard]] double machine_util_if(MachineId j, AppIndex i) const noexcept {
+    return util_.machine_util(j) + machine_extra_[static_cast<std::size_t>(j)] +
+           util_.machine_delta(k_, i, j);
+  }
+
+  /// Route j1->j2 utilization if the output of app \p sender were added.
+  [[nodiscard]] double route_util_if(MachineId j1, MachineId j2,
+                                     AppIndex sender) const noexcept {
+    if (j1 == j2) return 0.0;
+    return util_.route_util(j1, j2) + route_extra_[route_index(j1, j2)] +
+           util_.route_delta(k_, sender, j1, j2);
+  }
+
+  void commit_app(AppIndex i, MachineId j) noexcept {
+    machine_extra_[static_cast<std::size_t>(j)] += util_.machine_delta(k_, i, j);
+  }
+
+  void commit_transfer(AppIndex sender, MachineId j1, MachineId j2) noexcept {
+    if (j1 == j2) return;
+    route_extra_[route_index(j1, j2)] += util_.route_delta(k_, sender, j1, j2);
+  }
+
+ private:
+  [[nodiscard]] std::size_t route_index(MachineId j1, MachineId j2) const noexcept {
+    return static_cast<std::size_t>(j1) * model_.num_machines() +
+           static_cast<std::size_t>(j2);
+  }
+
+  const SystemModel& model_;
+  const UtilizationState& util_;
+  StringId k_;
+  std::vector<double> machine_extra_;
+  std::vector<double> route_extra_;
+};
+
+}  // namespace
+
+std::vector<MachineId> imr_map_string(const SystemModel& model,
+                                      const UtilizationState& util, StringId k) {
+  const auto& s = model.strings[static_cast<std::size_t>(k)];
+  const auto n = static_cast<AppIndex>(s.size());
+  const auto m = static_cast<MachineId>(model.num_machines());
+  assert(n > 0 && m > 0);
+
+  std::vector<MachineId> assignment(static_cast<std::size_t>(n), model::kUnassigned);
+  std::vector<bool> in_d(static_cast<std::size_t>(n), false);
+  ScratchUtil scratch(model, util, k);
+
+  // Step 1: the most computationally intensive application seeds the mapping.
+  auto most_intensive_unassigned = [&]() {
+    AppIndex best = -1;
+    double best_val = -std::numeric_limits<double>::infinity();
+    for (AppIndex i = 0; i < n; ++i) {
+      if (in_d[static_cast<std::size_t>(i)]) continue;
+      const double v = computational_intensity(model, k, i);
+      if (v > best_val) {
+        best_val = v;
+        best = i;
+      }
+    }
+    return best;
+  };
+  const AppIndex seed = most_intensive_unassigned();
+
+  // Step 2: machine with minimal post-assignment utilization (ties -> lowest j).
+  {
+    MachineId best_j = 0;
+    double best_u = std::numeric_limits<double>::infinity();
+    for (MachineId j = 0; j < m; ++j) {
+      const double u = scratch.machine_util_if(j, seed);
+      if (u < best_u) {
+        best_u = u;
+        best_j = j;
+      }
+    }
+    assignment[static_cast<std::size_t>(seed)] = best_j;
+    scratch.commit_app(seed, best_j);
+    in_d[static_cast<std::size_t>(seed)] = true;
+  }
+
+  // Step 4: grow the contiguous assigned range [i_left, i_right] toward the
+  // next most intensive unassigned application, one neighbor at a time.
+  AppIndex i_left = seed;
+  AppIndex i_right = seed;
+  AppIndex assigned = 1;
+  while (assigned < n) {
+    const AppIndex target = most_intensive_unassigned();
+    assert(target != -1);
+    while (target > i_right) {
+      const AppIndex i = i_right + 1;
+      const MachineId prev = assignment[static_cast<std::size_t>(i - 1)];
+      // Minimize the max of the machine utilization and the utilization of
+      // the route carrying O[i-1] from the predecessor's machine.
+      MachineId best_j = 0;
+      double best_val = std::numeric_limits<double>::infinity();
+      for (MachineId j = 0; j < m; ++j) {
+        const double val = std::max(scratch.machine_util_if(j, i),
+                                    scratch.route_util_if(prev, j, i - 1));
+        if (val < best_val) {
+          best_val = val;
+          best_j = j;
+        }
+      }
+      assignment[static_cast<std::size_t>(i)] = best_j;
+      scratch.commit_app(i, best_j);
+      scratch.commit_transfer(i - 1, prev, best_j);
+      in_d[static_cast<std::size_t>(i)] = true;
+      ++assigned;
+      i_right = i;
+    }
+    while (target < i_left) {
+      const AppIndex i = i_left - 1;
+      const MachineId next = assignment[static_cast<std::size_t>(i + 1)];
+      MachineId best_j = 0;
+      double best_val = std::numeric_limits<double>::infinity();
+      for (MachineId j = 0; j < m; ++j) {
+        const double val = std::max(scratch.machine_util_if(j, i),
+                                    scratch.route_util_if(j, next, i));
+        if (val < best_val) {
+          best_val = val;
+          best_j = j;
+        }
+      }
+      assignment[static_cast<std::size_t>(i)] = best_j;
+      scratch.commit_app(i, best_j);
+      scratch.commit_transfer(i, best_j, next);
+      in_d[static_cast<std::size_t>(i)] = true;
+      ++assigned;
+      i_left = i;
+    }
+  }
+  return assignment;
+}
+
+}  // namespace tsce::core

@@ -1,0 +1,114 @@
+#include "core/local_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/decode.hpp"
+
+namespace tsce::core {
+
+using analysis::Fitness;
+using model::StringId;
+using model::SystemModel;
+
+AllocatorResult HillClimb::allocate(const SystemModel& model, util::Rng& rng) const {
+  AllocatorResult best;
+  bool have_best = false;
+  std::size_t evaluations = 0;
+  const std::size_t q = model.num_strings();
+
+  for (std::size_t restart = 0; restart < std::max<std::size_t>(1, options_.restarts);
+       ++restart) {
+    std::vector<StringId> current = identity_order(model);
+    rng.shuffle(current);
+    DecodeResult current_decoded = decode_order(model, current);
+    ++evaluations;
+
+    bool improved = true;
+    while (improved &&
+           (options_.max_evaluations == 0 || evaluations < options_.max_evaluations)) {
+      improved = false;
+      for (std::size_t attempt = 0;
+           attempt < options_.max_neighbors_per_step && q >= 2; ++attempt) {
+        const std::size_t i = rng.bounded(q);
+        std::size_t j = rng.bounded(q);
+        while (j == i) j = rng.bounded(q);
+        std::swap(current[i], current[j]);
+        DecodeResult neighbor = decode_order(model, current);
+        ++evaluations;
+        if (current_decoded.fitness < neighbor.fitness) {
+          current_decoded = std::move(neighbor);
+          improved = true;
+          break;  // first improvement: restart the neighborhood scan
+        }
+        std::swap(current[i], current[j]);  // undo
+        if (options_.max_evaluations != 0 && evaluations >= options_.max_evaluations) {
+          break;
+        }
+      }
+    }
+    if (!have_best || best.fitness < current_decoded.fitness) {
+      best.allocation = std::move(current_decoded.allocation);
+      best.fitness = current_decoded.fitness;
+      best.order = current;
+      have_best = true;
+    }
+    if (options_.max_evaluations != 0 && evaluations >= options_.max_evaluations) {
+      break;
+    }
+  }
+  best.evaluations = evaluations;
+  return best;
+}
+
+namespace {
+/// Flattens the lexicographic metric into one scalar for annealing: worth
+/// dominates because slackness lies in [0, 1].
+double energy(const Fitness& f) noexcept {
+  return static_cast<double>(f.total_worth) + f.slackness;
+}
+}  // namespace
+
+AllocatorResult SimulatedAnnealing::allocate(const SystemModel& model,
+                                             util::Rng& rng) const {
+  const std::size_t q = model.num_strings();
+  std::vector<StringId> current = identity_order(model);
+  rng.shuffle(current);
+  DecodeResult current_decoded = decode_order(model, current);
+
+  AllocatorResult best;
+  best.allocation = current_decoded.allocation;
+  best.fitness = current_decoded.fitness;
+  best.order = current;
+  best.evaluations = 1;
+
+  double temperature = options_.initial_temperature > 0.0
+                           ? options_.initial_temperature
+                           : 0.1 * std::max(1, model.total_worth_available());
+  for (std::size_t iter = 0; iter < options_.iterations && q >= 2; ++iter) {
+    const std::size_t i = rng.bounded(q);
+    std::size_t j = rng.bounded(q);
+    while (j == i) j = rng.bounded(q);
+    std::swap(current[i], current[j]);
+    DecodeResult neighbor = decode_order(model, current);
+    ++best.evaluations;
+
+    const double delta = energy(neighbor.fitness) - energy(current_decoded.fitness);
+    const bool accept =
+        delta >= 0.0 || rng.uniform() < std::exp(delta / std::max(temperature, 1e-9));
+    if (accept) {
+      current_decoded = std::move(neighbor);
+      if (best.fitness < current_decoded.fitness) {
+        best.allocation = current_decoded.allocation;
+        best.fitness = current_decoded.fitness;
+        best.order = current;
+      }
+    } else {
+      std::swap(current[i], current[j]);  // undo
+    }
+    temperature *= options_.cooling;
+  }
+  return best;
+}
+
+}  // namespace tsce::core

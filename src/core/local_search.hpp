@@ -1,0 +1,61 @@
+/// \file local_search.hpp
+/// Permutation-space search baselines beyond GENITOR: steepest-descent hill
+/// climbing with random restarts and simulated annealing.  Both use the same
+/// swap neighborhood as the PSG mutation operator and the same IMR decode,
+/// so differences isolate the search strategy itself (ablation bench E11).
+
+#pragma once
+
+#include <cstddef>
+
+#include "core/allocator.hpp"
+
+namespace tsce::core {
+
+struct HillClimbOptions {
+  /// Random restarts; the best local optimum wins.
+  std::size_t restarts = 4;
+  /// Neighbor evaluations per climb before giving up on an improvement.
+  std::size_t max_neighbors_per_step = 64;
+  /// Total decode-evaluation budget across all restarts (0 = unlimited).
+  std::size_t max_evaluations = 0;
+};
+
+/// First-improvement hill climbing over string orderings with the swap
+/// neighborhood.
+class HillClimb final : public Allocator {
+ public:
+  explicit HillClimb(HillClimbOptions options = {}) : options_(options) {}
+
+  [[nodiscard]] AllocatorResult allocate(const model::SystemModel& model,
+                                         util::Rng& rng) const override;
+  [[nodiscard]] std::string name() const override { return "HillClimb"; }
+
+ private:
+  HillClimbOptions options_;
+};
+
+struct AnnealingOptions {
+  std::size_t iterations = 2000;
+  /// Initial temperature in worth units; 0 picks 10% of available worth.
+  double initial_temperature = 0.0;
+  /// Geometric cooling rate per iteration.
+  double cooling = 0.998;
+};
+
+/// Simulated annealing over string orderings.  The acceptance energy is the
+/// lexicographic fitness flattened to worth + slackness (slackness in [0,1]
+/// can never outweigh a 1-unit worth difference).
+class SimulatedAnnealing final : public Allocator {
+ public:
+  explicit SimulatedAnnealing(AnnealingOptions options = {}) : options_(options) {}
+
+  [[nodiscard]] AllocatorResult allocate(const model::SystemModel& model,
+                                         util::Rng& rng) const override;
+  [[nodiscard]] std::string name() const override { return "Annealing"; }
+
+ private:
+  AnnealingOptions options_;
+};
+
+}  // namespace tsce::core

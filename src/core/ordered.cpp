@@ -1,0 +1,57 @@
+#include "core/ordered.hpp"
+
+#include <algorithm>
+
+#include "analysis/tightness.hpp"
+#include "core/decode.hpp"
+
+namespace tsce::core {
+
+using model::StringId;
+using model::SystemModel;
+
+std::vector<StringId> mwf_order(const SystemModel& model) {
+  std::vector<StringId> order = identity_order(model);
+  std::stable_sort(order.begin(), order.end(), [&](StringId a, StringId b) {
+    return model.strings[static_cast<std::size_t>(a)].worth_factor() >
+           model.strings[static_cast<std::size_t>(b)].worth_factor();
+  });
+  return order;
+}
+
+std::vector<StringId> tf_order(const SystemModel& model) {
+  std::vector<StringId> order = identity_order(model);
+  std::vector<double> tightness(model.num_strings());
+  for (std::size_t k = 0; k < model.num_strings(); ++k) {
+    tightness[k] = analysis::approx_tightness(model, static_cast<StringId>(k));
+  }
+  std::stable_sort(order.begin(), order.end(), [&](StringId a, StringId b) {
+    return tightness[static_cast<std::size_t>(a)] >
+           tightness[static_cast<std::size_t>(b)];
+  });
+  return order;
+}
+
+namespace {
+AllocatorResult decode_with(const SystemModel& model, std::vector<StringId> order) {
+  DecodeResult decoded = decode_order(model, order);
+  AllocatorResult result;
+  result.allocation = std::move(decoded.allocation);
+  result.fitness = decoded.fitness;
+  result.order = std::move(order);
+  result.evaluations = 1;
+  return result;
+}
+}  // namespace
+
+AllocatorResult MostWorthFirst::allocate(const SystemModel& model,
+                                         util::Rng& /*rng*/) const {
+  return decode_with(model, mwf_order(model));
+}
+
+AllocatorResult TightestFirst::allocate(const SystemModel& model,
+                                        util::Rng& /*rng*/) const {
+  return decode_with(model, tf_order(model));
+}
+
+}  // namespace tsce::core

@@ -1,0 +1,35 @@
+/// \file ordered.hpp
+/// The single-pass ordering heuristics: Most Worth First and Tightest First
+/// (paper §5).  Both sort the strings by a ranking criterion and decode that
+/// single ordering through the IMR with per-string feasibility checks.
+
+#pragma once
+
+#include <vector>
+
+#include "core/allocator.hpp"
+
+namespace tsce::core {
+
+/// Strings ranked by descending worth I[k]; ties by ascending string id.
+[[nodiscard]] std::vector<model::StringId> mwf_order(const model::SystemModel& model);
+
+/// Strings ranked by descending approximate relative tightness (eq. 4 with
+/// allocation-dependent terms replaced by averages); ties by ascending id.
+[[nodiscard]] std::vector<model::StringId> tf_order(const model::SystemModel& model);
+
+class MostWorthFirst final : public Allocator {
+ public:
+  [[nodiscard]] AllocatorResult allocate(const model::SystemModel& model,
+                                         util::Rng& rng) const override;
+  [[nodiscard]] std::string name() const override { return "MWF"; }
+};
+
+class TightestFirst final : public Allocator {
+ public:
+  [[nodiscard]] AllocatorResult allocate(const model::SystemModel& model,
+                                         util::Rng& rng) const override;
+  [[nodiscard]] std::string name() const override { return "TF"; }
+};
+
+}  // namespace tsce::core

@@ -1,0 +1,161 @@
+#include "dag/allocator.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace tsce::dag {
+
+namespace {
+
+double intensity(const DagString& s, AppIndex i) {
+  const auto& a = s.apps[static_cast<std::size_t>(i)];
+  return a.avg_time_s() * a.avg_util() / s.period_s;
+}
+
+}  // namespace
+
+std::vector<MachineId> dag_map_string(const DagSystemModel& model,
+                                      const DagUtilization& util, StringId k) {
+  const auto& s = model.strings[static_cast<std::size_t>(k)];
+  const auto n = static_cast<AppIndex>(s.size());
+  const auto machines = static_cast<MachineId>(model.num_machines());
+  std::vector<MachineId> assignment(static_cast<std::size_t>(n), model::kUnassigned);
+
+  // Local utilization additions while this string is being placed.
+  std::vector<double> machine_extra(model.num_machines(), 0.0);
+  std::vector<double> route_extra(model.num_machines() * model.num_machines(), 0.0);
+  auto route_index = [&](MachineId j1, MachineId j2) {
+    return static_cast<std::size_t>(j1) * model.num_machines() +
+           static_cast<std::size_t>(j2);
+  };
+
+  const auto in = s.edges_in();
+  const auto out = s.edges_out();
+  std::vector<bool> assigned(static_cast<std::size_t>(n), false);
+
+  auto place = [&](AppIndex i) {
+    // Candidate score: max of machine utilization and the utilization of all
+    // routes linking i to already-assigned neighbors.
+    MachineId best_j = 0;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (MachineId j = 0; j < machines; ++j) {
+      double score = util.machine_util(j) +
+                     machine_extra[static_cast<std::size_t>(j)] +
+                     util.machine_delta(k, i, j);
+      for (const std::size_t e : in[static_cast<std::size_t>(i)]) {
+        const AppIndex from = s.edges[e].from;
+        if (!assigned[static_cast<std::size_t>(from)]) continue;
+        const MachineId j1 = assignment[static_cast<std::size_t>(from)];
+        if (j1 == j) continue;
+        score = std::max(score, util.route_util(j1, j) +
+                                    route_extra[route_index(j1, j)] +
+                                    util.route_delta(k, e, j1, j));
+      }
+      for (const std::size_t e : out[static_cast<std::size_t>(i)]) {
+        const AppIndex to = s.edges[e].to;
+        if (!assigned[static_cast<std::size_t>(to)]) continue;
+        const MachineId j2 = assignment[static_cast<std::size_t>(to)];
+        if (j2 == j) continue;
+        score = std::max(score, util.route_util(j, j2) +
+                                    route_extra[route_index(j, j2)] +
+                                    util.route_delta(k, e, j, j2));
+      }
+      if (score < best_score) {
+        best_score = score;
+        best_j = j;
+      }
+    }
+    assignment[static_cast<std::size_t>(i)] = best_j;
+    assigned[static_cast<std::size_t>(i)] = true;
+    machine_extra[static_cast<std::size_t>(best_j)] += util.machine_delta(k, i, best_j);
+    for (const std::size_t e : in[static_cast<std::size_t>(i)]) {
+      const AppIndex from = s.edges[e].from;
+      if (!assigned[static_cast<std::size_t>(from)]) continue;
+      const MachineId j1 = assignment[static_cast<std::size_t>(from)];
+      if (j1 != best_j) {
+        route_extra[route_index(j1, best_j)] += util.route_delta(k, e, j1, best_j);
+      }
+    }
+    for (const std::size_t e : out[static_cast<std::size_t>(i)]) {
+      const AppIndex to = s.edges[e].to;
+      if (!assigned[static_cast<std::size_t>(to)]) continue;
+      const MachineId j2 = assignment[static_cast<std::size_t>(to)];
+      if (j2 != best_j) {
+        route_extra[route_index(best_j, j2)] += util.route_delta(k, e, best_j, j2);
+      }
+    }
+  };
+
+  auto most_intensive = [&](bool frontier_only) -> AppIndex {
+    AppIndex best = -1;
+    double best_val = -std::numeric_limits<double>::infinity();
+    for (AppIndex i = 0; i < n; ++i) {
+      if (assigned[static_cast<std::size_t>(i)]) continue;
+      if (frontier_only) {
+        bool adjacent = false;
+        for (const std::size_t e : in[static_cast<std::size_t>(i)]) {
+          if (assigned[static_cast<std::size_t>(s.edges[e].from)]) adjacent = true;
+        }
+        for (const std::size_t e : out[static_cast<std::size_t>(i)]) {
+          if (assigned[static_cast<std::size_t>(s.edges[e].to)]) adjacent = true;
+        }
+        if (!adjacent) continue;
+      }
+      const double v = intensity(s, i);
+      if (v > best_val) {
+        best_val = v;
+        best = i;
+      }
+    }
+    return best;
+  };
+
+  AppIndex next = most_intensive(/*frontier_only=*/false);  // seed
+  while (next != -1) {
+    place(next);
+    next = most_intensive(/*frontier_only=*/true);
+    if (next == -1) {
+      // Disconnected component: fall back to the global pick.
+      next = most_intensive(/*frontier_only=*/false);
+    }
+  }
+  return assignment;
+}
+
+DagAllocatorResult decode_dag_order(const DagSystemModel& model,
+                                    const std::vector<StringId>& order) {
+  DagAllocatorResult result;
+  result.allocation = DagAllocation(model);
+  DagUtilization util(model);
+  for (const StringId k : order) {
+    const auto assignment = dag_map_string(model, util, k);
+    for (std::size_t i = 0; i < assignment.size(); ++i) {
+      result.allocation.assign(k, static_cast<AppIndex>(i), assignment[i]);
+    }
+    result.allocation.set_deployed(k, true);
+    util.add_string(result.allocation, k);
+    // Full two-stage analysis on the intermediate mapping (batch; the DAG
+    // module favors clarity over the incremental session of the chain path).
+    if (!check_feasibility(model, result.allocation).feasible()) {
+      util.remove_string(result.allocation, k);
+      result.allocation.clear_string(k);
+      break;
+    }
+    ++result.strings_deployed;
+  }
+  result.fitness = evaluate(model, result.allocation);
+  return result;
+}
+
+DagAllocatorResult allocate_most_worth_first(const DagSystemModel& model) {
+  std::vector<StringId> order(model.num_strings());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](StringId a, StringId b) {
+    return model.strings[static_cast<std::size_t>(a)].worth_factor() >
+           model.strings[static_cast<std::size_t>(b)].worth_factor();
+  });
+  return decode_dag_order(model, order);
+}
+
+}  // namespace tsce::dag

@@ -1,0 +1,40 @@
+/// \file allocator.hpp
+/// DAG-aware greedy mapping: the IMR generalized from chains to DAGs.
+///
+/// The chain IMR marches a contiguous frontier; for a DAG the frontier is the
+/// set of applications adjacent (by any edge) to the already-assigned set.
+/// Mapping still seeds at the most computationally intensive application and
+/// always extends with the most intensive frontier application, placing it on
+/// the machine that minimizes the max of the affected machine utilization and
+/// the utilizations of the routes to its already-placed neighbors.
+
+#pragma once
+
+#include <vector>
+
+#include "dag/analysis.hpp"
+#include "dag/model.hpp"
+
+namespace tsce::dag {
+
+/// Maps one DAG string against the committed utilization in \p util.
+[[nodiscard]] std::vector<MachineId> dag_map_string(const DagSystemModel& model,
+                                                    const DagUtilization& util,
+                                                    StringId k);
+
+struct DagAllocatorResult {
+  DagAllocation allocation;
+  analysis::Fitness fitness;
+  std::size_t strings_deployed = 0;
+};
+
+/// Sequential most-worth-first allocation with full two-stage feasibility
+/// after each string; the first failure terminates the process (the MWF rule
+/// of paper §5 applied to DAG strings).
+[[nodiscard]] DagAllocatorResult allocate_most_worth_first(const DagSystemModel& model);
+
+/// Decodes an explicit string order the same way.
+[[nodiscard]] DagAllocatorResult decode_dag_order(const DagSystemModel& model,
+                                                  const std::vector<StringId>& order);
+
+}  // namespace tsce::dag

@@ -1,0 +1,277 @@
+#include "dag/analysis.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "analysis/tightness.hpp"
+
+namespace tsce::dag {
+
+using analysis::higher_priority;
+
+DagUtilization::DagUtilization(const DagSystemModel& model)
+    : model_(&model),
+      machine_util_(model.num_machines(), 0.0),
+      route_util_(model.num_machines() * model.num_machines(), 0.0) {}
+
+DagUtilization DagUtilization::from_allocation(const DagSystemModel& model,
+                                               const DagAllocation& alloc) {
+  DagUtilization util(model);
+  for (std::size_t k = 0; k < alloc.num_strings(); ++k) {
+    if (alloc.deployed(static_cast<StringId>(k))) {
+      util.add_string(alloc, static_cast<StringId>(k));
+    }
+  }
+  return util;
+}
+
+double DagUtilization::machine_delta(StringId k, AppIndex i,
+                                     MachineId j) const noexcept {
+  const auto& s = model_->strings[static_cast<std::size_t>(k)];
+  return s.apps[static_cast<std::size_t>(i)].cpu_work(static_cast<std::size_t>(j)) /
+         s.period_s;
+}
+
+double DagUtilization::route_delta(StringId k, std::size_t e, MachineId j1,
+                                   MachineId j2) const noexcept {
+  if (j1 == j2) return 0.0;
+  const auto& s = model_->strings[static_cast<std::size_t>(k)];
+  const double mbps = model::kbytes_to_megabits(s.edges[e].output_kbytes) / s.period_s;
+  return mbps / model_->network.bandwidth_mbps(j1, j2);
+}
+
+void DagUtilization::apply(const DagAllocation& alloc, StringId k, double sign) {
+  const auto& s = model_->strings[static_cast<std::size_t>(k)];
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const MachineId j = alloc.machine_of(k, static_cast<AppIndex>(i));
+    assert(j != model::kUnassigned);
+    machine_util_[static_cast<std::size_t>(j)] +=
+        sign * machine_delta(k, static_cast<AppIndex>(i), j);
+  }
+  for (std::size_t e = 0; e < s.edges.size(); ++e) {
+    const MachineId j1 = alloc.machine_of(k, s.edges[e].from);
+    const MachineId j2 = alloc.machine_of(k, s.edges[e].to);
+    if (j1 != j2) {
+      route_util_[index(j1, j2)] += sign * route_delta(k, e, j1, j2);
+    }
+  }
+}
+
+void DagUtilization::add_string(const DagAllocation& alloc, StringId k) {
+  apply(alloc, k, 1.0);
+}
+void DagUtilization::remove_string(const DagAllocation& alloc, StringId k) {
+  apply(alloc, k, -1.0);
+}
+
+double DagUtilization::slackness() const noexcept {
+  double min_slack = 1.0;
+  for (const double u : machine_util_) min_slack = std::min(min_slack, 1.0 - u);
+  for (const double u : route_util_) min_slack = std::min(min_slack, 1.0 - u);
+  return min_slack;
+}
+
+namespace {
+
+/// Longest-path latency through the DAG given per-app durations and per-edge
+/// transfer durations.
+double critical_path(const DagString& s, const std::vector<double>& comp,
+                     const std::vector<double>& tran) {
+  const auto order = s.topological_order();
+  const auto in = s.edges_in();
+  std::vector<double> finish(s.size(), 0.0);
+  double latency = 0.0;
+  for (const AppIndex i : order) {
+    double start = 0.0;
+    for (const std::size_t e : in[static_cast<std::size_t>(i)]) {
+      start = std::max(start,
+                       finish[static_cast<std::size_t>(s.edges[e].from)] + tran[e]);
+    }
+    finish[static_cast<std::size_t>(i)] = start + comp[static_cast<std::size_t>(i)];
+    latency = std::max(latency, finish[static_cast<std::size_t>(i)]);
+  }
+  return latency;
+}
+
+}  // namespace
+
+double relative_tightness(const DagSystemModel& model, const DagAllocation& alloc,
+                          StringId k) {
+  const auto& s = model.strings[static_cast<std::size_t>(k)];
+  std::vector<double> comp(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    comp[i] = s.apps[i].nominal_time_s[static_cast<std::size_t>(
+        alloc.machine_of(k, static_cast<AppIndex>(i)))];
+  }
+  std::vector<double> tran(s.edges.size());
+  for (std::size_t e = 0; e < s.edges.size(); ++e) {
+    tran[e] = model.network.transfer_s(s.edges[e].output_kbytes,
+                                       alloc.machine_of(k, s.edges[e].from),
+                                       alloc.machine_of(k, s.edges[e].to));
+  }
+  return critical_path(s, comp, tran) / s.max_latency_s;
+}
+
+double DagEstimates::latency(const DagSystemModel& model, StringId k) const {
+  const auto& s = model.strings[static_cast<std::size_t>(k)];
+  return critical_path(s, comp[static_cast<std::size_t>(k)],
+                       tran[static_cast<std::size_t>(k)]);
+}
+
+DagEstimates estimate_all(const DagSystemModel& model, const DagAllocation& alloc) {
+  const std::size_t q = model.num_strings();
+  const std::size_t m = model.num_machines();
+  DagEstimates est;
+  est.comp.resize(q);
+  est.tran.resize(q);
+  est.tightness.assign(q, std::numeric_limits<double>::quiet_NaN());
+
+  for (std::size_t k = 0; k < q; ++k) {
+    if (alloc.deployed(static_cast<StringId>(k))) {
+      est.tightness[k] = relative_tightness(model, alloc, static_cast<StringId>(k));
+    }
+  }
+
+  // Resident sets: apps per machine, transfers per route.
+  struct AppRef {
+    StringId k;
+    AppIndex i;
+  };
+  struct EdgeRef {
+    StringId k;
+    std::size_t e;
+  };
+  std::vector<std::vector<AppRef>> machine_apps(m);
+  std::vector<std::vector<EdgeRef>> route_edges(m * m);
+  for (std::size_t k = 0; k < q; ++k) {
+    if (!alloc.deployed(static_cast<StringId>(k))) continue;
+    const auto& s = model.strings[k];
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      machine_apps[static_cast<std::size_t>(
+                       alloc.machine_of(static_cast<StringId>(k),
+                                        static_cast<AppIndex>(i)))]
+          .push_back({static_cast<StringId>(k), static_cast<AppIndex>(i)});
+    }
+    for (std::size_t e = 0; e < s.edges.size(); ++e) {
+      const MachineId j1 = alloc.machine_of(static_cast<StringId>(k), s.edges[e].from);
+      const MachineId j2 = alloc.machine_of(static_cast<StringId>(k), s.edges[e].to);
+      if (j1 != j2) {
+        route_edges[static_cast<std::size_t>(j1) * m + static_cast<std::size_t>(j2)]
+            .push_back({static_cast<StringId>(k), e});
+      }
+    }
+  }
+
+  for (std::size_t k = 0; k < q; ++k) {
+    if (!alloc.deployed(static_cast<StringId>(k))) continue;
+    const auto& s = model.strings[k];
+    est.comp[k].resize(s.size());
+    est.tran[k].resize(s.edges.size());
+    const double t_k = est.tightness[k];
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      const MachineId j = alloc.machine_of(static_cast<StringId>(k),
+                                           static_cast<AppIndex>(i));
+      double t = s.apps[i].nominal_time_s[static_cast<std::size_t>(j)];
+      for (const AppRef& ref : machine_apps[static_cast<std::size_t>(j)]) {
+        if (ref.k == static_cast<StringId>(k)) continue;
+        const double t_z = est.tightness[static_cast<std::size_t>(ref.k)];
+        if (!higher_priority(t_z, ref.k, t_k, static_cast<StringId>(k))) continue;
+        const auto& sz = model.strings[static_cast<std::size_t>(ref.k)];
+        t += (s.period_s / sz.period_s) *
+             sz.apps[static_cast<std::size_t>(ref.i)].cpu_work(
+                 static_cast<std::size_t>(j));
+      }
+      est.comp[k][i] = t;
+    }
+    for (std::size_t e = 0; e < s.edges.size(); ++e) {
+      const MachineId j1 = alloc.machine_of(static_cast<StringId>(k), s.edges[e].from);
+      const MachineId j2 = alloc.machine_of(static_cast<StringId>(k), s.edges[e].to);
+      if (j1 == j2) {
+        est.tran[k][e] = 0.0;
+        continue;
+      }
+      const double w = model.network.bandwidth_mbps(j1, j2);
+      double t = model::kbytes_to_megabits(s.edges[e].output_kbytes) / w;
+      for (const EdgeRef& ref :
+           route_edges[static_cast<std::size_t>(j1) * m + static_cast<std::size_t>(j2)]) {
+        if (ref.k == static_cast<StringId>(k)) continue;
+        const double t_z = est.tightness[static_cast<std::size_t>(ref.k)];
+        if (!higher_priority(t_z, ref.k, t_k, static_cast<StringId>(k))) continue;
+        const auto& sz = model.strings[static_cast<std::size_t>(ref.k)];
+        t += (s.period_s / sz.period_s) *
+             model::kbytes_to_megabits(sz.edges[ref.e].output_kbytes) / w;
+      }
+      est.tran[k][e] = t;
+    }
+  }
+  return est;
+}
+
+analysis::FeasibilityReport check_feasibility(const DagSystemModel& model,
+                                              const DagAllocation& alloc) {
+  analysis::FeasibilityReport report;
+  const DagUtilization util = DagUtilization::from_allocation(model, alloc);
+  const auto machines = static_cast<MachineId>(model.num_machines());
+  for (MachineId j = 0; j < machines; ++j) {
+    if (!analysis::within(util.machine_util(j), 1.0)) {
+      report.stage_one_ok = false;
+      report.violations.push_back({analysis::ViolationKind::kMachineOverload, -1, -1,
+                                   j, -1, util.machine_util(j), 1.0});
+    }
+  }
+  for (MachineId j1 = 0; j1 < machines; ++j1) {
+    for (MachineId j2 = 0; j2 < machines; ++j2) {
+      if (j1 == j2) continue;
+      if (!analysis::within(util.route_util(j1, j2), 1.0)) {
+        report.stage_one_ok = false;
+        report.violations.push_back({analysis::ViolationKind::kRouteOverload, -1, -1,
+                                     j1, j2, util.route_util(j1, j2), 1.0});
+      }
+    }
+  }
+
+  const DagEstimates est = estimate_all(model, alloc);
+  for (std::size_t k = 0; k < model.num_strings(); ++k) {
+    if (!alloc.deployed(static_cast<StringId>(k))) continue;
+    const auto& s = model.strings[k];
+    for (std::size_t i = 0; i < est.comp[k].size(); ++i) {
+      if (!analysis::within(est.comp[k][i], s.period_s)) {
+        report.stage_two_ok = false;
+        report.violations.push_back({analysis::ViolationKind::kCompThroughput,
+                                     static_cast<StringId>(k),
+                                     static_cast<AppIndex>(i), -1, -1,
+                                     est.comp[k][i], s.period_s});
+      }
+    }
+    for (std::size_t e = 0; e < est.tran[k].size(); ++e) {
+      if (!analysis::within(est.tran[k][e], s.period_s)) {
+        report.stage_two_ok = false;
+        report.violations.push_back({analysis::ViolationKind::kTranThroughput,
+                                     static_cast<StringId>(k),
+                                     static_cast<AppIndex>(e), -1, -1,
+                                     est.tran[k][e], s.period_s});
+      }
+    }
+    const double latency = est.latency(model, static_cast<StringId>(k));
+    if (!analysis::within(latency, s.max_latency_s)) {
+      report.stage_two_ok = false;
+      report.violations.push_back({analysis::ViolationKind::kLatency,
+                                   static_cast<StringId>(k), -1, -1, -1, latency,
+                                   s.max_latency_s});
+    }
+  }
+  return report;
+}
+
+analysis::Fitness evaluate(const DagSystemModel& model, const DagAllocation& alloc) {
+  int worth = 0;
+  for (std::size_t k = 0; k < model.num_strings(); ++k) {
+    if (alloc.deployed(static_cast<StringId>(k))) {
+      worth += model.strings[k].worth_factor();
+    }
+  }
+  return {worth, DagUtilization::from_allocation(model, alloc).slackness()};
+}
+
+}  // namespace tsce::dag

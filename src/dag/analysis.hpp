@@ -1,0 +1,87 @@
+/// \file analysis.hpp
+/// Feasibility analysis for DAG-structured strings: the direct generalization
+/// of paper §3.
+///
+/// Stage one is unchanged — utilization contributions are per-application and
+/// per-transfer, so eqs. (2)-(3) apply verbatim with transfers enumerated
+/// from DAG edges.  Stage two keeps eqs. (5)-(6) for individual computation
+/// and transfer times (machine/route sharing is oblivious to string shape)
+/// but replaces the chain-sum latency with the critical path through the
+/// estimated durations, and the relative tightness uses the critical path of
+/// nominal durations.
+
+#pragma once
+
+#include <vector>
+
+#include "analysis/feasibility.hpp"
+#include "analysis/metrics.hpp"
+#include "dag/model.hpp"
+
+namespace tsce::dag {
+
+/// Machine/route utilizations for a DAG system (eqs. 2-3).
+class DagUtilization {
+ public:
+  DagUtilization() = default;
+  explicit DagUtilization(const DagSystemModel& model);
+
+  static DagUtilization from_allocation(const DagSystemModel& model,
+                                        const DagAllocation& alloc);
+
+  void add_string(const DagAllocation& alloc, StringId k);
+  void remove_string(const DagAllocation& alloc, StringId k);
+
+  [[nodiscard]] double machine_util(MachineId j) const noexcept {
+    return machine_util_[static_cast<std::size_t>(j)];
+  }
+  [[nodiscard]] double route_util(MachineId j1, MachineId j2) const noexcept {
+    return route_util_[index(j1, j2)];
+  }
+  [[nodiscard]] double slackness() const noexcept;
+
+  /// Contribution of app i of string k on machine j.
+  [[nodiscard]] double machine_delta(StringId k, AppIndex i, MachineId j) const noexcept;
+  /// Contribution of edge e of string k on route j1->j2 (0 intra-machine).
+  [[nodiscard]] double route_delta(StringId k, std::size_t e, MachineId j1,
+                                   MachineId j2) const noexcept;
+
+ private:
+  [[nodiscard]] std::size_t index(MachineId j1, MachineId j2) const noexcept {
+    return static_cast<std::size_t>(j1) * machine_util_.size() +
+           static_cast<std::size_t>(j2);
+  }
+  void apply(const DagAllocation& alloc, StringId k, double sign);
+
+  const DagSystemModel* model_ = nullptr;
+  std::vector<double> machine_util_;
+  std::vector<double> route_util_;
+};
+
+/// Critical path of nominal (no-sharing) durations divided by Lmax[k].
+[[nodiscard]] double relative_tightness(const DagSystemModel& model,
+                                        const DagAllocation& alloc, StringId k);
+
+struct DagEstimates {
+  /// comp[k][i]: estimated computation time (eq. 5).
+  std::vector<std::vector<double>> comp;
+  /// tran[k][e]: estimated transfer time of edge e (eq. 6).
+  std::vector<std::vector<double>> tran;
+  std::vector<double> tightness;
+
+  /// Critical-path end-to-end latency of string k under the estimates.
+  [[nodiscard]] double latency(const DagSystemModel& model, StringId k) const;
+};
+
+[[nodiscard]] DagEstimates estimate_all(const DagSystemModel& model,
+                                        const DagAllocation& alloc);
+
+/// Two-stage feasibility for DAG systems (report reuses the linear types).
+[[nodiscard]] analysis::FeasibilityReport check_feasibility(
+    const DagSystemModel& model, const DagAllocation& alloc);
+
+/// Total worth of deployed strings + slackness.
+[[nodiscard]] analysis::Fitness evaluate(const DagSystemModel& model,
+                                         const DagAllocation& alloc);
+
+}  // namespace tsce::dag

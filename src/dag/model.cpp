@@ -1,0 +1,168 @@
+#include "dag/model.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <stdexcept>
+
+namespace tsce::dag {
+
+std::vector<AppIndex> DagString::topological_order() const {
+  const std::size_t n = size();
+  std::vector<std::size_t> in_degree(n, 0);
+  for (const DagEdge& e : edges) {
+    if (e.to >= 0 && static_cast<std::size_t>(e.to) < n) {
+      ++in_degree[static_cast<std::size_t>(e.to)];
+    }
+  }
+  std::deque<AppIndex> ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (in_degree[i] == 0) ready.push_back(static_cast<AppIndex>(i));
+  }
+  std::vector<AppIndex> order;
+  order.reserve(n);
+  const auto out = edges_out();
+  while (!ready.empty()) {
+    const AppIndex i = ready.front();
+    ready.pop_front();
+    order.push_back(i);
+    for (const std::size_t e : out[static_cast<std::size_t>(i)]) {
+      const auto to = static_cast<std::size_t>(edges[e].to);
+      if (--in_degree[to] == 0) ready.push_back(static_cast<AppIndex>(to));
+    }
+  }
+  if (order.size() != n) order.clear();  // cycle
+  return order;
+}
+
+std::vector<std::vector<std::size_t>> DagString::edges_in() const {
+  std::vector<std::vector<std::size_t>> in(size());
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    in[static_cast<std::size_t>(edges[e].to)].push_back(e);
+  }
+  return in;
+}
+
+std::vector<std::vector<std::size_t>> DagString::edges_out() const {
+  std::vector<std::vector<std::size_t>> out(size());
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    out[static_cast<std::size_t>(edges[e].from)].push_back(e);
+  }
+  return out;
+}
+
+int DagSystemModel::total_worth_available() const noexcept {
+  int worth = 0;
+  for (const auto& s : strings) worth += s.worth_factor();
+  return worth;
+}
+
+namespace {
+void note(std::vector<std::string>& problems, bool ok, const char* fmt, auto... args) {
+  if (ok) return;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  problems.emplace_back(buf);
+}
+}  // namespace
+
+std::vector<std::string> DagSystemModel::validate() const {
+  std::vector<std::string> problems;
+  const std::size_t m = num_machines();
+  note(problems, m > 0, "system has no machines");
+  for (std::size_t k = 0; k < strings.size(); ++k) {
+    const DagString& s = strings[k];
+    note(problems, !s.apps.empty(), "dag string %zu has no applications", k);
+    note(problems, s.period_s > 0.0, "dag string %zu has nonpositive period", k);
+    note(problems, s.max_latency_s > 0.0, "dag string %zu has nonpositive latency",
+         k);
+    for (std::size_t i = 0; i < s.apps.size(); ++i) {
+      note(problems, s.apps[i].nominal_time_s.size() == m,
+           "dag string %zu app %zu time vector size mismatch", k, i);
+      note(problems, s.apps[i].nominal_util.size() == m,
+           "dag string %zu app %zu util vector size mismatch", k, i);
+    }
+    const auto n = static_cast<AppIndex>(s.size());
+    bool edges_ok = true;
+    for (const DagEdge& e : s.edges) {
+      if (e.from < 0 || e.from >= n || e.to < 0 || e.to >= n || e.from == e.to ||
+          e.output_kbytes < 0.0) {
+        edges_ok = false;
+      }
+    }
+    note(problems, edges_ok, "dag string %zu has an invalid edge", k);
+    if (edges_ok) {
+      note(problems, !s.topological_order().empty() || s.apps.empty(),
+           "dag string %zu contains a cycle", k);
+    }
+  }
+  return problems;
+}
+
+DagAllocation::DagAllocation(const DagSystemModel& model) {
+  mapping_.reserve(model.num_strings());
+  for (const auto& s : model.strings) {
+    mapping_.emplace_back(s.size(), model::kUnassigned);
+  }
+  deployed_.assign(model.num_strings(), false);
+}
+
+void DagAllocation::clear_string(StringId k) noexcept {
+  auto& row = mapping_[static_cast<std::size_t>(k)];
+  std::fill(row.begin(), row.end(), model::kUnassigned);
+  deployed_[static_cast<std::size_t>(k)] = false;
+}
+
+std::size_t DagAllocation::num_deployed() const noexcept {
+  return static_cast<std::size_t>(
+      std::count(deployed_.begin(), deployed_.end(), true));
+}
+
+DagString chain_from_app_string(const model::AppString& s) {
+  DagString dag;
+  dag.apps = s.apps;
+  dag.period_s = s.period_s;
+  dag.max_latency_s = s.max_latency_s;
+  dag.worth = s.worth;
+  dag.name = s.name;
+  for (std::size_t i = 0; i + 1 < s.apps.size(); ++i) {
+    dag.edges.push_back({static_cast<AppIndex>(i), static_cast<AppIndex>(i + 1),
+                         s.apps[i].output_kbytes});
+  }
+  return dag;
+}
+
+model::AppString to_app_string(const DagString& dag) {
+  model::AppString s;
+  s.apps = dag.apps;
+  s.period_s = dag.period_s;
+  s.max_latency_s = dag.max_latency_s;
+  s.worth = dag.worth;
+  s.name = dag.name;
+  if (dag.edges.size() + 1 != dag.apps.size() && !dag.apps.empty() &&
+      !(dag.apps.size() == 1 && dag.edges.empty())) {
+    throw std::invalid_argument("to_app_string: not a path DAG");
+  }
+  std::vector<bool> seen(dag.apps.size(), false);
+  for (const DagEdge& e : dag.edges) {
+    if (e.to != e.from + 1 || seen[static_cast<std::size_t>(e.from)]) {
+      throw std::invalid_argument("to_app_string: edges must form the path i->i+1");
+    }
+    seen[static_cast<std::size_t>(e.from)] = true;
+    s.apps[static_cast<std::size_t>(e.from)].output_kbytes = e.output_kbytes;
+  }
+  if (!s.apps.empty()) s.apps.back().output_kbytes = 0.0;
+  return s;
+}
+
+DagSystemModel lift(const model::SystemModel& m) {
+  DagSystemModel dag;
+  dag.network = m.network;
+  dag.strings.reserve(m.num_strings());
+  for (const auto& s : m.strings) {
+    dag.strings.push_back(chain_from_app_string(s));
+  }
+  return dag;
+}
+
+}  // namespace tsce::dag

@@ -1,0 +1,114 @@
+/// \file model.hpp
+/// DAG-structured application strings (paper §2, footnote 2: "The final ARMS
+/// program may include DAGs of applications").
+///
+/// A DagString generalizes the linear string: applications form a directed
+/// acyclic graph whose edges carry data transfers.  A data set is processed
+/// once per period by every application; an application starts once ALL its
+/// incoming transfers for that data set have arrived, and the end-to-end
+/// latency is governed by the critical path instead of the chain sum.
+/// Linear strings embed as path graphs — chain_from_app_string /
+/// to_app_string convert both ways, and the dag analysis provably matches
+/// the linear analysis on such chains (see tests/dag).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/application.hpp"
+#include "model/app_string.hpp"
+#include "model/network.hpp"
+#include "model/system_model.hpp"
+#include "model/types.hpp"
+
+namespace tsce::dag {
+
+using model::AppIndex;
+using model::MachineId;
+using model::StringId;
+
+/// A data transfer between two applications of the same DAG string.
+struct DagEdge {
+  AppIndex from = 0;
+  AppIndex to = 0;
+  double output_kbytes = 0.0;
+  friend bool operator==(const DagEdge&, const DagEdge&) = default;
+};
+
+struct DagString {
+  std::vector<model::Application> apps;  ///< per-app output_kbytes is unused
+  std::vector<DagEdge> edges;
+  double period_s = 0.0;
+  double max_latency_s = 0.0;
+  model::Worth worth = model::Worth::kLow;
+  std::string name;
+
+  [[nodiscard]] std::size_t size() const noexcept { return apps.size(); }
+  [[nodiscard]] int worth_factor() const noexcept {
+    return model::worth_value(worth);
+  }
+
+  /// Topological order of the applications; empty when the graph has a cycle
+  /// (which validate() reports as an error).
+  [[nodiscard]] std::vector<AppIndex> topological_order() const;
+
+  /// Incoming/outgoing edge indices per application.
+  [[nodiscard]] std::vector<std::vector<std::size_t>> edges_in() const;
+  [[nodiscard]] std::vector<std::vector<std::size_t>> edges_out() const;
+};
+
+struct DagSystemModel {
+  model::Network network;
+  std::vector<DagString> strings;
+
+  [[nodiscard]] std::size_t num_machines() const noexcept {
+    return network.num_machines();
+  }
+  [[nodiscard]] std::size_t num_strings() const noexcept { return strings.size(); }
+  [[nodiscard]] int total_worth_available() const noexcept;
+
+  /// Structural validation (acyclicity, edge endpoints, positive parameters).
+  [[nodiscard]] std::vector<std::string> validate() const;
+};
+
+/// Per-string mapping for DAG systems (same shape semantics as
+/// model::Allocation).
+class DagAllocation {
+ public:
+  DagAllocation() = default;
+  explicit DagAllocation(const DagSystemModel& model);
+
+  [[nodiscard]] MachineId machine_of(StringId k, AppIndex i) const noexcept {
+    return mapping_[static_cast<std::size_t>(k)][static_cast<std::size_t>(i)];
+  }
+  void assign(StringId k, AppIndex i, MachineId j) noexcept {
+    mapping_[static_cast<std::size_t>(k)][static_cast<std::size_t>(i)] = j;
+  }
+  [[nodiscard]] bool deployed(StringId k) const noexcept {
+    return deployed_[static_cast<std::size_t>(k)];
+  }
+  void set_deployed(StringId k, bool value) noexcept {
+    deployed_[static_cast<std::size_t>(k)] = value;
+  }
+  void clear_string(StringId k) noexcept;
+  [[nodiscard]] std::size_t num_strings() const noexcept { return mapping_.size(); }
+  [[nodiscard]] std::size_t num_deployed() const noexcept;
+
+  friend bool operator==(const DagAllocation&, const DagAllocation&) = default;
+
+ private:
+  std::vector<std::vector<MachineId>> mapping_;
+  std::vector<bool> deployed_;
+};
+
+/// Embeds a linear string as a path DAG (edge i -> i+1 with O[i]).
+[[nodiscard]] DagString chain_from_app_string(const model::AppString& s);
+/// Converts a path DAG back to a linear string; throws std::invalid_argument
+/// when the DAG is not a single path in index order.
+[[nodiscard]] model::AppString to_app_string(const DagString& dag);
+/// Lifts a whole linear system into the DAG representation.
+[[nodiscard]] DagSystemModel lift(const model::SystemModel& m);
+
+}  // namespace tsce::dag

@@ -1,0 +1,65 @@
+#include "lp/problem.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tsce::lp {
+
+std::int32_t LpProblem::add_variable(double lo, double hi, double cost) {
+  assert(lo <= hi);
+  lower_.push_back(lo);
+  upper_.push_back(hi);
+  cost_.push_back(cost);
+  return static_cast<std::int32_t>(lower_.size() - 1);
+}
+
+std::int32_t LpProblem::add_row(Relation relation, double rhs) {
+  relation_.push_back(relation);
+  rhs_.push_back(rhs);
+  return static_cast<std::int32_t>(relation_.size() - 1);
+}
+
+void LpProblem::add_coefficient(std::int32_t row, std::int32_t col, double value) {
+  assert(row >= 0 && static_cast<std::size_t>(row) < num_rows());
+  assert(col >= 0 && static_cast<std::size_t>(col) < num_variables());
+  if (value != 0.0) triplets_.push_back({row, col, value});
+}
+
+CscMatrix CscMatrix::from_triplets(std::size_t rows, std::size_t cols,
+                                   const std::vector<Triplet>& triplets) {
+  CscMatrix m;
+  m.rows = rows;
+  m.cols = cols;
+  m.col_start.assign(cols + 1, 0);
+
+  // Count entries per column, prefix-sum, then scatter sorted by (col, row).
+  std::vector<Triplet> sorted = triplets;
+  std::sort(sorted.begin(), sorted.end(), [](const Triplet& a, const Triplet& b) {
+    return a.col != b.col ? a.col < b.col : a.row < b.row;
+  });
+
+  m.row_index.reserve(sorted.size());
+  m.value.reserve(sorted.size());
+  std::size_t idx = 0;
+  for (std::size_t c = 0; c < cols; ++c) {
+    m.col_start[c] = static_cast<std::int64_t>(m.value.size());
+    while (idx < sorted.size() && static_cast<std::size_t>(sorted[idx].col) == c) {
+      // Merge duplicate (row, col) entries.
+      const std::int32_t r = sorted[idx].row;
+      double v = 0.0;
+      while (idx < sorted.size() && static_cast<std::size_t>(sorted[idx].col) == c &&
+             sorted[idx].row == r) {
+        v += sorted[idx].value;
+        ++idx;
+      }
+      if (v != 0.0) {
+        m.row_index.push_back(r);
+        m.value.push_back(v);
+      }
+    }
+  }
+  m.col_start[cols] = static_cast<std::int64_t>(m.value.size());
+  return m;
+}
+
+}  // namespace tsce::lp

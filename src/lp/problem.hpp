@@ -1,0 +1,76 @@
+/// \file problem.hpp
+/// Declarative linear-program container used by the simplex solver.
+///
+/// Variables carry bounds and objective coefficients; rows are built from
+/// coefficient triplets and a relation (<=, =, >=) with a right-hand side.
+/// The container is solver-agnostic storage: solve() (simplex.hpp) converts
+/// it to computational form.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace tsce::lp {
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+enum class Sense { kMinimize, kMaximize };
+enum class Relation { kLessEqual, kEqual, kGreaterEqual };
+
+struct Triplet {
+  std::int32_t row;
+  std::int32_t col;
+  double value;
+};
+
+class LpProblem {
+ public:
+  explicit LpProblem(Sense sense = Sense::kMinimize) : sense_(sense) {}
+
+  /// Adds a variable with bounds [lo, hi] and objective coefficient \p cost.
+  std::int32_t add_variable(double lo, double hi, double cost);
+
+  /// Adds a row "sum of coefficients <relation> rhs"; coefficients are
+  /// attached afterwards with add_coefficient.
+  std::int32_t add_row(Relation relation, double rhs);
+
+  /// Accumulates A[row, col] += value (duplicates are summed on assembly).
+  void add_coefficient(std::int32_t row, std::int32_t col, double value);
+
+  [[nodiscard]] Sense sense() const noexcept { return sense_; }
+  [[nodiscard]] std::size_t num_variables() const noexcept { return lower_.size(); }
+  [[nodiscard]] std::size_t num_rows() const noexcept { return relation_.size(); }
+  [[nodiscard]] std::size_t num_nonzeros() const noexcept { return triplets_.size(); }
+
+  [[nodiscard]] double lower(std::int32_t v) const noexcept { return lower_[static_cast<std::size_t>(v)]; }
+  [[nodiscard]] double upper(std::int32_t v) const noexcept { return upper_[static_cast<std::size_t>(v)]; }
+  [[nodiscard]] double cost(std::int32_t v) const noexcept { return cost_[static_cast<std::size_t>(v)]; }
+  [[nodiscard]] Relation relation(std::int32_t r) const noexcept { return relation_[static_cast<std::size_t>(r)]; }
+  [[nodiscard]] double rhs(std::int32_t r) const noexcept { return rhs_[static_cast<std::size_t>(r)]; }
+  [[nodiscard]] const std::vector<Triplet>& triplets() const noexcept { return triplets_; }
+
+ private:
+  Sense sense_;
+  std::vector<double> lower_, upper_, cost_;
+  std::vector<Relation> relation_;
+  std::vector<double> rhs_;
+  std::vector<Triplet> triplets_;
+};
+
+/// Compressed sparse column matrix assembled from triplets.
+struct CscMatrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<std::int64_t> col_start;  ///< size cols + 1
+  std::vector<std::int32_t> row_index;
+  std::vector<double> value;
+
+  static CscMatrix from_triplets(std::size_t rows, std::size_t cols,
+                                 const std::vector<Triplet>& triplets);
+};
+
+}  // namespace tsce::lp

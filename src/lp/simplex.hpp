@@ -1,0 +1,70 @@
+/// \file simplex.hpp
+/// Bounded-variable two-phase revised simplex with an explicitly maintained
+/// basis inverse.
+///
+/// This solver replaces the commercial package (Lingo 9.0) the paper used for
+/// its upper-bound computation (§7).  Design choices:
+///
+/// * Every row r becomes  a_r^T x + s_r = rhs_r  with a slack bounded by the
+///   row relation ([0,inf) for <=, (-inf,0] for >=, [0,0] for =).  The slack
+///   basis is the starting point; when it is bound-infeasible, a phase-1 LP
+///   with artificial columns drives the infeasibility to zero first.  The
+///   upper-bound LPs of this library are feasible at the slack basis by
+///   construction, so phase 1 is usually skipped.
+/// * Dense row-major basis inverse with product-form updates: O(m^2) memory
+///   and per-iteration work, which comfortably handles the bench-scale
+///   instances (m up to a few thousand).  Paper-scale instances work but are
+///   slow; see DESIGN.md.
+/// * Dantzig pricing with a Bland's-rule fallback after a run of degenerate
+///   iterations, guaranteeing termination.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lp/problem.hpp"
+
+namespace tsce::lp {
+
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+[[nodiscard]] const char* to_string(SolveStatus status) noexcept;
+
+struct SimplexOptions {
+  /// Hard cap across both phases; 0 means 50*(m+n) adaptive.
+  std::size_t max_iterations = 0;
+  /// Dual feasibility (reduced cost) tolerance.
+  double optimality_tol = 1e-7;
+  /// Smallest acceptable pivot magnitude.
+  double pivot_tol = 1e-9;
+  /// Primal feasibility tolerance (bound violations).
+  double feasibility_tol = 1e-7;
+  /// Consecutive degenerate iterations before switching to Bland's rule.
+  std::size_t degeneracy_limit = 200;
+};
+
+struct LpSolution {
+  SolveStatus status = SolveStatus::kIterationLimit;
+  /// Objective in the problem's own sense (max problems report the max).
+  double objective = 0.0;
+  /// Values of the structural variables.
+  std::vector<double> x;
+  /// Shadow price per row in the problem's own sense: the marginal change of
+  /// the optimal objective per unit of right-hand side (only meaningful at
+  /// kOptimal; zero for non-binding rows).
+  std::vector<double> row_duals;
+  std::size_t iterations = 0;
+  std::size_t phase1_iterations = 0;
+};
+
+/// Solves \p problem; deterministic for a fixed input.
+[[nodiscard]] LpSolution solve(const LpProblem& problem, SimplexOptions options = {});
+
+}  // namespace tsce::lp

@@ -1,0 +1,79 @@
+/// \file upper_bound.hpp
+/// Mathematical performance upper bound via fractional mappings (paper §7).
+///
+/// Applications may be split into per-machine fractions x[i,k,j]; output
+/// transfers split into per-route fractions y[i,k,j1,j2].  Flow-conservation
+/// constraints tie consecutive applications together and the stage-one
+/// capacity constraints bound every machine and route.  The resulting LP's
+/// optimum dominates the best integral allocation, so it upper-bounds every
+/// heuristic:
+///
+/// * scenarios 1-2 (partial mapping): maximize deployed worth with
+///   sum_j x[1,k,j] <= 1;
+/// * scenario 3 (complete mapping): force full deployment and maximize the
+///   system slackness lambda.
+///
+/// The paper solved these LPs with Lingo 9.0; here the in-repo simplex
+/// (simplex.hpp) is used — see DESIGN.md for the substitution note, including
+/// the objective-function discrepancy (kPaperLiteral weights strings by their
+/// length; kTotalWorth matches the paper's "total worth" metric and is the
+/// default).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lp/problem.hpp"
+#include "lp/simplex.hpp"
+#include "model/system_model.hpp"
+
+namespace tsce::lp {
+
+enum class UbObjective {
+  /// Maximize sum over strings of I[k] * f_k (f_k = deployed fraction).
+  kTotalWorth,
+  /// The paper's literal formula: sum over strings, apps, machines of
+  /// I[k] * x[i,k,j] (weights each string by its application count).
+  kPaperLiteral,
+};
+
+struct UpperBoundOptions {
+  UbObjective objective = UbObjective::kTotalWorth;
+  SimplexOptions simplex;
+};
+
+struct UpperBoundResult {
+  SolveStatus status = SolveStatus::kIterationLimit;
+  /// Worth bound (partial mode) or slackness bound (complete mode).
+  double value = 0.0;
+  /// Deployed fraction f_k per string (worth mode only).
+  std::vector<double> string_fractions;
+  /// Shadow price of each machine's capacity constraint (f): the marginal
+  /// objective gain per unit of additional CPU capacity.  The resource with
+  /// the largest shadow price is the system bottleneck.
+  std::vector<double> machine_shadow_price;
+  /// Shadow price of each route's capacity constraint (g), row-major M x M
+  /// (diagonal zero).
+  std::vector<double> route_shadow_price;
+  std::size_t lp_rows = 0;
+  std::size_t lp_cols = 0;
+  std::size_t iterations = 0;
+};
+
+/// Builds the fractional-mapping LP.  \p complete selects scenario-3 mode
+/// (full deployment + slackness objective).
+[[nodiscard]] LpProblem build_upper_bound_lp(const model::SystemModel& model,
+                                             bool complete,
+                                             UbObjective objective);
+
+/// Upper bound on total worth for partial resource allocation (scenarios 1-2).
+[[nodiscard]] UpperBoundResult upper_bound_worth(const model::SystemModel& model,
+                                                 UpperBoundOptions options = {});
+
+/// Upper bound on system slackness for complete allocation (scenario 3).
+/// status == kInfeasible means even fractional full deployment is impossible.
+[[nodiscard]] UpperBoundResult upper_bound_slackness(const model::SystemModel& model,
+                                                     UpperBoundOptions options = {});
+
+}  // namespace tsce::lp

@@ -1,0 +1,64 @@
+#include "model/allocation.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace tsce::model {
+
+Allocation::Allocation(const SystemModel& model) {
+  mapping_.reserve(model.num_strings());
+  for (const auto& s : model.strings) {
+    mapping_.emplace_back(s.size(), kUnassigned);
+  }
+  deployed_.assign(model.num_strings(), false);
+}
+
+void Allocation::clear_string(StringId k) noexcept {
+  auto& row = mapping_[static_cast<std::size_t>(k)];
+  std::fill(row.begin(), row.end(), kUnassigned);
+  deployed_[static_cast<std::size_t>(k)] = false;
+}
+
+bool Allocation::fully_mapped(StringId k) const noexcept {
+  const auto& row = mapping_[static_cast<std::size_t>(k)];
+  return std::none_of(row.begin(), row.end(),
+                      [](MachineId j) { return j == kUnassigned; });
+}
+
+std::size_t Allocation::num_deployed() const noexcept {
+  return static_cast<std::size_t>(
+      std::count(deployed_.begin(), deployed_.end(), true));
+}
+
+std::vector<StringId> Allocation::deployed_strings() const {
+  std::vector<StringId> out;
+  for (std::size_t k = 0; k < deployed_.size(); ++k) {
+    if (deployed_[k]) out.push_back(static_cast<StringId>(k));
+  }
+  return out;
+}
+
+std::string Allocation::to_string(const SystemModel& model) const {
+  std::string out;
+  for (std::size_t k = 0; k < mapping_.size(); ++k) {
+    const auto& s = model.strings[k];
+    char head[128];
+    std::snprintf(head, sizeof(head), "string %zu (%s, worth %d, %s): ", k,
+                  s.name.empty() ? "unnamed" : s.name.c_str(), s.worth_factor(),
+                  deployed_[k] ? "deployed" : "not deployed");
+    out += head;
+    for (std::size_t i = 0; i < mapping_[k].size(); ++i) {
+      char cell[32];
+      if (mapping_[k][i] == kUnassigned) {
+        std::snprintf(cell, sizeof(cell), "%s-", i ? " -> " : "");
+      } else {
+        std::snprintf(cell, sizeof(cell), "%sm%d", i ? " -> " : "", mapping_[k][i]);
+      }
+      out += cell;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace tsce::model

@@ -1,0 +1,67 @@
+/// \file allocation.hpp
+/// An application-to-machine mapping m[i,k] plus the set of strings accepted
+/// as deployed.  Partial allocations (paper §1) leave some strings
+/// undeployed; their applications are unassigned.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "model/system_model.hpp"
+#include "model/types.hpp"
+
+namespace tsce::model {
+
+class Allocation {
+ public:
+  Allocation() = default;
+
+  /// Empty (nothing assigned) allocation shaped like \p model.
+  explicit Allocation(const SystemModel& model);
+
+  /// Machine of application i of string k, or kUnassigned.
+  [[nodiscard]] MachineId machine_of(StringId k, AppIndex i) const noexcept {
+    return mapping_[static_cast<std::size_t>(k)][static_cast<std::size_t>(i)];
+  }
+
+  void assign(StringId k, AppIndex i, MachineId j) noexcept {
+    mapping_[static_cast<std::size_t>(k)][static_cast<std::size_t>(i)] = j;
+  }
+
+  /// Clears all assignments of string k and marks it undeployed.
+  void clear_string(StringId k) noexcept;
+
+  /// True when every application of string k has a machine.
+  [[nodiscard]] bool fully_mapped(StringId k) const noexcept;
+
+  /// Deployment flag: a string counts toward total worth only when deployed.
+  [[nodiscard]] bool deployed(StringId k) const noexcept {
+    return deployed_[static_cast<std::size_t>(k)];
+  }
+  void set_deployed(StringId k, bool value) noexcept {
+    deployed_[static_cast<std::size_t>(k)] = value;
+  }
+
+  [[nodiscard]] std::size_t num_strings() const noexcept { return mapping_.size(); }
+  /// Application count of string k (the mapping row length).
+  [[nodiscard]] std::size_t string_size(StringId k) const noexcept {
+    return mapping_[static_cast<std::size_t>(k)].size();
+  }
+  [[nodiscard]] std::size_t num_deployed() const noexcept;
+
+  /// Ids of all deployed strings, ascending.
+  [[nodiscard]] std::vector<StringId> deployed_strings() const;
+
+  /// Human-readable dump (for examples / debugging).
+  [[nodiscard]] std::string to_string(const SystemModel& model) const;
+
+  friend bool operator==(const Allocation&, const Allocation&) = default;
+
+ private:
+  std::vector<std::vector<MachineId>> mapping_;
+  std::vector<bool> deployed_;
+};
+
+}  // namespace tsce::model

@@ -1,0 +1,43 @@
+/// \file app_string.hpp
+/// An application string S^k: a continuously executing sequence of periodic
+/// applications connected in precedence order by data transfers (paper §2).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/application.hpp"
+
+namespace tsce::model {
+
+/// Worth factors I[k] take one of three values (paper §2).
+enum class Worth : std::int32_t {
+  kLow = 1,
+  kMedium = 10,
+  kHigh = 100,
+};
+
+[[nodiscard]] constexpr int worth_value(Worth w) noexcept {
+  return static_cast<int>(w);
+}
+
+struct AppString {
+  /// Ordered applications a_1^k ... a_n^k.
+  std::vector<Application> apps;
+  /// Period P[k] in seconds: each application executes once per period and the
+  /// minimum throughput constraint bounds every computation/transfer by P[k].
+  double period_s = 0.0;
+  /// End-to-end latency bound Lmax[k] in seconds.
+  double max_latency_s = 0.0;
+  /// Importance I[k].
+  Worth worth = Worth::kLow;
+  /// Optional human-readable label.
+  std::string name;
+
+  [[nodiscard]] std::size_t size() const noexcept { return apps.size(); }
+  [[nodiscard]] int worth_factor() const noexcept { return worth_value(worth); }
+};
+
+}  // namespace tsce::model

@@ -1,0 +1,21 @@
+#include "model/network.hpp"
+
+namespace tsce::model {
+
+Network::Network(std::size_t num_machines, double default_mbps)
+    : m_(num_machines), bw_(num_machines * num_machines, default_mbps) {
+  for (std::size_t j = 0; j < m_; ++j) {
+    bw_[j * m_ + j] = kInfiniteBandwidth;
+  }
+}
+
+double Network::avg_inverse_bandwidth() const noexcept {
+  if (m_ == 0) return 0.0;
+  double sum = 0.0;
+  for (double w : bw_) {
+    if (w != kInfiniteBandwidth && w > 0.0) sum += 1.0 / w;
+  }
+  return sum / static_cast<double>(m_ * m_);
+}
+
+}  // namespace tsce::model

@@ -1,0 +1,58 @@
+/// \file network.hpp
+/// The communication model: independent virtual point-to-point routes between
+/// every ordered pair of machines, each with a reserved maximum bandwidth
+/// (paper §2).  Intra-machine routes have infinite bandwidth and zero
+/// transfer time.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/types.hpp"
+
+namespace tsce::model {
+
+class Network {
+ public:
+  Network() = default;
+
+  /// Creates a network of \p num_machines with all inter-machine routes set to
+  /// \p default_mbps (diagonal infinite).
+  explicit Network(std::size_t num_machines, double default_mbps = kInfiniteBandwidth);
+
+  [[nodiscard]] std::size_t num_machines() const noexcept { return m_; }
+
+  /// Total bandwidth w[j1,j2] in Mb/s of the route from j1 to j2.
+  [[nodiscard]] double bandwidth_mbps(MachineId j1, MachineId j2) const noexcept {
+    return bw_[index(j1, j2)];
+  }
+
+  void set_bandwidth_mbps(MachineId j1, MachineId j2, double mbps) noexcept {
+    bw_[index(j1, j2)] = mbps;
+  }
+
+  /// Nominal (no-sharing) transfer time in seconds of \p kbytes over j1->j2.
+  [[nodiscard]] double transfer_s(double kbytes, MachineId j1, MachineId j2) const noexcept {
+    return transfer_seconds(kbytes, bandwidth_mbps(j1, j2));
+  }
+
+  /// Average inverse bandwidth (1/w)_av = (1/M^2) * sum over all ordered pairs
+  /// of 1/w[j1,j2]; intra-machine routes contribute zero (paper §5, TF).
+  [[nodiscard]] double avg_inverse_bandwidth() const noexcept;
+
+  /// Average transfer time of \p kbytes using the average inverse bandwidth.
+  [[nodiscard]] double avg_transfer_s(double kbytes) const noexcept {
+    return kbytes_to_megabits(kbytes) * avg_inverse_bandwidth();
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(MachineId j1, MachineId j2) const noexcept {
+    return static_cast<std::size_t>(j1) * m_ + static_cast<std::size_t>(j2);
+  }
+
+  std::size_t m_ = 0;
+  std::vector<double> bw_;  // row-major M x M, Mb/s
+};
+
+}  // namespace tsce::model

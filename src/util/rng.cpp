@@ -1,0 +1,23 @@
+#include "util/rng.hpp"
+
+namespace tsce::util {
+
+std::uint64_t Rng::bounded(std::uint64_t bound) noexcept {
+  // Lemire's nearly-divisionless method.  The rejection loop runs at most a
+  // handful of times even for adversarial bounds.
+  if (bound == 0) return 0;
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+}  // namespace tsce::util

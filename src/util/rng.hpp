@@ -1,0 +1,114 @@
+/// \file rng.hpp
+/// Deterministic, seedable pseudo-random number generation.
+///
+/// All stochastic components of the library (workload generation, GENITOR
+/// operators, Monte-Carlo replication) draw from tsce::util::Rng so that every
+/// experiment is exactly reproducible from a single 64-bit seed.  The engine
+/// is xoshiro256**, seeded through SplitMix64 per the authors'
+/// recommendation; it is far faster than std::mt19937_64 and has no
+/// observable statistical defects at the scale used here.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace tsce::util {
+
+/// SplitMix64 step; used for seeding and for deriving independent streams.
+constexpr std::uint64_t split_mix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** engine with convenience distributions.
+///
+/// Satisfies UniformRandomBitGenerator, so it can also be plugged into
+/// <random> distributions when needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words of state from \p seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x853C49E6748FEA9BULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = split_mix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit value.
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in the closed interval [lo, hi].
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(bounded(range));
+  }
+
+  /// Unbiased uniform value in [0, bound) via Lemire's rejection method.
+  std::uint64_t bounded(std::uint64_t bound) noexcept;
+
+  /// Bernoulli trial with success probability \p p.
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Uniformly chosen element of a non-empty span.
+  template <typename T>
+  const T& choice(std::span<const T> items) noexcept {
+    return items[bounded(items.size())];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[bounded(i)]);
+    }
+  }
+
+  /// Derives an independent child stream; used to give each Monte-Carlo run
+  /// or worker thread its own generator without correlation.
+  Rng spawn() noexcept {
+    std::uint64_t s = (*this)();
+    return Rng(split_mix64(s));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace tsce::util

@@ -1,0 +1,81 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace tsce::util {
+
+void RunningStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::ci95_half_width() const noexcept {
+  if (count_ < 2) return 0.0;
+  return student_t_quantile_95(count_ - 1) * stddev() /
+         std::sqrt(static_cast<double>(count_));
+}
+
+double student_t_quantile_95(std::size_t df) noexcept {
+  // t_{0.975, df} for df = 1..30, then selected larger values.
+  static constexpr std::array<double, 31> kTable = {
+      0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+      2.228,  2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+      2.086,  2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,
+      2.042};
+  if (df == 0) return 0.0;
+  if (df <= 30) return kTable[df];
+  if (df <= 40) return 2.042 + (2.021 - 2.042) * static_cast<double>(df - 30) / 10.0;
+  if (df <= 60) return 2.021 + (2.000 - 2.021) * static_cast<double>(df - 40) / 20.0;
+  if (df <= 120) return 2.000 + (1.980 - 2.000) * static_cast<double>(df - 60) / 60.0;
+  return 1.960;
+}
+
+std::string format_mean_ci(const RunningStats& s, int decimals) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.*f \xC2\xB1 %.*f", decimals, s.mean(),
+                decimals, s.ci95_half_width());
+  return buf;
+}
+
+double mean_of(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+}  // namespace tsce::util

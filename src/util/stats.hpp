@@ -1,0 +1,52 @@
+/// \file stats.hpp
+/// Streaming statistics and confidence intervals.
+///
+/// The paper reports every experiment as a mean over 100 simulation runs with
+/// a 95% confidence interval; RunningStats (Welford accumulation) plus
+/// student_t_quantile_95 reproduce that reporting.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace tsce::util {
+
+/// Numerically stable streaming mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Half-width of the 95% confidence interval for the mean (Student t).
+  [[nodiscard]] double ci95_half_width() const noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Two-sided 95% Student-t quantile t_{0.975,df}.  Exact table for small df,
+/// asymptotic expansion beyond; accurate to ~1e-3 which is ample for
+/// reporting confidence intervals.
+[[nodiscard]] double student_t_quantile_95(std::size_t df) noexcept;
+
+/// Formats "mean ± ci95" with a fixed number of decimals.
+[[nodiscard]] std::string format_mean_ci(const RunningStats& s, int decimals = 1);
+
+/// Mean of a span (0 for empty input).
+[[nodiscard]] double mean_of(std::span<const double> xs) noexcept;
+
+}  // namespace tsce::util

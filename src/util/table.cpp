@@ -1,0 +1,75 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace tsce::util {
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int decimals) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+namespace {
+// Display width ignoring UTF-8 continuation bytes (the ± sign in confidence
+// intervals is two bytes but one column).
+std::size_t display_width(const std::string& s) {
+  std::size_t w = 0;
+  for (unsigned char c : s) {
+    if ((c & 0xC0) != 0x80) ++w;
+  }
+  return w;
+}
+}  // namespace
+
+void Table::print(std::FILE* out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = display_width(headers_[c]);
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], display_width(row[c]));
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::fputs("|", out);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const std::size_t pad = widths[c] - display_width(row[c]);
+      std::fprintf(out, " %s%*s |", row[c].c_str(), static_cast<int>(pad), "");
+    }
+    std::fputs("\n", out);
+  };
+  auto print_rule = [&]() {
+    std::fputs("+", out);
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      for (std::size_t i = 0; i < widths[c] + 2; ++i) std::fputc('-', out);
+      std::fputc('+', out);
+    }
+    std::fputs("\n", out);
+  };
+  print_rule();
+  print_row(headers_);
+  print_rule();
+  for (const auto& row : rows_) print_row(row);
+  print_rule();
+}
+
+void Table::print_csv(std::FILE* out) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%s%s", row[c].c_str(), c + 1 == row.size() ? "\n" : ",");
+    }
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace tsce::util

@@ -1,0 +1,37 @@
+/// \file table.hpp
+/// Plain-text table rendering for benchmark harnesses.
+///
+/// Every bench binary reports the paper's rows/series through this printer so
+/// output is uniform and machine-greppable (a CSV mirror can be emitted
+/// alongside the pretty table).
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace tsce::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for numeric cells.
+  static std::string num(double v, int decimals = 2);
+
+  /// Renders an aligned ASCII table to \p out.
+  void print(std::FILE* out = stdout) const;
+
+  /// Renders comma-separated values (header + rows) to \p out.
+  void print_csv(std::FILE* out = stdout) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tsce::util

@@ -1,0 +1,72 @@
+/// \file thread_pool.hpp
+/// Minimal fixed-size thread pool with a parallel_for convenience wrapper.
+///
+/// Used to spread independent Monte-Carlo replications (and, optionally,
+/// GENITOR trial restarts) across cores.  Work items are type-erased
+/// std::move_only_function-style tasks; results flow back through
+/// std::future.  On a single-core host the pool degrades gracefully to one
+/// worker with negligible overhead.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace tsce::util {
+
+class ThreadPool {
+ public:
+  /// Creates \p num_threads workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a callable; returns a future for its result.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Runs fn(i) for i in [0, count), blocking until all complete.  Exceptions
+  /// from work items are rethrown (first one wins).
+  template <typename F>
+  void parallel_for(std::size_t count, F&& fn) {
+    std::vector<std::future<void>> futures;
+    futures.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      futures.push_back(submit([&fn, i]() { fn(i); }));
+    }
+    for (auto& f : futures) f.get();
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace tsce::util

@@ -1,0 +1,128 @@
+#include "analysis/estimates.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "testing/builders.hpp"
+
+namespace tsce::analysis {
+namespace {
+
+using model::Allocation;
+using model::SystemModel;
+
+/// Deploys both strings of figure2_system on the single machine.
+Allocation deploy_figure2(const SystemModel& m) {
+  Allocation a(m);
+  a.assign(0, 0, 0);
+  a.set_deployed(0, true);
+  a.assign(1, 0, 0);
+  a.set_deployed(1, true);
+  return a;
+}
+
+// Figure 2 of the paper: two single-app strings share one CPU; string 0 is
+// relatively tighter, so its estimated time is its nominal time, while
+// string 1 waits (P[2]/P[1]) * u1 * t1 on average.
+
+TEST(Estimates, Figure2Case1EqualPeriodsFullUtilization) {
+  const SystemModel m = testing::figure2_system(4.0, 4.0, 1.0);
+  const Allocation a = deploy_figure2(m);
+  const TimeEstimates est = estimate_all(m, a);
+  EXPECT_DOUBLE_EQ(est.comp[0][0], 2.0);            // unaffected by sharing
+  EXPECT_DOUBLE_EQ(est.comp[1][0], 2.0 + 2.0);      // waits a full t1
+}
+
+TEST(Estimates, Figure2Case2DoublePeriod) {
+  const SystemModel m = testing::figure2_system(8.0, 4.0, 1.0);
+  const Allocation a = deploy_figure2(m);
+  const TimeEstimates est = estimate_all(m, a);
+  // Only every other data set is delayed: waiting scales by P[2]/P[1] = 0.5.
+  EXPECT_DOUBLE_EQ(est.comp[1][0], 2.0 + 0.5 * 2.0);
+}
+
+TEST(Estimates, Figure2Case3PartialUtilization) {
+  const SystemModel m = testing::figure2_system(8.0, 4.0, 0.5);
+  const Allocation a = deploy_figure2(m);
+  const TimeEstimates est = estimate_all(m, a);
+  // Waiting additionally scales by u1 = 0.5.
+  EXPECT_DOUBLE_EQ(est.comp[1][0], 2.0 + 0.5 * 0.5 * 2.0);
+}
+
+TEST(Estimates, TwoMachineSystemSharedMachine) {
+  const SystemModel m = testing::two_machine_system();
+  Allocation a(m);
+  for (int i = 0; i < 2; ++i) a.assign(0, i, 0);
+  for (int i = 0; i < 2; ++i) a.assign(1, i, 0);
+  a.set_deployed(0, true);
+  a.set_deployed(1, true);
+  const TimeEstimates est = estimate_all(m, a);
+  // T[0] = 0.2 > T[1] = 0.14: string 0 unaffected.
+  EXPECT_DOUBLE_EQ(est.comp[0][0], 2.0);
+  EXPECT_DOUBLE_EQ(est.comp[0][1], 4.0);
+  // String 1 waits (P1/P0) * (work of a0 + work of a1) = 2 * (1 + 4) = 10.
+  EXPECT_DOUBLE_EQ(est.comp[1][0], 5.0 + 10.0);
+  EXPECT_DOUBLE_EQ(est.comp[1][1], 2.0 + 10.0);
+  // Same machine: zero transfer estimates.
+  EXPECT_DOUBLE_EQ(est.tran[0][0], 0.0);
+  EXPECT_DOUBLE_EQ(est.tran[1][0], 0.0);
+  // End-to-end latency sums.
+  EXPECT_DOUBLE_EQ(est.latency(0), 6.0);
+  EXPECT_DOUBLE_EQ(est.latency(1), 27.0);
+}
+
+TEST(Estimates, SeparateMachinesDoNotInteract) {
+  const SystemModel m = testing::two_machine_system();
+  Allocation a(m);
+  for (int i = 0; i < 2; ++i) a.assign(0, i, 0);
+  for (int i = 0; i < 2; ++i) a.assign(1, i, 1);
+  a.set_deployed(0, true);
+  a.set_deployed(1, true);
+  const TimeEstimates est = estimate_all(m, a);
+  EXPECT_DOUBLE_EQ(est.comp[1][0], 5.0);
+  EXPECT_DOUBLE_EQ(est.comp[1][1], 2.0);
+}
+
+TEST(Estimates, SharedRouteTransferWaiting) {
+  const SystemModel m = testing::two_machine_system();
+  Allocation a(m);
+  // Both strings transfer over route 0 -> 1.
+  a.assign(0, 0, 0);
+  a.assign(0, 1, 1);
+  a.assign(1, 0, 0);
+  a.assign(1, 1, 1);
+  a.set_deployed(0, true);
+  a.set_deployed(1, true);
+  const TimeEstimates est = estimate_all(m, a);
+  // T[0] (6.1/30) > T[1] (7.05/50): string 0's transfer is undisturbed.
+  EXPECT_DOUBLE_EQ(est.tran[0][0], 0.8 / 8.0);
+  // String 1 transfer: 0.4/8 + (P1/P0) * 0.8/8 = 0.05 + 2 * 0.1 = 0.25.
+  EXPECT_DOUBLE_EQ(est.tran[1][0], 0.05 + 2.0 * 0.1);
+}
+
+TEST(Estimates, UndeployedStringsHaveNoEstimates) {
+  const SystemModel m = testing::two_machine_system();
+  Allocation a(m);
+  a.assign(0, 0, 0);
+  a.assign(0, 1, 0);
+  a.set_deployed(0, true);
+  const TimeEstimates est = estimate_all(m, a);
+  EXPECT_TRUE(est.comp[1].empty());
+  EXPECT_TRUE(est.tran[1].empty());
+  EXPECT_TRUE(std::isnan(est.tightness[1]));
+}
+
+TEST(Estimates, SameStringAppsDoNotDelayEachOther) {
+  const SystemModel m = testing::two_machine_system();
+  Allocation a(m);
+  a.assign(0, 0, 0);
+  a.assign(0, 1, 0);  // both apps of string 0 on machine 0
+  a.set_deployed(0, true);
+  const TimeEstimates est = estimate_all(m, a);
+  EXPECT_DOUBLE_EQ(est.comp[0][0], 2.0);
+  EXPECT_DOUBLE_EQ(est.comp[0][1], 4.0);
+}
+
+}  // namespace
+}  // namespace tsce::analysis

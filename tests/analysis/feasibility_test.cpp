@@ -1,0 +1,154 @@
+#include "analysis/feasibility.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/builders.hpp"
+
+namespace tsce::analysis {
+namespace {
+
+using model::Allocation;
+using model::SystemModel;
+using model::SystemModelBuilder;
+using model::Worth;
+
+Allocation all_on_machine(const SystemModel& m, model::MachineId j) {
+  Allocation a(m);
+  for (std::size_t k = 0; k < m.num_strings(); ++k) {
+    for (std::size_t i = 0; i < m.strings[k].size(); ++i) {
+      a.assign(static_cast<model::StringId>(k), static_cast<model::AppIndex>(i), j);
+    }
+    a.set_deployed(static_cast<model::StringId>(k), true);
+  }
+  return a;
+}
+
+TEST(Feasibility, TwoMachineSystemOnOneMachineIsFeasible) {
+  const SystemModel m = testing::two_machine_system();
+  const auto report = check_feasibility(m, all_on_machine(m, 0));
+  EXPECT_TRUE(report.stage_one_ok);
+  EXPECT_TRUE(report.stage_two_ok);
+  EXPECT_TRUE(report.feasible());
+  EXPECT_TRUE(report.violations.empty());
+}
+
+TEST(Feasibility, StageOneDetectsMachineOverload) {
+  // Three strings, each needing 0.4 CPU on the single machine: 1.2 > 1.
+  SystemModelBuilder b(1);
+  for (int k = 0; k < 3; ++k) {
+    b.begin_string(10.0, 1000.0, Worth::kLow);
+    b.add_app(4.0, 1.0, 0.0);
+  }
+  const SystemModel m = b.build();
+  const auto report = check_feasibility(m, all_on_machine(m, 0));
+  EXPECT_FALSE(report.stage_one_ok);
+  ASSERT_FALSE(report.violations.empty());
+  EXPECT_EQ(report.violations.front().kind, ViolationKind::kMachineOverload);
+  EXPECT_NEAR(report.violations.front().value, 1.2, 1e-12);
+}
+
+TEST(Feasibility, StageOneDetectsRouteOverload) {
+  // One string pushing 2 Mb per 1 s period over a 1 Mb/s route.
+  SystemModelBuilder b(2);
+  b.uniform_bandwidth(1.0);
+  b.begin_string(1.0, 1000.0, Worth::kLow);
+  b.add_app(0.5, 0.5, 250.0);  // 250 KB = 2 Mb
+  b.add_app(0.5, 0.5, 0.0);
+  const SystemModel m = b.build();
+  Allocation a(m);
+  a.assign(0, 0, 0);
+  a.assign(0, 1, 1);
+  a.set_deployed(0, true);
+  const auto report = check_feasibility(m, a);
+  EXPECT_FALSE(report.stage_one_ok);
+  ASSERT_FALSE(report.violations.empty());
+  EXPECT_EQ(report.violations.front().kind, ViolationKind::kRouteOverload);
+  EXPECT_NEAR(report.violations.front().value, 2.0, 1e-12);
+}
+
+TEST(Feasibility, ModerateSharingStaysFeasible) {
+  // Low utilizations and relaxed QoS: both stages pass despite CPU sharing.
+  model::SystemModel m =
+      model::SystemModelBuilder(1)
+          .begin_string(20.0, 15.0, Worth::kHigh, "tight")
+          .add_app(10.0, 0.9, 0.0)
+          .begin_string(5.0, 1000.0, Worth::kLow, "loose")
+          .add_app(2.0, 0.2, 0.0)
+          .build();
+  const auto report = check_feasibility(m, all_on_machine(m, 0));
+  // Stage 1: 10*0.9/20 + 2*0.2/5 = 0.53 <= 1.
+  // Stage 2: t_comp[loose] = 2 + (5/20)*9 = 4.25 <= P = 5, latency fine.
+  EXPECT_TRUE(report.feasible());
+}
+
+TEST(Feasibility, StageTwoLatencyViolation) {
+  // Loose string meets throughput (t_comp <= P) but misses its latency bound.
+  model::SystemModel m =
+      model::SystemModelBuilder(1)
+          .begin_string(20.0, 15.0, Worth::kHigh, "tight")
+          .add_app(10.0, 0.9, 0.0)
+          .begin_string(5.0, 4.0, Worth::kLow, "loose")
+          .add_app(2.0, 0.2, 0.0)
+          .build();
+  const auto report = check_feasibility(m, all_on_machine(m, 0));
+  EXPECT_TRUE(report.stage_one_ok);
+  EXPECT_FALSE(report.stage_two_ok);
+  // t_comp[loose] = 2 + (5/20)*10*0.9 = 4.25 <= P=5 but > Lmax=4.
+  ASSERT_FALSE(report.violations.empty());
+  EXPECT_EQ(report.violations.front().kind, ViolationKind::kLatency);
+  EXPECT_NEAR(report.violations.front().value, 4.25, 1e-12);
+  EXPECT_NEAR(report.violations.front().bound, 4.0, 1e-12);
+}
+
+TEST(Feasibility, StageTwoCompThroughputViolation) {
+  model::SystemModel m =
+      model::SystemModelBuilder(1)
+          .begin_string(20.0, 15.0, Worth::kHigh, "tight")
+          .add_app(10.0, 0.9, 0.0)
+          .begin_string(3.0, 1000.0, Worth::kLow, "loose")
+          .add_app(2.0, 0.2, 0.0)
+          .build();
+  // t_comp[loose] = 2 + (3/20)*9 = 3.35 > P = 3.
+  const auto report = check_feasibility(m, all_on_machine(m, 0));
+  EXPECT_TRUE(report.stage_one_ok);
+  EXPECT_FALSE(report.stage_two_ok);
+  ASSERT_FALSE(report.violations.empty());
+  EXPECT_EQ(report.violations.front().kind, ViolationKind::kCompThroughput);
+  EXPECT_NEAR(report.violations.front().value, 3.35, 1e-12);
+}
+
+TEST(Feasibility, EmptyAllocationIsFeasible) {
+  const SystemModel m = testing::two_machine_system();
+  const Allocation a(m);
+  EXPECT_TRUE(check_feasibility(m, a).feasible());
+}
+
+TEST(Feasibility, BoundaryUtilizationExactlyOnePasses) {
+  // Two apps using exactly the full CPU: U = 1.0 must pass (<= with eps).
+  SystemModelBuilder b(1);
+  b.begin_string(4.0, 1000.0, Worth::kLow);
+  b.add_app(2.0, 1.0, 0.0);
+  b.begin_string(4.0, 2000.0, Worth::kLow);
+  b.add_app(2.0, 1.0, 0.0);
+  const SystemModel m = b.build();
+  const auto report = check_feasibility(m, all_on_machine(m, 0));
+  EXPECT_TRUE(report.stage_one_ok);
+  // Lower-priority string: t_comp = 2 + 2 = 4 = P exactly: still feasible.
+  EXPECT_TRUE(report.stage_two_ok) << "boundary t_comp == P must pass";
+}
+
+TEST(Feasibility, ViolationToStringIsInformative) {
+  Violation v{ViolationKind::kLatency, 3, -1, -1, -1, 12.5, 10.0};
+  const std::string repr = v.to_string();
+  EXPECT_NE(repr.find("string 3"), std::string::npos);
+  EXPECT_NE(repr.find("12.5"), std::string::npos);
+}
+
+TEST(Feasibility, WithinToleratesRounding) {
+  EXPECT_TRUE(within(1.0 + 1e-12, 1.0));
+  EXPECT_FALSE(within(1.0 + 1e-6, 1.0));
+  EXPECT_TRUE(within(0.0, 0.0));
+}
+
+}  // namespace
+}  // namespace tsce::analysis

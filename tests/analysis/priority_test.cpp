@@ -1,0 +1,115 @@
+#include "analysis/priority.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/estimates.hpp"
+#include "analysis/feasibility.hpp"
+#include "analysis/session.hpp"
+#include "analysis/tightness.hpp"
+#include "testing/builders.hpp"
+
+namespace tsce::analysis {
+namespace {
+
+using model::Allocation;
+using model::SystemModel;
+using model::SystemModelBuilder;
+using model::Worth;
+
+Allocation both_on_machine0(const SystemModel& m) {
+  Allocation a(m);
+  a.assign(0, 0, 0);
+  a.assign(1, 0, 0);
+  a.set_deployed(0, true);
+  a.set_deployed(1, true);
+  return a;
+}
+
+TEST(PriorityRule, DefaultEqualsRelativeTightness) {
+  const SystemModel m = testing::two_machine_system();
+  Allocation a(m);
+  a.assign(0, 0, 0);
+  a.assign(0, 1, 1);
+  a.set_deployed(0, true);
+  EXPECT_DOUBLE_EQ(
+      priority_value(m, a, 0, PriorityRule::kRelativeTightness),
+      relative_tightness(m, a, 0));
+}
+
+TEST(PriorityRule, RateMonotonicIsInversePeriod) {
+  const SystemModel m = testing::two_machine_system();
+  const Allocation a(m);
+  EXPECT_DOUBLE_EQ(priority_value(m, a, 0, PriorityRule::kRateMonotonic), 0.1);
+  EXPECT_DOUBLE_EQ(priority_value(m, a, 1, PriorityRule::kRateMonotonic), 0.05);
+}
+
+TEST(PriorityRule, WorthRuleUsesWorthFactor) {
+  const SystemModel m = testing::two_machine_system();
+  const Allocation a(m);
+  EXPECT_DOUBLE_EQ(priority_value(m, a, 0, PriorityRule::kWorth), 100.0);
+  EXPECT_DOUBLE_EQ(priority_value(m, a, 1, PriorityRule::kWorth), 10.0);
+}
+
+TEST(PriorityRule, ToStringNames) {
+  EXPECT_STREQ(to_string(PriorityRule::kRelativeTightness), "relative-tightness");
+  EXPECT_STREQ(to_string(PriorityRule::kRateMonotonic), "rate-monotonic");
+  EXPECT_STREQ(to_string(PriorityRule::kWorth), "worth");
+}
+
+/// Two single-app strings where the rules disagree: string 0 has the shorter
+/// period (rate-monotonic winner) but the longer relative latency budget;
+/// string 1 is tighter (tightness winner) and has higher worth.
+SystemModel conflicting_rules_system() {
+  return SystemModelBuilder(1)
+      .begin_string(/*P=*/4.0, /*Lmax=*/100.0, Worth::kLow, "fast-loose")
+      .add_app(2.0, 1.0, 0.0)
+      .begin_string(/*P=*/8.0, /*Lmax=*/4.0, Worth::kHigh, "slow-tight")
+      .add_app(2.0, 1.0, 0.0)
+      .build();
+}
+
+TEST(PriorityRule, EstimatesFollowTheChosenRule) {
+  const SystemModel m = conflicting_rules_system();
+  const Allocation a = both_on_machine0(m);
+
+  // Tightness rule: string 1 (T = 0.5) preempts string 0 (T = 0.02):
+  // t_comp[0] = 2 + (P0/P1)*2 = 3; t_comp[1] = 2.
+  const auto tight = estimate_all(m, a, PriorityRule::kRelativeTightness);
+  EXPECT_DOUBLE_EQ(tight.comp[1][0], 2.0);
+  EXPECT_DOUBLE_EQ(tight.comp[0][0], 2.0 + 0.5 * 2.0);
+
+  // Rate-monotonic: string 0 (1/4) preempts string 1 (1/8):
+  // t_comp[1] = 2 + (P1/P0)*2 = 6; t_comp[0] = 2.
+  const auto rm = estimate_all(m, a, PriorityRule::kRateMonotonic);
+  EXPECT_DOUBLE_EQ(rm.comp[0][0], 2.0);
+  EXPECT_DOUBLE_EQ(rm.comp[1][0], 2.0 + 2.0 * 2.0);
+
+  // Worth: string 1 (100) preempts string 0 (1): same as tightness here.
+  const auto worth = estimate_all(m, a, PriorityRule::kWorth);
+  EXPECT_DOUBLE_EQ(worth.comp[1][0], 2.0);
+  EXPECT_DOUBLE_EQ(worth.comp[0][0], 3.0);
+}
+
+TEST(PriorityRule, FeasibilityVerdictCanFlipWithTheRule) {
+  // Under tightness, string 1 meets Lmax = 4 (t_comp = 2).  Under
+  // rate-monotonic, string 1 waits behind string 0: t_comp = 6 > Lmax = 4.
+  const SystemModel m = conflicting_rules_system();
+  const Allocation a = both_on_machine0(m);
+  EXPECT_TRUE(check_feasibility(m, a, PriorityRule::kRelativeTightness).feasible());
+  EXPECT_FALSE(check_feasibility(m, a, PriorityRule::kRateMonotonic).feasible());
+}
+
+TEST(PriorityRule, SessionHonorsTheRule) {
+  const SystemModel m = conflicting_rules_system();
+  AllocationSession tight_session(m, PriorityRule::kRelativeTightness);
+  EXPECT_TRUE(tight_session.try_commit(0, {0}));
+  EXPECT_TRUE(tight_session.try_commit(1, {0}));
+
+  AllocationSession rm_session(m, PriorityRule::kRateMonotonic);
+  EXPECT_TRUE(rm_session.try_commit(0, {0}));
+  EXPECT_FALSE(rm_session.try_commit(1, {0}))
+      << "rate-monotonic preemption by string 0 must break string 1's latency";
+}
+
+}  // namespace
+}  // namespace tsce::analysis

@@ -1,0 +1,69 @@
+#include "analysis/tightness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/builders.hpp"
+
+namespace tsce::analysis {
+namespace {
+
+using model::Allocation;
+using model::SystemModel;
+
+TEST(Tightness, ExactSameMachine) {
+  const SystemModel m = testing::two_machine_system();
+  Allocation a(m);
+  a.assign(0, 0, 0);
+  a.assign(0, 1, 0);
+  // (2 + 0 + 4) / 30.
+  EXPECT_DOUBLE_EQ(relative_tightness(m, a, 0), 0.2);
+}
+
+TEST(Tightness, ExactAcrossMachinesIncludesTransfer) {
+  const SystemModel m = testing::two_machine_system();
+  Allocation a(m);
+  a.assign(0, 0, 0);
+  a.assign(0, 1, 1);
+  // (2 + 0.8/8 + 4) / 30 = 6.1 / 30.
+  EXPECT_DOUBLE_EQ(relative_tightness(m, a, 0), 6.1 / 30.0);
+}
+
+TEST(Tightness, ApproxUsesAverages) {
+  const SystemModel m = testing::two_machine_system();
+  // avg inverse bandwidth = (1/8 + 1/8) / 4 = 1/16.
+  // s0: (2 + 0.8/16 + 4) / 30; s1: (5 + 0.4/16 + 2) / 50.
+  EXPECT_DOUBLE_EQ(approx_tightness(m, 0), 6.05 / 30.0);
+  EXPECT_DOUBLE_EQ(approx_tightness(m, 1), 7.025 / 50.0);
+}
+
+TEST(Tightness, ApproxRanksTighterStringHigher) {
+  const SystemModel m = testing::two_machine_system();
+  EXPECT_GT(approx_tightness(m, 0), approx_tightness(m, 1));
+}
+
+TEST(Tightness, SingleAppString) {
+  const SystemModel m = testing::minimal_system();
+  Allocation a(m);
+  a.assign(0, 0, 0);
+  EXPECT_DOUBLE_EQ(relative_tightness(m, a, 0), 0.3);  // 3 / 10
+  EXPECT_DOUBLE_EQ(approx_tightness(m, 0), 0.3);
+}
+
+TEST(Tightness, HigherPriorityStrictOrder) {
+  EXPECT_TRUE(higher_priority(0.5, 1, 0.4, 0));
+  EXPECT_FALSE(higher_priority(0.4, 0, 0.5, 1));
+  // Exact tie: lower string id wins.
+  EXPECT_TRUE(higher_priority(0.5, 0, 0.5, 1));
+  EXPECT_FALSE(higher_priority(0.5, 1, 0.5, 0));
+}
+
+TEST(Tightness, PriorityIsAsymmetric) {
+  // For any pair exactly one direction holds.
+  for (const auto& [tz, z, tk, k] :
+       {std::tuple{0.3, 0, 0.3, 1}, std::tuple{0.1, 2, 0.9, 3}}) {
+    EXPECT_NE(higher_priority(tz, z, tk, k), higher_priority(tk, k, tz, z));
+  }
+}
+
+}  // namespace
+}  // namespace tsce::analysis

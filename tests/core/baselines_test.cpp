@@ -1,0 +1,133 @@
+#include "core/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/feasibility.hpp"
+#include "core/psg.hpp"
+#include "testing/builders.hpp"
+#include "workload/generator.hpp"
+
+namespace tsce::core {
+namespace {
+
+using model::SystemModel;
+
+SystemModel contended(std::uint64_t seed, std::size_t machines = 3,
+                      std::size_t strings = 8) {
+  util::Rng rng(seed);
+  auto config =
+      workload::GeneratorConfig::for_scenario(workload::Scenario::kHighlyLoaded);
+  config.num_machines = machines;
+  config.num_strings = strings;
+  return generate(config, rng);
+}
+
+TEST(RandomOrder, ProducesFeasibleAllocation) {
+  const SystemModel m = contended(1);
+  util::Rng rng(2);
+  const auto result = RandomOrder{}.allocate(m, rng);
+  EXPECT_TRUE(analysis::check_feasibility(m, result.allocation).feasible());
+  EXPECT_EQ(result.order.size(), m.num_strings());
+  EXPECT_EQ(result.evaluations, 1u);
+}
+
+TEST(RandomOrder, DifferentSeedsProduceDifferentOrders) {
+  const SystemModel m = contended(3, 3, 12);
+  util::Rng rng1(4);
+  util::Rng rng2(5);
+  const auto a = RandomOrder{}.allocate(m, rng1);
+  const auto b = RandomOrder{}.allocate(m, rng2);
+  EXPECT_NE(a.order, b.order);
+}
+
+TEST(AssignmentProblem, GenomeLengthIsTotalApps) {
+  const SystemModel m = testing::two_machine_system();
+  const AssignmentProblem problem(m);
+  EXPECT_EQ(problem.genome_length(), 4u);
+}
+
+TEST(AssignmentProblem, RandomChromosomeInRange) {
+  const SystemModel m = contended(6);
+  const AssignmentProblem problem(m);
+  util::Rng rng(7);
+  const auto genes = problem.random_chromosome(rng);
+  EXPECT_EQ(genes.size(), m.num_apps());
+  for (const auto g : genes) {
+    EXPECT_GE(g, 0);
+    EXPECT_LT(g, static_cast<model::MachineId>(m.num_machines()));
+  }
+}
+
+TEST(AssignmentProblem, ProjectDeploysOnlyFeasibleStrings) {
+  const SystemModel m = contended(8);
+  const AssignmentProblem problem(m);
+  util::Rng rng(9);
+  const auto genes = problem.random_chromosome(rng);
+  const auto result = problem.project(genes);
+  EXPECT_TRUE(analysis::check_feasibility(m, result.allocation).feasible());
+}
+
+TEST(AssignmentProblem, CrossoverSwapsPrefix) {
+  const SystemModel m = contended(10);
+  const AssignmentProblem problem(m);
+  util::Rng rng(11);
+  const auto a = problem.random_chromosome(rng);
+  const auto b = problem.random_chromosome(rng);
+  const auto [c1, c2] = problem.crossover(a, b, rng);
+  ASSERT_EQ(c1.size(), a.size());
+  // Every gene of c1 comes from a or b at the same position.
+  for (std::size_t g = 0; g < a.size(); ++g) {
+    EXPECT_TRUE(c1[g] == a[g] || c1[g] == b[g]);
+    EXPECT_TRUE(c2[g] == a[g] || c2[g] == b[g]);
+  }
+}
+
+TEST(AssignmentProblem, MutateChangesAtMostOneGene) {
+  const SystemModel m = contended(12);
+  const AssignmentProblem problem(m);
+  util::Rng rng(13);
+  const auto c = problem.random_chromosome(rng);
+  for (int round = 0; round < 10; ++round) {
+    const auto mutant = problem.mutate(c, rng);
+    int diffs = 0;
+    for (std::size_t g = 0; g < c.size(); ++g) {
+      if (mutant[g] != c[g]) ++diffs;
+    }
+    EXPECT_LE(diffs, 1);
+  }
+}
+
+TEST(SolutionSpaceGa, RunsAndStaysFeasible) {
+  const SystemModel m = contended(14, 3, 6);
+  SolutionSpaceGaOptions options;
+  options.ga.population_size = 20;
+  options.ga.max_iterations = 60;
+  options.ga.stagnation_limit = 30;
+  util::Rng rng(15);
+  const auto result = SolutionSpaceGa(options).allocate(m, rng);
+  EXPECT_TRUE(analysis::check_feasibility(m, result.allocation).feasible());
+}
+
+TEST(SolutionSpaceGa, UnderperformsPermutationSearch) {
+  // The paper's negative result (§5): searching raw assignments is far less
+  // effective than searching string orderings.  With matched budgets the
+  // permutation-space GA should never lose on a contended instance.
+  const SystemModel m = contended(16, 3, 10);
+  SolutionSpaceGaOptions ss_options;
+  ss_options.ga.population_size = 25;
+  ss_options.ga.max_iterations = 100;
+  ss_options.ga.stagnation_limit = 100;
+  PsgOptions psg_options;
+  psg_options.ga.population_size = 25;
+  psg_options.ga.max_iterations = 100;
+  psg_options.ga.stagnation_limit = 100;
+  psg_options.trials = 1;
+  util::Rng rng1(17);
+  util::Rng rng2(17);
+  const auto ss = SolutionSpaceGa(ss_options).allocate(m, rng1);
+  const auto psg = Psg(psg_options).allocate(m, rng2);
+  EXPECT_GE(psg.fitness.total_worth, ss.fitness.total_worth);
+}
+
+}  // namespace
+}  // namespace tsce::core

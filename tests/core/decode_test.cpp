@@ -1,0 +1,99 @@
+#include "core/decode.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/feasibility.hpp"
+#include "model/system_model.hpp"
+#include "testing/builders.hpp"
+
+namespace tsce::core {
+namespace {
+
+using model::StringId;
+using model::SystemModel;
+using model::SystemModelBuilder;
+using model::Worth;
+
+TEST(Decode, AllStringsFitInRelaxedSystem) {
+  const SystemModel m = testing::two_machine_system();
+  const auto order = identity_order(m);
+  const DecodeResult r = decode_order(m, order);
+  EXPECT_EQ(r.strings_deployed, 2u);
+  EXPECT_EQ(r.first_failed, -1);
+  EXPECT_EQ(r.fitness.total_worth, 110);
+  EXPECT_TRUE(analysis::check_feasibility(m, r.allocation).feasible());
+}
+
+TEST(Decode, PrefixOrderDeploysSubset) {
+  const SystemModel m = testing::two_machine_system();
+  const std::vector<StringId> order{1};
+  const DecodeResult r = decode_order(m, order);
+  EXPECT_EQ(r.strings_deployed, 1u);
+  EXPECT_TRUE(r.allocation.deployed(1));
+  EXPECT_FALSE(r.allocation.deployed(0));
+  EXPECT_EQ(r.fitness.total_worth, 10);
+}
+
+/// One machine; string utilizations 0.4, 0.7, 0.05: the second commit
+/// overloads the machine and terminates the decode even though the third
+/// string alone would still fit.
+SystemModel stop_not_skip_system() {
+  SystemModelBuilder b(1);
+  b.begin_string(10.0, 1000.0, Worth::kLow, "A");
+  b.add_app(4.0, 1.0, 0.0);  // 0.4
+  b.begin_string(10.0, 1000.0, Worth::kLow, "B");
+  b.add_app(7.0, 1.0, 0.0);  // 0.7
+  b.begin_string(10.0, 1000.0, Worth::kLow, "C");
+  b.add_app(0.5, 1.0, 0.0);  // 0.05
+  return b.build();
+}
+
+TEST(Decode, StopsAtFirstFailureNotSkips) {
+  const SystemModel m = stop_not_skip_system();
+  const auto order = identity_order(m);
+  const DecodeResult r = decode_order(m, order);
+  EXPECT_EQ(r.strings_deployed, 1u);
+  EXPECT_EQ(r.first_failed, 1);
+  EXPECT_TRUE(r.allocation.deployed(0));
+  EXPECT_FALSE(r.allocation.deployed(1));
+  EXPECT_FALSE(r.allocation.deployed(2));  // never attempted
+}
+
+TEST(Decode, OrderChangesOutcome) {
+  const SystemModel m = stop_not_skip_system();
+  // Order C, A, B: C (0.05) + A (0.4) fit; B (0.7) fails.
+  const std::vector<StringId> order{2, 0, 1};
+  const DecodeResult r = decode_order(m, order);
+  EXPECT_EQ(r.strings_deployed, 2u);
+  EXPECT_EQ(r.first_failed, 1);
+  EXPECT_TRUE(r.allocation.deployed(0));
+  EXPECT_TRUE(r.allocation.deployed(2));
+}
+
+TEST(Decode, EmptyOrderDeploysNothing) {
+  const SystemModel m = testing::two_machine_system();
+  const DecodeResult r = decode_order(m, {});
+  EXPECT_EQ(r.strings_deployed, 0u);
+  EXPECT_EQ(r.fitness.total_worth, 0);
+  EXPECT_DOUBLE_EQ(r.fitness.slackness, 1.0);
+}
+
+TEST(Decode, IdentityOrderHelper) {
+  const SystemModel m = testing::two_machine_system();
+  const auto order = identity_order(m);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 1);
+}
+
+TEST(Decode, DeployedSetAlwaysPassesFeasibility) {
+  const SystemModel m = stop_not_skip_system();
+  for (const std::vector<StringId>& order :
+       {std::vector<StringId>{0, 1, 2}, {1, 0, 2}, {2, 1, 0}, {2, 0, 1}}) {
+    const DecodeResult r = decode_order(m, order);
+    EXPECT_TRUE(analysis::check_feasibility(m, r.allocation).feasible());
+  }
+}
+
+}  // namespace
+}  // namespace tsce::core

@@ -1,0 +1,175 @@
+#include "core/dynamic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/feasibility.hpp"
+#include "core/decode.hpp"
+#include "core/ordered.hpp"
+#include "sim/simulator.hpp"
+#include "testing/builders.hpp"
+#include "workload/generator.hpp"
+
+namespace tsce::core {
+namespace {
+
+using model::Allocation;
+using model::SystemModel;
+using model::SystemModelBuilder;
+using model::Worth;
+
+TEST(Reallocate, NoChangeMeansNoMigrations) {
+  const SystemModel m = testing::two_machine_system();
+  util::Rng rng(1);
+  const auto initial = MostWorthFirst{}.allocate(m, rng);
+  const auto repaired = reallocate(m, initial.allocation);
+  EXPECT_EQ(repaired.migrations, 0u);
+  EXPECT_TRUE(repaired.remapped.empty());
+  EXPECT_TRUE(repaired.dropped.empty());
+  EXPECT_EQ(repaired.fitness.total_worth, initial.fitness.total_worth);
+  EXPECT_EQ(repaired.allocation, initial.allocation);
+}
+
+TEST(Reallocate, RepairsOverloadByMigration) {
+  // Two strings initially crammed onto machine 0; growing the workload makes
+  // that machine overflow, but machine 1 has room: reallocation must migrate
+  // rather than drop.
+  SystemModelBuilder b(2);
+  b.uniform_bandwidth(10.0);
+  for (int k = 0; k < 2; ++k) {
+    b.begin_string(10.0, 10000.0, Worth::kMedium);
+    b.add_app(4.0, 1.0, 0.0);  // 0.4 each
+  }
+  const SystemModel m = b.build();
+  Allocation initial(m);
+  initial.assign(0, 0, 0);
+  initial.assign(1, 0, 0);
+  initial.set_deployed(0, true);
+  initial.set_deployed(1, true);
+  ASSERT_TRUE(analysis::check_feasibility(m, initial).feasible());
+
+  const SystemModel grown = sim::scale_input_workload(m, 1.6);  // 0.64 each
+  ASSERT_FALSE(analysis::check_feasibility(grown, initial).feasible());
+
+  const auto repaired = reallocate(grown, initial);
+  EXPECT_TRUE(analysis::check_feasibility(grown, repaired.allocation).feasible());
+  EXPECT_TRUE(repaired.dropped.empty());
+  EXPECT_EQ(repaired.fitness.total_worth, 20);
+  EXPECT_EQ(repaired.migrations, 1u);  // exactly one app moves to machine 1
+}
+
+TEST(Reallocate, DropsLowestWorthWhenCapacityIsGone) {
+  // One machine; after growth only one of the two strings fits.  The
+  // high-worth string must be the survivor.
+  SystemModelBuilder b(1);
+  b.begin_string(10.0, 10000.0, Worth::kLow, "low");
+  b.add_app(4.0, 1.0, 0.0);
+  b.begin_string(10.0, 10000.0, Worth::kHigh, "high");
+  b.add_app(4.0, 1.0, 0.0);
+  const SystemModel m = b.build();
+  Allocation initial(m);
+  initial.assign(0, 0, 0);
+  initial.assign(1, 0, 0);
+  initial.set_deployed(0, true);
+  initial.set_deployed(1, true);
+
+  const SystemModel grown = sim::scale_input_workload(m, 1.8);  // 0.72 each
+  const auto repaired = reallocate(grown, initial);
+  EXPECT_TRUE(repaired.allocation.deployed(1));
+  EXPECT_FALSE(repaired.allocation.deployed(0));
+  ASSERT_EQ(repaired.dropped.size(), 1u);
+  EXPECT_EQ(repaired.dropped[0], 0);
+  EXPECT_EQ(repaired.fitness.total_worth, 100);
+}
+
+TEST(Reallocate, KeepsFeasibleMappingsUntouched) {
+  // String 0 remains comfortable; only string 1 outgrows its machine.  The
+  // repair must leave string 0's mapping byte-identical.
+  SystemModelBuilder b(2);
+  b.uniform_bandwidth(10.0);
+  b.begin_string(10.0, 10000.0, Worth::kHigh, "stable");
+  b.add_app(1.0, 1.0, 0.0);  // 0.1 -> 0.16 after growth
+  b.begin_string(10.0, 10000.0, Worth::kLow, "grower");
+  b.add_app(5.5, 1.0, 0.0);  // 0.55 -> 0.88 after growth
+  const SystemModel m = b.build();
+  Allocation initial(m);
+  initial.assign(0, 0, 0);
+  initial.assign(1, 0, 0);  // both on machine 0: 0.65 total, feasible
+  initial.set_deployed(0, true);
+  initial.set_deployed(1, true);
+  ASSERT_TRUE(analysis::check_feasibility(m, initial).feasible());
+
+  const SystemModel grown = sim::scale_input_workload(m, 1.6);
+  const auto repaired = reallocate(grown, initial);
+  EXPECT_TRUE(analysis::check_feasibility(grown, repaired.allocation).feasible());
+  EXPECT_EQ(repaired.allocation.machine_of(0, 0), 0) << "stable string must not move";
+  EXPECT_EQ(repaired.allocation.machine_of(1, 0), 1) << "grower migrates";
+  EXPECT_EQ(repaired.migrations, 1u);
+}
+
+class ReallocateProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReallocateProperty, RepairedAllocationIsAlwaysFeasible) {
+  util::Rng rng(GetParam());
+  auto config =
+      workload::GeneratorConfig::for_scenario(workload::Scenario::kLightlyLoaded);
+  config.num_machines = 5;
+  config.num_strings = 8;
+  const SystemModel m = workload::generate(config, rng);
+  util::Rng search_rng(GetParam() + 10);
+  const auto initial = MostWorthFirst{}.allocate(m, search_rng);
+
+  for (const double factor : {1.3, 1.8, 2.5}) {
+    const SystemModel grown = sim::scale_input_workload(m, factor);
+    const auto repaired = reallocate(grown, initial.allocation);
+    EXPECT_TRUE(analysis::check_feasibility(grown, repaired.allocation).feasible())
+        << "factor " << factor;
+    // Disturbance accounting is consistent.
+    EXPECT_EQ(repaired.fitness.total_worth,
+              analysis::total_worth(grown, repaired.allocation));
+    for (const auto k : repaired.dropped) {
+      EXPECT_FALSE(repaired.allocation.deployed(k));
+    }
+    for (const auto k : repaired.remapped) {
+      EXPECT_TRUE(repaired.allocation.deployed(k));
+    }
+  }
+}
+
+TEST_P(ReallocateProperty, NeverDropsWhatItCouldKeep) {
+  // Worth retained by repair >= worth of simply dropping every violating
+  // string (the naive alternative).
+  util::Rng rng(GetParam() * 3 + 1);
+  auto config =
+      workload::GeneratorConfig::for_scenario(workload::Scenario::kLightlyLoaded);
+  config.num_machines = 4;
+  config.num_strings = 8;
+  const SystemModel m = workload::generate(config, rng);
+  util::Rng search_rng(GetParam() + 20);
+  const auto initial = MostWorthFirst{}.allocate(m, search_rng);
+  const SystemModel grown = sim::scale_input_workload(m, 2.0);
+
+  const auto repaired = reallocate(grown, initial.allocation);
+
+  // Naive: keep the old mapping, undeploy strings until feasible (greedy by
+  // ascending worth).
+  Allocation naive = initial.allocation;
+  auto order = identity_order(m);
+  std::stable_sort(order.begin(), order.end(), [&](auto a, auto b) {
+    return m.strings[static_cast<std::size_t>(a)].worth_factor() <
+           m.strings[static_cast<std::size_t>(b)].worth_factor();
+  });
+  std::size_t next_drop = 0;
+  while (!analysis::check_feasibility(grown, naive).feasible() &&
+         next_drop < order.size()) {
+    naive.clear_string(order[next_drop++]);
+  }
+  EXPECT_GE(repaired.fitness.total_worth, analysis::total_worth(grown, naive));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReallocateProperty,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace tsce::core

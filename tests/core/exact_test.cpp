@@ -1,0 +1,119 @@
+#include "core/exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "analysis/feasibility.hpp"
+#include "core/decode.hpp"
+#include "core/ordered.hpp"
+#include "core/psg.hpp"
+#include "lp/upper_bound.hpp"
+#include "workload/generator.hpp"
+
+namespace tsce::core {
+namespace {
+
+using model::StringId;
+using model::SystemModel;
+
+SystemModel tiny(std::uint64_t seed, std::size_t machines = 2,
+                 std::size_t strings = 6) {
+  util::Rng rng(seed);
+  auto config =
+      workload::GeneratorConfig::for_scenario(workload::Scenario::kHighlyLoaded);
+  config.num_machines = machines;
+  config.num_strings = strings;
+  config.max_apps_per_string = 5;
+  return generate(config, rng);
+}
+
+TEST(ExactSearch, RejectsLargeInstances) {
+  const SystemModel m = tiny(1, 2, 6);
+  ExactSearchOptions options;
+  options.max_strings = 5;
+  util::Rng rng(1);
+  EXPECT_THROW((void)ExactPermutationSearch(options).allocate(m, rng),
+               std::invalid_argument);
+}
+
+TEST(ExactSearch, MatchesBruteForceEnumeration) {
+  // Independent cross-check: decode every permutation explicitly.
+  const SystemModel m = tiny(2, 2, 5);
+  util::Rng rng(1);
+  const auto exact = ExactPermutationSearch{}.allocate(m, rng);
+
+  std::vector<StringId> order = identity_order(m);
+  analysis::Fitness brute{};
+  bool first = true;
+  std::sort(order.begin(), order.end());
+  do {
+    const auto fitness = decode_order(m, order).fitness;
+    if (first || brute < fitness) {
+      brute = fitness;
+      first = false;
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
+
+  EXPECT_EQ(exact.fitness.total_worth, brute.total_worth);
+  EXPECT_NEAR(exact.fitness.slackness, brute.slackness, 1e-12);
+}
+
+class ExactSandwich : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExactSandwich, HeuristicLeqExactLeqUpperBound) {
+  const SystemModel m = tiny(GetParam(), 2, 6);
+  util::Rng rng(GetParam() + 50);
+  const auto exact = ExactPermutationSearch{}.allocate(m, rng);
+
+  // Every single-pass heuristic explores one ordering: <= exact.
+  util::Rng r1(1);
+  const auto mwf = MostWorthFirst{}.allocate(m, r1);
+  EXPECT_LE(mwf.fitness.total_worth, exact.fitness.total_worth);
+  util::Rng r2(2);
+  const auto tf = TightestFirst{}.allocate(m, r2);
+  EXPECT_LE(tf.fitness.total_worth, exact.fitness.total_worth);
+
+  // PSG searches the same space: <= exact as well.
+  PsgOptions psg_options;
+  psg_options.ga.population_size = 20;
+  psg_options.ga.max_iterations = 80;
+  psg_options.ga.stagnation_limit = 40;
+  psg_options.trials = 1;
+  util::Rng r3(3);
+  const auto psg = Psg(psg_options).allocate(m, r3);
+  EXPECT_LE(psg.fitness.total_worth, exact.fitness.total_worth);
+
+  // And the fractional LP bound dominates the exact permutation optimum.
+  const auto ub = lp::upper_bound_worth(m);
+  ASSERT_EQ(ub.status, lp::SolveStatus::kOptimal);
+  EXPECT_GE(ub.value + 1e-6, exact.fitness.total_worth);
+
+  // The exact result itself is feasible and replayable.
+  EXPECT_TRUE(analysis::check_feasibility(m, exact.allocation).feasible());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactSandwich, ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(ExactSearch, EvaluationCapReturnsBestSoFar) {
+  const SystemModel m = tiny(3, 2, 7);
+  ExactSearchOptions options;
+  options.max_evaluations = 30;
+  util::Rng rng(1);
+  const auto result = ExactPermutationSearch(options).allocate(m, rng);
+  EXPECT_LE(result.evaluations, 31u);
+  EXPECT_TRUE(analysis::check_feasibility(m, result.allocation).feasible());
+}
+
+TEST(ExactSearch, SingleStringTrivial) {
+  const SystemModel m = tiny(4, 2, 1);
+  util::Rng rng(1);
+  const auto result = ExactPermutationSearch{}.allocate(m, rng);
+  EXPECT_EQ(result.fitness.total_worth,
+            decode_order(m, identity_order(m)).fitness.total_worth);
+}
+
+}  // namespace
+}  // namespace tsce::core

@@ -1,0 +1,125 @@
+#include "core/imr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/session.hpp"
+#include "model/system_model.hpp"
+#include "testing/builders.hpp"
+#include "workload/generator.hpp"
+
+namespace tsce::core {
+namespace {
+
+using analysis::UtilizationState;
+using model::SystemModel;
+using model::SystemModelBuilder;
+using model::Worth;
+
+TEST(Imr, ComputationalIntensityMatchesDefinition) {
+  const SystemModel m = testing::two_machine_system();
+  // a0: 2*0.5/10 = 0.1; a1: 4*1.0/10 = 0.4.
+  EXPECT_DOUBLE_EQ(computational_intensity(m, 0, 0), 0.1);
+  EXPECT_DOUBLE_EQ(computational_intensity(m, 0, 1), 0.4);
+  // b0: 5*0.8/20 = 0.2; b1: 2*0.25/20 = 0.025.
+  EXPECT_DOUBLE_EQ(computational_intensity(m, 1, 0), 0.2);
+  EXPECT_DOUBLE_EQ(computational_intensity(m, 1, 1), 0.025);
+}
+
+TEST(Imr, BalancesLoadAcrossMachines) {
+  const SystemModel m = testing::two_machine_system();
+  const UtilizationState util(m);
+  const auto assignment = imr_map_string(m, util, 0);
+  ASSERT_EQ(assignment.size(), 2u);
+  // Seed a1 (intensity 0.4) lands on machine 0 (tie -> lowest index); a0 then
+  // prefers the empty machine 1 over sharing machine 0.
+  EXPECT_EQ(assignment[1], 0);
+  EXPECT_EQ(assignment[0], 1);
+}
+
+TEST(Imr, AvoidsPreloadedMachine) {
+  const SystemModel m = testing::two_machine_system();
+  analysis::AllocationSession session(m);
+  // Put string 0 entirely on machine 0 (utilization 0.5 there).
+  ASSERT_TRUE(session.try_commit(0, {0, 0}));
+  const auto assignment = imr_map_string(m, session.util(), 1);
+  // Both apps of string 1 fit comfortably on the empty machine 1.
+  EXPECT_EQ(assignment[0], 1);
+  EXPECT_EQ(assignment[1], 1);
+}
+
+TEST(Imr, SingleAppString) {
+  const SystemModel m = testing::minimal_system();
+  const UtilizationState util(m);
+  const auto assignment = imr_map_string(m, util, 0);
+  ASSERT_EQ(assignment.size(), 1u);
+  EXPECT_EQ(assignment[0], 0);
+}
+
+TEST(Imr, AssignsEveryApplication) {
+  util::Rng rng(3);
+  auto config = workload::GeneratorConfig::for_scenario(
+      workload::Scenario::kLightlyLoaded);
+  config.num_machines = 5;
+  config.num_strings = 10;
+  const SystemModel m = generate(config, rng);
+  const UtilizationState util(m);
+  for (std::size_t k = 0; k < m.num_strings(); ++k) {
+    const auto assignment = imr_map_string(m, util, static_cast<model::StringId>(k));
+    ASSERT_EQ(assignment.size(), m.strings[k].size());
+    for (const auto j : assignment) {
+      EXPECT_GE(j, 0);
+      EXPECT_LT(j, 5);
+    }
+  }
+}
+
+TEST(Imr, DeterministicForIdenticalState) {
+  util::Rng rng(4);
+  auto config = workload::GeneratorConfig::for_scenario(
+      workload::Scenario::kLightlyLoaded);
+  config.num_machines = 6;
+  config.num_strings = 8;
+  const SystemModel m = generate(config, rng);
+  const UtilizationState util(m);
+  for (std::size_t k = 0; k < m.num_strings(); ++k) {
+    const auto a = imr_map_string(m, util, static_cast<model::StringId>(k));
+    const auto b = imr_map_string(m, util, static_cast<model::StringId>(k));
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(Imr, PrefersColocationWhenRouteIsBottleneck) {
+  // Very slow network: splitting a heavy transfer across machines would cost
+  // far more route utilization than co-locating costs CPU.
+  const SystemModel m = SystemModelBuilder(2)
+                            .uniform_bandwidth(0.1)  // 0.1 Mb/s everywhere
+                            .begin_string(10.0, 1000.0, Worth::kLow)
+                            .add_app(2.0, 0.3, 1000.0)  // 8 Mb output
+                            .add_app(2.0, 0.3, 0.0)
+                            .build();
+  const UtilizationState util(m);
+  const auto assignment = imr_map_string(m, util, 0);
+  EXPECT_EQ(assignment[0], assignment[1]);
+}
+
+TEST(Imr, MarchesThroughLongString) {
+  // A 6-app string on 3 machines: every app must be assigned exactly once and
+  // the contiguous-march invariant means no app is skipped.
+  SystemModelBuilder b(3);
+  b.uniform_bandwidth(5.0);
+  b.begin_string(10.0, 1000.0, Worth::kMedium);
+  for (int i = 0; i < 6; ++i) {
+    b.add_app(1.0 + i * 0.5, 0.5, 20.0 * (i < 5 ? 1.0 : 0.0));
+  }
+  const SystemModel m = b.build();
+  const UtilizationState util(m);
+  const auto assignment = imr_map_string(m, util, 0);
+  ASSERT_EQ(assignment.size(), 6u);
+  for (const auto j : assignment) {
+    EXPECT_GE(j, 0);
+    EXPECT_LT(j, 3);
+  }
+}
+
+}  // namespace
+}  // namespace tsce::core

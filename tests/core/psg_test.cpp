@@ -1,0 +1,189 @@
+#include "core/psg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "analysis/feasibility.hpp"
+#include "core/decode.hpp"
+#include "core/ordered.hpp"
+#include "testing/builders.hpp"
+#include "workload/generator.hpp"
+
+namespace tsce::core {
+namespace {
+
+using model::StringId;
+using model::SystemModel;
+
+/// Small contended instance for search tests.
+SystemModel small_contended_system(std::uint64_t seed, std::size_t machines = 3,
+                                   std::size_t strings = 10) {
+  util::Rng rng(seed);
+  auto config =
+      workload::GeneratorConfig::for_scenario(workload::Scenario::kHighlyLoaded);
+  config.num_machines = machines;
+  config.num_strings = strings;
+  return generate(config, rng);
+}
+
+PsgOptions quick_options() {
+  PsgOptions options;
+  options.ga.population_size = 30;
+  options.ga.max_iterations = 120;
+  options.ga.stagnation_limit = 60;
+  options.trials = 2;
+  return options;
+}
+
+TEST(PermutationProblem, ReorderTopUsesPatternOrder) {
+  using C = PermutationProblem::Chromosome;
+  const C receiver{3, 1, 4, 0, 2};
+  const C pattern{4, 3, 2, 1, 0};
+  // Top 3 of receiver = {3,1,4}; their order in pattern: 4 first, then 3,
+  // then 1.  Bottom part {0,2} untouched.
+  const C child = PermutationProblem::reorder_top(receiver, pattern, 3);
+  EXPECT_EQ(child, (C{4, 3, 1, 0, 2}));
+}
+
+TEST(PermutationProblem, ReorderTopFullLengthMatchesPattern) {
+  using C = PermutationProblem::Chromosome;
+  const C receiver{0, 1, 2, 3};
+  const C pattern{2, 0, 3, 1};
+  EXPECT_EQ(PermutationProblem::reorder_top(receiver, pattern, 4), pattern);
+}
+
+TEST(PermutationProblem, ReorderTopCutZeroIsIdentity) {
+  using C = PermutationProblem::Chromosome;
+  const C receiver{2, 0, 1};
+  const C pattern{1, 2, 0};
+  EXPECT_EQ(PermutationProblem::reorder_top(receiver, pattern, 0), receiver);
+}
+
+TEST(PermutationProblem, CrossoverProducesPermutations) {
+  const SystemModel m = small_contended_system(1);
+  const PermutationProblem problem(m);
+  util::Rng rng(2);
+  auto a = problem.random_chromosome(rng);
+  auto b = problem.random_chromosome(rng);
+  for (int round = 0; round < 20; ++round) {
+    auto [c1, c2] = problem.crossover(a, b, rng);
+    EXPECT_TRUE(std::is_permutation(c1.begin(), c1.end(), a.begin()));
+    EXPECT_TRUE(std::is_permutation(c2.begin(), c2.end(), a.begin()));
+    a = std::move(c1);
+    b = std::move(c2);
+  }
+}
+
+TEST(PermutationProblem, CrossoverKeepsBottomPartOfReceiver) {
+  using C = PermutationProblem::Chromosome;
+  const SystemModel m = small_contended_system(1);
+  const PermutationProblem problem(m);
+  util::Rng rng(3);
+  const auto a = problem.random_chromosome(rng);
+  const auto b = problem.random_chromosome(rng);
+  // Check directly through the deterministic building block.
+  for (std::size_t cut = 0; cut <= a.size(); ++cut) {
+    const C child = PermutationProblem::reorder_top(a, b, cut);
+    for (std::size_t p = cut; p < a.size(); ++p) {
+      EXPECT_EQ(child[p], a[p]) << "bottom position " << p << " changed";
+    }
+    EXPECT_TRUE(std::is_permutation(child.begin(), child.end(), a.begin()));
+  }
+}
+
+TEST(PermutationProblem, MutateSwapsExactlyTwoPositions) {
+  const SystemModel m = small_contended_system(1);
+  const PermutationProblem problem(m);
+  util::Rng rng(4);
+  const auto c = problem.random_chromosome(rng);
+  for (int round = 0; round < 20; ++round) {
+    const auto mutant = problem.mutate(c, rng);
+    int diffs = 0;
+    for (std::size_t p = 0; p < c.size(); ++p) {
+      if (mutant[p] != c[p]) ++diffs;
+    }
+    EXPECT_EQ(diffs, 2);
+    EXPECT_TRUE(std::is_permutation(mutant.begin(), mutant.end(), c.begin()));
+  }
+}
+
+TEST(PermutationProblem, EvaluateMatchesDecode) {
+  const SystemModel m = small_contended_system(5);
+  const PermutationProblem problem(m);
+  util::Rng rng(6);
+  const auto c = problem.random_chromosome(rng);
+  const auto fitness = problem.evaluate(c);
+  const auto decoded = decode_order(m, c);
+  EXPECT_EQ(fitness.total_worth, decoded.fitness.total_worth);
+  EXPECT_DOUBLE_EQ(fitness.slackness, decoded.fitness.slackness);
+}
+
+TEST(Psg, BeatsWorstRandomOrderAndStaysFeasible) {
+  const SystemModel m = small_contended_system(7);
+  util::Rng rng(8);
+  const auto psg = Psg(quick_options()).allocate(m, rng);
+  // Searching over many orders cannot do worse than the weakest of a handful
+  // of random single decodes.
+  util::Rng rng2(8);
+  int worst_random = std::numeric_limits<int>::max();
+  for (int trial = 0; trial < 5; ++trial) {
+    auto order = identity_order(m);
+    rng2.shuffle(order);
+    worst_random = std::min(worst_random, decode_order(m, order).fitness.total_worth);
+  }
+  EXPECT_GE(psg.fitness.total_worth, worst_random);
+  EXPECT_TRUE(analysis::check_feasibility(m, psg.allocation).feasible());
+}
+
+TEST(Psg, DeterministicForSameSeed) {
+  const SystemModel m = small_contended_system(9);
+  util::Rng rng1(10);
+  util::Rng rng2(10);
+  const auto a = Psg(quick_options()).allocate(m, rng1);
+  const auto b = Psg(quick_options()).allocate(m, rng2);
+  EXPECT_EQ(a.fitness.total_worth, b.fitness.total_worth);
+  EXPECT_DOUBLE_EQ(a.fitness.slackness, b.fitness.slackness);
+  EXPECT_EQ(a.order, b.order);
+}
+
+TEST(SeededPsg, NeverWorseThanItsSeeds) {
+  // Elitism + seeding: the Seeded PSG result dominates both MWF and TF.
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    const SystemModel m = small_contended_system(seed);
+    util::Rng rng(seed);
+    const auto mwf = MostWorthFirst{}.allocate(m, rng);
+    const auto tf = TightestFirst{}.allocate(m, rng);
+    util::Rng rng_psg(seed + 100);
+    const auto seeded = SeededPsg(quick_options()).allocate(m, rng_psg);
+    EXPECT_GE(seeded.fitness.total_worth,
+              std::max(mwf.fitness.total_worth, tf.fitness.total_worth))
+        << "seed " << seed;
+  }
+}
+
+TEST(Psg, DefaultOptionsMatchThePaper) {
+  // §5: population 250, bias 1.6, stop at 5000 iterations or 300 without an
+  // elite change; §8: four trials per run.
+  const PsgOptions defaults;
+  EXPECT_EQ(defaults.ga.population_size, 250u);
+  EXPECT_DOUBLE_EQ(defaults.ga.bias, 1.6);
+  EXPECT_EQ(defaults.ga.max_iterations, 5000u);
+  EXPECT_EQ(defaults.ga.stagnation_limit, 300u);
+  EXPECT_EQ(defaults.trials, 4u);
+}
+
+TEST(Psg, ReportsEvaluationBudget) {
+  const SystemModel m = small_contended_system(14);
+  util::Rng rng(15);
+  PsgOptions options = quick_options();
+  options.trials = 1;
+  const auto result = Psg(options).allocate(m, rng);
+  // At least the initial population is evaluated.
+  EXPECT_GE(result.evaluations, options.ga.population_size);
+}
+
+}  // namespace
+}  // namespace tsce::core

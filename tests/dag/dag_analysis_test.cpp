@@ -1,0 +1,185 @@
+#include "dag/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/estimates.hpp"
+#include "analysis/feasibility.hpp"
+#include "analysis/tightness.hpp"
+#include "dag/generator.hpp"
+#include "testing/builders.hpp"
+#include "workload/generator.hpp"
+
+namespace tsce::dag {
+namespace {
+
+/// Chains must analyze identically in the linear and DAG modules: this is the
+/// strongest correctness anchor for the DAG generalization.
+class ChainEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChainEquivalence, UtilizationTightnessEstimatesAndVerdictMatch) {
+  util::Rng rng(GetParam());
+  auto config =
+      workload::GeneratorConfig::for_scenario(workload::Scenario::kHighlyLoaded);
+  config.num_machines = 4;
+  config.num_strings = 8;
+  const model::SystemModel linear = workload::generate(config, rng);
+  const DagSystemModel dag = lift(linear);
+
+  // Same random full assignment on both representations.
+  model::Allocation lin_alloc(linear);
+  DagAllocation dag_alloc(dag);
+  util::Rng assign_rng(GetParam() + 99);
+  for (std::size_t k = 0; k < linear.num_strings(); ++k) {
+    for (std::size_t i = 0; i < linear.strings[k].size(); ++i) {
+      const auto j = static_cast<MachineId>(assign_rng.bounded(4));
+      lin_alloc.assign(static_cast<StringId>(k), static_cast<AppIndex>(i), j);
+      dag_alloc.assign(static_cast<StringId>(k), static_cast<AppIndex>(i), j);
+    }
+    lin_alloc.set_deployed(static_cast<StringId>(k), true);
+    dag_alloc.set_deployed(static_cast<StringId>(k), true);
+  }
+
+  // Utilizations.
+  const auto lin_util = analysis::UtilizationState::from_allocation(linear, lin_alloc);
+  const auto dag_util = DagUtilization::from_allocation(dag, dag_alloc);
+  for (MachineId j = 0; j < 4; ++j) {
+    EXPECT_NEAR(dag_util.machine_util(j), lin_util.machine_util(j), 1e-12);
+    for (MachineId j2 = 0; j2 < 4; ++j2) {
+      EXPECT_NEAR(dag_util.route_util(j, j2), lin_util.route_util(j, j2), 1e-12);
+    }
+  }
+  EXPECT_NEAR(dag_util.slackness(), lin_util.slackness(), 1e-12);
+
+  // Tightness (chain critical path == chain sum).
+  for (std::size_t k = 0; k < linear.num_strings(); ++k) {
+    EXPECT_NEAR(relative_tightness(dag, dag_alloc, static_cast<StringId>(k)),
+                analysis::relative_tightness(linear, lin_alloc,
+                                             static_cast<StringId>(k)),
+                1e-12);
+  }
+
+  // Estimates and latencies.
+  const auto lin_est = analysis::estimate_all(linear, lin_alloc);
+  const auto dag_est = estimate_all(dag, dag_alloc);
+  for (std::size_t k = 0; k < linear.num_strings(); ++k) {
+    ASSERT_EQ(dag_est.comp[k].size(), lin_est.comp[k].size());
+    for (std::size_t i = 0; i < lin_est.comp[k].size(); ++i) {
+      EXPECT_NEAR(dag_est.comp[k][i], lin_est.comp[k][i], 1e-12);
+    }
+    ASSERT_EQ(dag_est.tran[k].size(), lin_est.tran[k].size());
+    for (std::size_t e = 0; e < lin_est.tran[k].size(); ++e) {
+      EXPECT_NEAR(dag_est.tran[k][e], lin_est.tran[k][e], 1e-12);
+    }
+    EXPECT_NEAR(dag_est.latency(dag, static_cast<StringId>(k)),
+                lin_est.latency(static_cast<StringId>(k)), 1e-10);
+  }
+
+  // Final verdicts.
+  EXPECT_EQ(check_feasibility(dag, dag_alloc).feasible(),
+            analysis::check_feasibility(linear, lin_alloc).feasible());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChainEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(DagAnalysis, DiamondLatencyIsCriticalPathNotSum) {
+  // Diamond on one machine: comp 1 each, transfers free (same machine).
+  // Chain-sum latency would be 4; the critical path is 3 (0 -> {1,2} -> 3).
+  DagSystemModel m;
+  m.network = model::Network(1, 5.0);
+  DagString s;
+  s.apps.resize(4);
+  for (auto& a : s.apps) {
+    a.nominal_time_s = {1.0};
+    a.nominal_util = {0.25};
+  }
+  s.edges = {{0, 1, 10.0}, {0, 2, 20.0}, {1, 3, 30.0}, {2, 3, 40.0}};
+  s.period_s = 10.0;
+  s.max_latency_s = 50.0;
+  m.strings.push_back(s);
+
+  DagAllocation alloc(m);
+  for (int i = 0; i < 4; ++i) alloc.assign(0, i, 0);
+  alloc.set_deployed(0, true);
+  const auto est = estimate_all(m, alloc);
+  EXPECT_DOUBLE_EQ(est.latency(m, 0), 3.0);
+  EXPECT_DOUBLE_EQ(relative_tightness(m, alloc, 0), 3.0 / 50.0);
+}
+
+TEST(DagAnalysis, ParallelBranchTransfersLoadRoutesIndependently) {
+  // Diamond split across two machines: branch transfers use different routes.
+  DagSystemModel m;
+  m.network = model::Network(2, 8.0);
+  DagString s;
+  s.apps.resize(4);
+  for (auto& a : s.apps) {
+    a.nominal_time_s = {1.0, 1.0};
+    a.nominal_util = {0.25, 0.25};
+  }
+  s.edges = {{0, 1, 100.0}, {0, 2, 100.0}, {1, 3, 100.0}, {2, 3, 100.0}};
+  s.period_s = 10.0;
+  s.max_latency_s = 100.0;
+  m.strings.push_back(s);
+
+  DagAllocation alloc(m);
+  alloc.assign(0, 0, 0);
+  alloc.assign(0, 1, 1);  // branch 1 crosses 0->1 then 1->0
+  alloc.assign(0, 2, 0);
+  alloc.assign(0, 3, 0);
+  alloc.set_deployed(0, true);
+  const auto util = DagUtilization::from_allocation(m, alloc);
+  // Route 0->1 carries edge (0,1): 0.8 Mb / 10 s / 8 = 0.01.
+  EXPECT_NEAR(util.route_util(0, 1), 0.01, 1e-12);
+  // Route 1->0 carries edge (1,3): same.
+  EXPECT_NEAR(util.route_util(1, 0), 0.01, 1e-12);
+}
+
+TEST(DagAnalysis, StageTwoViolationDetected) {
+  // One slow machine; a 2-app fork whose period is too small for the work.
+  DagSystemModel m;
+  m.network = model::Network(1, 5.0);
+  DagString tight;
+  tight.apps.resize(1);
+  tight.apps[0].nominal_time_s = {8.0};
+  tight.apps[0].nominal_util = {0.9};
+  tight.period_s = 20.0;
+  tight.max_latency_s = 10.0;  // T = 0.8: high priority
+  tight.worth = model::Worth::kHigh;
+  m.strings.push_back(tight);
+  DagString loose;
+  loose.apps.resize(1);
+  loose.apps[0].nominal_time_s = {2.0};
+  loose.apps[0].nominal_util = {0.2};
+  loose.period_s = 4.0;
+  loose.max_latency_s = 1000.0;
+  m.strings.push_back(loose);
+
+  DagAllocation alloc(m);
+  alloc.assign(0, 0, 0);
+  alloc.assign(1, 0, 0);
+  alloc.set_deployed(0, true);
+  alloc.set_deployed(1, true);
+  // loose: t_comp = 2 + (4/20)*7.2 = 3.44 <= 4 (ok); tighten the period:
+  m.strings[1].period_s = 3.0;  // now 2 + (3/20)*7.2 = 3.08 > 3
+  const auto report = check_feasibility(m, alloc);
+  EXPECT_TRUE(report.stage_one_ok);
+  EXPECT_FALSE(report.stage_two_ok);
+}
+
+TEST(DagAnalysis, GeneratedSystemsAreValid) {
+  util::Rng rng(7);
+  DagGeneratorConfig config;
+  config.num_strings = 12;
+  const DagSystemModel m = generate_dag_system(config, rng);
+  EXPECT_TRUE(m.validate().empty());
+  EXPECT_EQ(m.num_strings(), 12u);
+  for (const auto& s : m.strings) {
+    EXPECT_GE(s.edges.size(), s.size() - 1);  // spanning tree at minimum
+    EXPECT_FALSE(s.topological_order().empty());
+    EXPECT_GT(s.period_s, 0.0);
+    EXPECT_GT(s.max_latency_s, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace tsce::dag

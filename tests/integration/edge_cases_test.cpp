@@ -1,0 +1,198 @@
+/// Failure injection and boundary conditions across modules: what happens at
+/// the edges the happy-path suites never touch.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "analysis/feasibility.hpp"
+#include "core/decode.hpp"
+#include "core/dynamic.hpp"
+#include "core/ordered.hpp"
+#include "lp/upper_bound.hpp"
+#include "model/serialization.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generator.hpp"
+
+namespace tsce {
+namespace {
+
+using model::SystemModel;
+using model::SystemModelBuilder;
+using model::Worth;
+
+TEST(EdgeCases, SingleMachineSingleStringSystem) {
+  const SystemModel m = SystemModelBuilder(1)
+                            .begin_string(10.0, 20.0, Worth::kLow)
+                            .add_app(2.0, 0.5, 0.0)
+                            .build();
+  util::Rng rng(1);
+  const auto mwf = core::MostWorthFirst{}.allocate(m, rng);
+  EXPECT_EQ(mwf.fitness.total_worth, 1);
+  const auto ub = lp::upper_bound_worth(m);
+  ASSERT_EQ(ub.status, lp::SolveStatus::kOptimal);
+  EXPECT_NEAR(ub.value, 1.0, 1e-8);
+  const auto sim = sim::simulate(m, mwf.allocation, {.horizon_s = 50.0});
+  EXPECT_EQ(sim.total_violations(), 0u);
+}
+
+TEST(EdgeCases, StringLongerThanMachineCount) {
+  // 10-app string on 2 machines: the IMR must reuse machines heavily.
+  SystemModelBuilder b(2);
+  b.uniform_bandwidth(8.0);
+  b.begin_string(100.0, 10000.0, Worth::kMedium);
+  for (int i = 0; i < 10; ++i) b.add_app(1.0, 0.3, i < 9 ? 20.0 : 0.0);
+  const SystemModel m = b.build();
+  util::Rng rng(2);
+  const auto result = core::MostWorthFirst{}.allocate(m, rng);
+  EXPECT_EQ(result.fitness.total_worth, 10);
+  EXPECT_TRUE(analysis::check_feasibility(m, result.allocation).feasible());
+}
+
+TEST(EdgeCases, UtilizationExactlyAtFullCapacity) {
+  // Strings that sum to exactly 1.0 utilization: boundary must be feasible
+  // and slackness must be exactly 0.
+  SystemModelBuilder b(1);
+  for (int k = 0; k < 4; ++k) {
+    b.begin_string(10.0, 100000.0, Worth::kLow);
+    b.add_app(2.5, 1.0, 0.0);  // 0.25 each
+  }
+  const SystemModel m = b.build();
+  const auto decoded = core::decode_order(m, core::identity_order(m));
+  EXPECT_EQ(decoded.strings_deployed, 4u);
+  EXPECT_NEAR(decoded.fitness.slackness, 0.0, 1e-9);
+}
+
+TEST(EdgeCases, PeriodEqualToNominalTimeIsBoundaryFeasibleAlone) {
+  // t == P with u = 1: the throughput constraint binds exactly.
+  const SystemModel m = SystemModelBuilder(1)
+                            .begin_string(5.0, 5.0, Worth::kLow)
+                            .add_app(5.0, 1.0, 0.0)
+                            .build();
+  const auto decoded = core::decode_order(m, core::identity_order(m));
+  EXPECT_EQ(decoded.strings_deployed, 1u);
+}
+
+TEST(EdgeCases, SimulatorSurvivesPermanentBacklog) {
+  // Infeasible deployment forced by hand: work arrives faster than the CPU
+  // drains it.  The simulator must terminate (horizon/max_events), report
+  // violations, and never crash.
+  const SystemModel m = SystemModelBuilder(1)
+                            .begin_string(1.0, 2.0, Worth::kLow)
+                            .add_app(3.0, 1.0, 0.0)  // 3x oversubscribed
+                            .build();
+  model::Allocation a(m);
+  a.assign(0, 0, 0);
+  a.set_deployed(0, true);
+  const auto result = sim::simulate(m, a, {.horizon_s = 50.0});
+  EXPECT_GT(result.apps[0][0].comp_violations, 0u);
+  EXPECT_LT(result.events, 1000000u);
+}
+
+TEST(EdgeCases, ReallocateWithNothingDeployedIsANoop) {
+  const SystemModel m = SystemModelBuilder(2)
+                            .uniform_bandwidth(5.0)
+                            .begin_string(10.0, 50.0, Worth::kLow)
+                            .add_app(1.0, 0.5, 0.0)
+                            .build();
+  const model::Allocation empty(m);
+  const auto repaired = core::reallocate(m, empty);
+  EXPECT_EQ(repaired.fitness.total_worth, 0);
+  EXPECT_TRUE(repaired.remapped.empty());
+  EXPECT_TRUE(repaired.dropped.empty());
+  EXPECT_EQ(repaired.migrations, 0u);
+}
+
+TEST(EdgeCases, TruncatedJsonFileIsRejected) {
+  const std::string path = ::testing::TempDir() + "/truncated_model.json";
+  {
+    std::ofstream out(path);
+    out << R"({"format": "tsce-model-v1", "machines": 2, "bandwidth)";
+  }
+  EXPECT_THROW((void)model::load_system_model(path), std::exception);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeCases, AllocationFileAgainstWrongModelIsRejected) {
+  const SystemModel m1 = SystemModelBuilder(2)
+                             .uniform_bandwidth(5.0)
+                             .begin_string(10.0, 50.0, Worth::kLow)
+                             .add_app(1.0, 0.5, 0.0)
+                             .build();
+  const SystemModel m2 = SystemModelBuilder(2)
+                             .uniform_bandwidth(5.0)
+                             .begin_string(10.0, 50.0, Worth::kLow)
+                             .add_app(1.0, 0.5, 10.0)
+                             .add_app(1.0, 0.5, 0.0)
+                             .build();
+  const std::string path = ::testing::TempDir() + "/mismatched_alloc.json";
+  model::save_allocation(path, model::Allocation(m1));
+  EXPECT_THROW((void)model::load_allocation(path, m2), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeCases, GeneratorWithSingleMachine) {
+  util::Rng rng(3);
+  auto config =
+      workload::GeneratorConfig::for_scenario(workload::Scenario::kLightlyLoaded);
+  config.num_machines = 1;
+  config.num_strings = 5;
+  const SystemModel m = workload::generate(config, rng);
+  EXPECT_TRUE(m.validate().empty());
+  // All transfers are intra-machine: avg inverse bandwidth is 0 and the
+  // latency/period formulas must still be positive.
+  EXPECT_DOUBLE_EQ(m.network.avg_inverse_bandwidth(), 0.0);
+  for (const auto& s : m.strings) {
+    EXPECT_GT(s.period_s, 0.0);
+    EXPECT_GT(s.max_latency_s, 0.0);
+  }
+  util::Rng search_rng(4);
+  const auto result = core::MostWorthFirst{}.allocate(m, search_rng);
+  EXPECT_TRUE(analysis::check_feasibility(m, result.allocation).feasible());
+}
+
+TEST(EdgeCases, ZeroOutputTransfersAreFree) {
+  // An inter-machine hop with a 0-KB output: no route load, no transfer time.
+  SystemModelBuilder b(2);
+  b.uniform_bandwidth(1.0);
+  b.begin_string(10.0, 50.0, Worth::kLow);
+  b.add_app(1.0, 0.5, 0.0);  // zero-size output
+  b.add_app(1.0, 0.5, 0.0);
+  const SystemModel m = b.build();
+  model::Allocation a(m);
+  a.assign(0, 0, 0);
+  a.assign(0, 1, 1);
+  a.set_deployed(0, true);
+  EXPECT_TRUE(analysis::check_feasibility(m, a).feasible());
+  const auto est = analysis::estimate_all(m, a);
+  EXPECT_DOUBLE_EQ(est.tran[0][0], 0.0);
+  const auto sim = sim::simulate(m, a, {.horizon_s = 50.0});
+  EXPECT_NEAR(sim.strings[0].latency_s.mean(), 2.0, 1e-9);
+}
+
+TEST(EdgeCases, HugePeriodTinyLatencyBudget) {
+  // Lmax < nominal time: infeasible for every mapping; decode deploys none.
+  const SystemModel m = SystemModelBuilder(3)
+                            .uniform_bandwidth(5.0)
+                            .begin_string(1000.0, 0.5, Worth::kHigh)
+                            .add_app(2.0, 0.5, 0.0)
+                            .build();
+  const auto decoded = core::decode_order(m, core::identity_order(m));
+  EXPECT_EQ(decoded.strings_deployed, 0u);
+  EXPECT_EQ(decoded.first_failed, 0);
+}
+
+TEST(EdgeCases, UpperBoundOnEmptyStringSet) {
+  SystemModel m;
+  m.network = model::Network(2, 5.0);
+  const auto ub = lp::upper_bound_worth(m);
+  ASSERT_EQ(ub.status, lp::SolveStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(ub.value, 0.0);
+  const auto ub3 = lp::upper_bound_slackness(m);
+  ASSERT_EQ(ub3.status, lp::SolveStatus::kOptimal);
+  EXPECT_NEAR(ub3.value, 1.0, 1e-9);  // nothing deployed: full slack
+}
+
+}  // namespace
+}  // namespace tsce

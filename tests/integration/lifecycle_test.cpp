@@ -1,0 +1,76 @@
+/// End-to-end lifecycle: generate -> persist -> reload -> allocate -> bound ->
+/// simulate -> surge -> repair.  One test walks the whole public API the way
+/// a deployment tool would.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "analysis/feasibility.hpp"
+#include "core/dynamic.hpp"
+#include "core/psg.hpp"
+#include "lp/upper_bound.hpp"
+#include "model/serialization.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generator.hpp"
+
+namespace tsce {
+namespace {
+
+TEST(Lifecycle, GeneratePersistAllocateBoundSimulateRepair) {
+  // 1. Generate a lightly loaded instance.
+  util::Rng rng(2005);
+  auto config =
+      workload::GeneratorConfig::for_scenario(workload::Scenario::kLightlyLoaded);
+  config.num_machines = 6;
+  config.num_strings = 8;
+  const model::SystemModel generated = workload::generate(config, rng);
+
+  // 2. Persist and reload; everything downstream uses the reloaded copy.
+  const std::string path = ::testing::TempDir() + "/lifecycle_model.json";
+  model::save_system_model(path, generated);
+  const model::SystemModel m = model::load_system_model(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(m.validate().empty());
+
+  // 3. Plan with the paper's best heuristic.
+  core::PsgOptions options;
+  options.ga.population_size = 30;
+  options.ga.max_iterations = 150;
+  options.ga.stagnation_limit = 80;
+  options.trials = 2;
+  util::Rng search_rng(7);
+  const auto plan = core::SeededPsg(options).allocate(m, search_rng);
+  ASSERT_TRUE(analysis::check_feasibility(m, plan.allocation).feasible());
+  ASSERT_EQ(plan.allocation.num_deployed(), m.num_strings())
+      << "lightly loaded: complete mapping expected";
+
+  // 4. The slackness bound dominates the achieved slackness.
+  const auto ub = lp::upper_bound_slackness(m);
+  ASSERT_EQ(ub.status, lp::SolveStatus::kOptimal);
+  EXPECT_GE(ub.value + 1e-6, plan.fitness.slackness);
+
+  // 5. Simulate nominal operation: no QoS violations.
+  const auto nominal = sim::simulate(m, plan.allocation, {.horizon_s = 0.0});
+  EXPECT_EQ(nominal.total_violations(), 0u);
+
+  // 6. Surge the workload past the slack and repair.
+  const auto surged = sim::scale_input_workload(m, 3.0);
+  const auto repaired = core::reallocate(surged, plan.allocation);
+  EXPECT_TRUE(analysis::check_feasibility(surged, repaired.allocation).feasible());
+
+  // 7. The repaired allocation simulates cleanly on the surged system too
+  //    (it passed the analytic gate; on these lightly loaded instances the
+  //    simulated mean latencies respect the bounds).
+  const auto after = sim::simulate(surged, repaired.allocation, {.horizon_s = 0.0});
+  for (std::size_t k = 0; k < m.num_strings(); ++k) {
+    if (!repaired.allocation.deployed(static_cast<model::StringId>(k))) continue;
+    if (after.strings[k].latency_s.count() == 0) continue;
+    EXPECT_LE(after.strings[k].latency_s.mean(),
+              m.strings[k].max_latency_s * (1.0 + 1e-9))
+        << "string " << k;
+  }
+}
+
+}  // namespace
+}  // namespace tsce

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "analysis/feasibility.hpp"
+#include "core/baselines.hpp"
+#include "core/ordered.hpp"
+#include "core/psg.hpp"
+#include "lp/upper_bound.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generator.hpp"
+
+namespace tsce {
+namespace {
+
+using model::SystemModel;
+
+core::PsgOptions quick_psg() {
+  core::PsgOptions options;
+  options.ga.population_size = 25;
+  options.ga.max_iterations = 100;
+  options.ga.stagnation_limit = 50;
+  options.trials = 2;
+  return options;
+}
+
+SystemModel scenario_instance(workload::Scenario scenario, std::uint64_t seed,
+                              std::size_t machines, std::size_t strings) {
+  util::Rng rng(seed);
+  auto config = workload::GeneratorConfig::for_scenario(scenario);
+  config.num_machines = machines;
+  config.num_strings = strings;
+  return generate(config, rng);
+}
+
+TEST(Pipeline, EveryHeuristicProducesFeasibleAllocations) {
+  const SystemModel m =
+      scenario_instance(workload::Scenario::kHighlyLoaded, 21, 4, 14);
+  std::vector<core::AllocatorPtr> allocators;
+  allocators.push_back(std::make_unique<core::MostWorthFirst>());
+  allocators.push_back(std::make_unique<core::TightestFirst>());
+  allocators.push_back(std::make_unique<core::RandomOrder>());
+  allocators.push_back(std::make_unique<core::Psg>(quick_psg()));
+  allocators.push_back(std::make_unique<core::SeededPsg>(quick_psg()));
+  for (const auto& allocator : allocators) {
+    util::Rng rng(99);
+    const auto result = allocator->allocate(m, rng);
+    const auto report = analysis::check_feasibility(m, result.allocation);
+    EXPECT_TRUE(report.feasible()) << allocator->name();
+    EXPECT_EQ(result.fitness.total_worth,
+              analysis::total_worth(m, result.allocation))
+        << allocator->name();
+  }
+}
+
+TEST(Pipeline, PaperOrderingHoldsOnContendedInstance) {
+  // Figure 3/4 shape: Seeded PSG >= max(MWF, TF), and the LP upper bound
+  // dominates everything.
+  const SystemModel m =
+      scenario_instance(workload::Scenario::kHighlyLoaded, 22, 3, 10);
+  util::Rng rng(1);
+  const auto mwf = core::MostWorthFirst{}.allocate(m, rng);
+  const auto tf = core::TightestFirst{}.allocate(m, rng);
+  util::Rng rng_psg(2);
+  const auto seeded = core::SeededPsg(quick_psg()).allocate(m, rng_psg);
+  const auto ub = lp::upper_bound_worth(m);
+  ASSERT_EQ(ub.status, lp::SolveStatus::kOptimal);
+
+  EXPECT_GE(seeded.fitness.total_worth,
+            std::max(mwf.fitness.total_worth, tf.fitness.total_worth));
+  EXPECT_GE(ub.value + 1e-6, seeded.fitness.total_worth);
+  EXPECT_GE(ub.value + 1e-6, mwf.fitness.total_worth);
+  EXPECT_GE(ub.value + 1e-6, tf.fitness.total_worth);
+}
+
+TEST(Pipeline, LightlyLoadedSystemDeploysEverything) {
+  // Scenario 3: complete mapping must be achievable and only slackness
+  // differentiates the heuristics.
+  const SystemModel m =
+      scenario_instance(workload::Scenario::kLightlyLoaded, 23, 12, 10);
+  util::Rng rng(3);
+  const auto mwf = core::MostWorthFirst{}.allocate(m, rng);
+  EXPECT_EQ(mwf.fitness.total_worth, m.total_worth_available());
+  EXPECT_GE(mwf.fitness.slackness, 0.0);
+  EXPECT_LE(mwf.fitness.slackness, 1.0);
+
+  const auto ub = lp::upper_bound_slackness(m);
+  ASSERT_EQ(ub.status, lp::SolveStatus::kOptimal);
+  EXPECT_GE(ub.value + 1e-6, mwf.fitness.slackness)
+      << "fractional slackness bound must dominate the integral allocation";
+}
+
+TEST(Pipeline, SimulationConfirmsLightlyLoadedAllocation) {
+  const SystemModel m =
+      scenario_instance(workload::Scenario::kLightlyLoaded, 24, 12, 8);
+  util::Rng rng(4);
+  const auto result = core::MostWorthFirst{}.allocate(m, rng);
+  ASSERT_EQ(result.fitness.total_worth, m.total_worth_available());
+
+  const auto sim = sim::simulate(m, result.allocation, {.horizon_s = 0.0});
+  for (std::size_t k = 0; k < m.num_strings(); ++k) {
+    ASSERT_TRUE(result.allocation.deployed(static_cast<model::StringId>(k)));
+    EXPECT_GT(sim.strings[k].datasets_completed, 0u) << "string " << k;
+    // Mean end-to-end latency stays within the (generous, mu in [4,6]) bound.
+    EXPECT_LE(sim.strings[k].latency_s.mean(),
+              m.strings[k].max_latency_s * (1.0 + 1e-9))
+        << "string " << k;
+  }
+}
+
+TEST(Pipeline, SeededPsgUsesSeedsWorthOnEasyInstance) {
+  // On an instance where everything fits, every heuristic reaches the same
+  // (full) worth; the evolutionary search must not regress below it.
+  const SystemModel m =
+      scenario_instance(workload::Scenario::kLightlyLoaded, 25, 8, 6);
+  util::Rng rng(5);
+  const auto mwf = core::MostWorthFirst{}.allocate(m, rng);
+  util::Rng rng_psg(6);
+  const auto seeded = core::SeededPsg(quick_psg()).allocate(m, rng_psg);
+  EXPECT_GE(seeded.fitness.total_worth, mwf.fitness.total_worth);
+  // Lexicographic: at equal worth, slackness must be at least the seed's.
+  if (seeded.fitness.total_worth == mwf.fitness.total_worth) {
+    EXPECT_GE(seeded.fitness.slackness, mwf.fitness.slackness - 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace tsce

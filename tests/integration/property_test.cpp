@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/feasibility.hpp"
+#include "analysis/session.hpp"
+#include "core/decode.hpp"
+#include "core/imr.hpp"
+#include "workload/generator.hpp"
+
+namespace tsce {
+namespace {
+
+using model::StringId;
+using model::SystemModel;
+
+SystemModel random_instance(std::uint64_t seed, workload::Scenario scenario,
+                            std::size_t machines, std::size_t strings) {
+  util::Rng rng(seed);
+  auto config = workload::GeneratorConfig::for_scenario(scenario);
+  config.num_machines = machines;
+  config.num_strings = strings;
+  return generate(config, rng);
+}
+
+class RandomInstanceProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomInstanceProperty, DecodedAllocationsAreAlwaysFeasible) {
+  const SystemModel m =
+      random_instance(GetParam(), workload::Scenario::kHighlyLoaded, 4, 12);
+  util::Rng rng(GetParam() * 7 + 1);
+  for (int round = 0; round < 3; ++round) {
+    auto order = core::identity_order(m);
+    rng.shuffle(order);
+    const auto result = core::decode_order(m, order);
+    EXPECT_TRUE(analysis::check_feasibility(m, result.allocation).feasible());
+  }
+}
+
+TEST_P(RandomInstanceProperty, SlacknessWithinUnitInterval) {
+  const SystemModel m =
+      random_instance(GetParam(), workload::Scenario::kQosLimited, 4, 12);
+  util::Rng rng(GetParam() * 13 + 5);
+  auto order = core::identity_order(m);
+  rng.shuffle(order);
+  const auto result = core::decode_order(m, order);
+  EXPECT_GE(result.fitness.slackness, 0.0 - 1e-9);
+  EXPECT_LE(result.fitness.slackness, 1.0 + 1e-12);
+}
+
+TEST_P(RandomInstanceProperty, PrefixDecodeIsPrefixOfFullDecode) {
+  // The sequential decode is deterministic, so decoding a prefix of an order
+  // deploys exactly the first min(p, F) strings the full decode deploys.
+  const SystemModel m =
+      random_instance(GetParam(), workload::Scenario::kHighlyLoaded, 3, 10);
+  util::Rng rng(GetParam() * 3 + 2);
+  auto order = core::identity_order(m);
+  rng.shuffle(order);
+  const auto full = core::decode_order(m, order);
+  const std::size_t prefix_len = order.size() / 2;
+  const auto prefix = core::decode_order(
+      m, std::span<const StringId>(order.data(), prefix_len));
+  EXPECT_EQ(prefix.strings_deployed,
+            std::min(prefix_len, full.strings_deployed));
+  for (std::size_t p = 0; p < prefix.strings_deployed; ++p) {
+    EXPECT_TRUE(prefix.allocation.deployed(order[p]));
+    EXPECT_TRUE(full.allocation.deployed(order[p]));
+    // And on identical machines.
+    for (std::size_t i = 0; i < m.strings[static_cast<std::size_t>(order[p])].size();
+         ++i) {
+      EXPECT_EQ(prefix.allocation.machine_of(order[p], static_cast<model::AppIndex>(i)),
+                full.allocation.machine_of(order[p], static_cast<model::AppIndex>(i)));
+    }
+  }
+}
+
+TEST_P(RandomInstanceProperty, MoreStringsNeverIncreaseSlackness) {
+  const SystemModel m =
+      random_instance(GetParam(), workload::Scenario::kLightlyLoaded, 5, 10);
+  util::Rng rng(GetParam() * 11 + 3);
+  auto order = core::identity_order(m);
+  rng.shuffle(order);
+  analysis::AllocationSession session(m);
+  double previous_slack = 1.0;
+  for (const StringId k : order) {
+    const auto assignment = core::imr_map_string(m, session.util(), k);
+    if (!session.try_commit(k, assignment)) break;
+    const double slack = session.fitness().slackness;
+    EXPECT_LE(slack, previous_slack + 1e-12);
+    previous_slack = slack;
+  }
+}
+
+TEST_P(RandomInstanceProperty, SessionMatchesBatchUtilization) {
+  const SystemModel m =
+      random_instance(GetParam(), workload::Scenario::kHighlyLoaded, 4, 10);
+  util::Rng rng(GetParam() * 17 + 9);
+  auto order = core::identity_order(m);
+  rng.shuffle(order);
+  analysis::AllocationSession session(m);
+  for (const StringId k : order) {
+    const auto assignment = core::imr_map_string(m, session.util(), k);
+    if (!session.try_commit(k, assignment)) break;
+  }
+  const auto batch =
+      analysis::UtilizationState::from_allocation(m, session.allocation());
+  const auto machines = static_cast<model::MachineId>(m.num_machines());
+  for (model::MachineId j = 0; j < machines; ++j) {
+    EXPECT_NEAR(session.util().machine_util(j), batch.machine_util(j), 1e-9);
+    for (model::MachineId j2 = 0; j2 < machines; ++j2) {
+      EXPECT_NEAR(session.util().route_util(j, j2), batch.route_util(j, j2), 1e-9);
+    }
+  }
+}
+
+TEST_P(RandomInstanceProperty, RejectedCommitLeavesSessionIntact) {
+  const SystemModel m =
+      random_instance(GetParam(), workload::Scenario::kQosLimited, 3, 20);
+  util::Rng rng(GetParam() * 19 + 4);
+  auto order = core::identity_order(m);
+  rng.shuffle(order);
+
+  analysis::AllocationSession session(m);
+  StringId failed = -1;
+  for (const StringId k : order) {
+    const auto assignment = core::imr_map_string(m, session.util(), k);
+    if (!session.try_commit(k, assignment)) {
+      failed = k;
+      break;
+    }
+  }
+  if (failed == -1) {
+    GTEST_SKIP() << "instance not contended enough to produce a rejection";
+  }
+  // Replay the same prefix in a fresh session: state must match exactly.
+  analysis::AllocationSession replay(m);
+  for (const StringId k : order) {
+    if (k == failed) break;
+    const auto assignment = core::imr_map_string(m, replay.util(), k);
+    ASSERT_TRUE(replay.try_commit(k, assignment));
+  }
+  EXPECT_EQ(replay.allocation(), session.allocation());
+  EXPECT_EQ(replay.fitness().total_worth, session.fitness().total_worth);
+  EXPECT_NEAR(replay.fitness().slackness, session.fitness().slackness, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomInstanceProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace tsce

@@ -1,0 +1,80 @@
+#include "lp/problem.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tsce::lp {
+namespace {
+
+TEST(LpProblem, TracksVariablesAndRows) {
+  LpProblem p(Sense::kMaximize);
+  const auto x = p.add_variable(0.0, 1.0, 3.0);
+  const auto y = p.add_variable(-1.0, kInf, -2.0);
+  EXPECT_EQ(x, 0);
+  EXPECT_EQ(y, 1);
+  EXPECT_EQ(p.num_variables(), 2u);
+  EXPECT_DOUBLE_EQ(p.lower(y), -1.0);
+  EXPECT_EQ(p.upper(y), kInf);
+  EXPECT_DOUBLE_EQ(p.cost(x), 3.0);
+
+  const auto r = p.add_row(Relation::kLessEqual, 4.0);
+  EXPECT_EQ(r, 0);
+  p.add_coefficient(r, x, 1.0);
+  p.add_coefficient(r, y, 2.0);
+  EXPECT_EQ(p.num_rows(), 1u);
+  EXPECT_EQ(p.relation(r), Relation::kLessEqual);
+  EXPECT_DOUBLE_EQ(p.rhs(r), 4.0);
+  EXPECT_EQ(p.num_nonzeros(), 2u);
+}
+
+TEST(LpProblem, ZeroCoefficientsAreDropped) {
+  LpProblem p;
+  const auto x = p.add_variable(0.0, 1.0, 0.0);
+  const auto r = p.add_row(Relation::kEqual, 0.0);
+  p.add_coefficient(r, x, 0.0);
+  EXPECT_EQ(p.num_nonzeros(), 0u);
+}
+
+TEST(CscMatrix, AssemblesSortedColumns) {
+  std::vector<Triplet> triplets{
+      {1, 0, 2.0}, {0, 1, 3.0}, {0, 0, 1.0}, {2, 1, 4.0}};
+  const auto m = CscMatrix::from_triplets(3, 2, triplets);
+  EXPECT_EQ(m.rows, 3u);
+  EXPECT_EQ(m.cols, 2u);
+  ASSERT_EQ(m.value.size(), 4u);
+  // Column 0: rows 0,1; column 1: rows 0,2.
+  EXPECT_EQ(m.col_start[0], 0);
+  EXPECT_EQ(m.col_start[1], 2);
+  EXPECT_EQ(m.col_start[2], 4);
+  EXPECT_EQ(m.row_index[0], 0);
+  EXPECT_DOUBLE_EQ(m.value[0], 1.0);
+  EXPECT_EQ(m.row_index[1], 1);
+  EXPECT_DOUBLE_EQ(m.value[1], 2.0);
+  EXPECT_EQ(m.row_index[2], 0);
+  EXPECT_DOUBLE_EQ(m.value[2], 3.0);
+  EXPECT_EQ(m.row_index[3], 2);
+  EXPECT_DOUBLE_EQ(m.value[3], 4.0);
+}
+
+TEST(CscMatrix, MergesDuplicateEntries) {
+  std::vector<Triplet> triplets{{0, 0, 1.0}, {0, 0, 2.5}, {1, 0, -1.0}};
+  const auto m = CscMatrix::from_triplets(2, 1, triplets);
+  ASSERT_EQ(m.value.size(), 2u);
+  EXPECT_DOUBLE_EQ(m.value[0], 3.5);
+  EXPECT_DOUBLE_EQ(m.value[1], -1.0);
+}
+
+TEST(CscMatrix, DropsEntriesThatCancel) {
+  std::vector<Triplet> triplets{{0, 0, 1.0}, {0, 0, -1.0}};
+  const auto m = CscMatrix::from_triplets(1, 1, triplets);
+  EXPECT_TRUE(m.value.empty());
+  EXPECT_EQ(m.col_start[1], 0);
+}
+
+TEST(CscMatrix, EmptyMatrix) {
+  const auto m = CscMatrix::from_triplets(3, 4, {});
+  EXPECT_EQ(m.col_start.size(), 5u);
+  for (const auto s : m.col_start) EXPECT_EQ(s, 0);
+}
+
+}  // namespace
+}  // namespace tsce::lp

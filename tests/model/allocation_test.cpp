@@ -1,0 +1,89 @@
+#include "model/allocation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/builders.hpp"
+
+namespace tsce::model {
+namespace {
+
+TEST(Allocation, StartsEmpty) {
+  const SystemModel m = testing::two_machine_system();
+  Allocation a(m);
+  EXPECT_EQ(a.num_strings(), 2u);
+  EXPECT_EQ(a.num_deployed(), 0u);
+  EXPECT_EQ(a.machine_of(0, 0), kUnassigned);
+  EXPECT_FALSE(a.fully_mapped(0));
+  EXPECT_FALSE(a.deployed(0));
+}
+
+TEST(Allocation, AssignAndDeploy) {
+  const SystemModel m = testing::two_machine_system();
+  Allocation a(m);
+  a.assign(0, 0, 1);
+  a.assign(0, 1, 0);
+  EXPECT_TRUE(a.fully_mapped(0));
+  EXPECT_FALSE(a.deployed(0));
+  a.set_deployed(0, true);
+  EXPECT_TRUE(a.deployed(0));
+  EXPECT_EQ(a.num_deployed(), 1u);
+  EXPECT_EQ(a.machine_of(0, 0), 1);
+  EXPECT_EQ(a.machine_of(0, 1), 0);
+}
+
+TEST(Allocation, PartiallyMappedIsNotFullyMapped) {
+  const SystemModel m = testing::two_machine_system();
+  Allocation a(m);
+  a.assign(0, 0, 1);
+  EXPECT_FALSE(a.fully_mapped(0));
+}
+
+TEST(Allocation, ClearStringResetsEverything) {
+  const SystemModel m = testing::two_machine_system();
+  Allocation a(m);
+  a.assign(1, 0, 0);
+  a.assign(1, 1, 1);
+  a.set_deployed(1, true);
+  a.clear_string(1);
+  EXPECT_FALSE(a.deployed(1));
+  EXPECT_EQ(a.machine_of(1, 0), kUnassigned);
+  EXPECT_EQ(a.machine_of(1, 1), kUnassigned);
+}
+
+TEST(Allocation, DeployedStringsLists) {
+  const SystemModel m = testing::two_machine_system();
+  Allocation a(m);
+  a.set_deployed(1, true);
+  const auto deployed = a.deployed_strings();
+  ASSERT_EQ(deployed.size(), 1u);
+  EXPECT_EQ(deployed[0], 1);
+}
+
+TEST(Allocation, EqualityComparesMappingAndFlags) {
+  const SystemModel m = testing::two_machine_system();
+  Allocation a(m);
+  Allocation b(m);
+  EXPECT_EQ(a, b);
+  a.assign(0, 0, 1);
+  EXPECT_NE(a, b);
+  b.assign(0, 0, 1);
+  EXPECT_EQ(a, b);
+  a.set_deployed(0, true);
+  EXPECT_NE(a, b);
+}
+
+TEST(Allocation, ToStringMentionsMachinesAndStatus) {
+  const SystemModel m = testing::two_machine_system();
+  Allocation a(m);
+  a.assign(0, 0, 0);
+  a.assign(0, 1, 1);
+  a.set_deployed(0, true);
+  const std::string repr = a.to_string(m);
+  EXPECT_NE(repr.find("m0"), std::string::npos);
+  EXPECT_NE(repr.find("m1"), std::string::npos);
+  EXPECT_NE(repr.find("deployed"), std::string::npos);
+  EXPECT_NE(repr.find("not deployed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tsce::model

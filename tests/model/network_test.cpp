@@ -1,0 +1,64 @@
+#include "model/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tsce::model {
+namespace {
+
+TEST(Network, DefaultConstructionIsEmpty) {
+  Network n;
+  EXPECT_EQ(n.num_machines(), 0u);
+  EXPECT_DOUBLE_EQ(n.avg_inverse_bandwidth(), 0.0);
+}
+
+TEST(Network, UniformBandwidthWithInfiniteDiagonal) {
+  Network n(3, 5.0);
+  for (MachineId j1 = 0; j1 < 3; ++j1) {
+    for (MachineId j2 = 0; j2 < 3; ++j2) {
+      if (j1 == j2) {
+        EXPECT_EQ(n.bandwidth_mbps(j1, j2), kInfiniteBandwidth);
+      } else {
+        EXPECT_DOUBLE_EQ(n.bandwidth_mbps(j1, j2), 5.0);
+      }
+    }
+  }
+}
+
+TEST(Network, SetBandwidthIsDirectional) {
+  Network n(2, 1.0);
+  n.set_bandwidth_mbps(0, 1, 10.0);
+  EXPECT_DOUBLE_EQ(n.bandwidth_mbps(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(n.bandwidth_mbps(1, 0), 1.0);
+}
+
+TEST(Network, TransferTime) {
+  Network n(2, 8.0);
+  // 100 KB = 0.8 Mb over 8 Mb/s = 0.1 s.
+  EXPECT_DOUBLE_EQ(n.transfer_s(100.0, 0, 1), 0.1);
+  // Intra-machine transfers are free.
+  EXPECT_DOUBLE_EQ(n.transfer_s(100.0, 1, 1), 0.0);
+}
+
+TEST(Network, AvgInverseBandwidthExcludesDiagonal) {
+  Network n(2, 4.0);
+  // Pairs: (0,1) and (1,0) at 4 Mb/s, diagonal infinite -> contributes 0.
+  // (1/4 + 1/4) / 4 = 1/8.
+  EXPECT_DOUBLE_EQ(n.avg_inverse_bandwidth(), 0.125);
+}
+
+TEST(Network, AvgInverseBandwidthHeterogeneous) {
+  Network n(2);
+  n.set_bandwidth_mbps(0, 1, 2.0);
+  n.set_bandwidth_mbps(1, 0, 8.0);
+  // (1/2 + 1/8) / 4 = 0.15625.
+  EXPECT_DOUBLE_EQ(n.avg_inverse_bandwidth(), 0.15625);
+}
+
+TEST(Network, AvgTransferUsesAvgInverseBandwidth) {
+  Network n(2, 4.0);
+  // 100 KB = 0.8 Mb; 0.8 * 0.125 = 0.1 s.
+  EXPECT_DOUBLE_EQ(n.avg_transfer_s(100.0), 0.1);
+}
+
+}  // namespace
+}  // namespace tsce::model

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "analysis/estimates.hpp"
+#include "sim/simulator.hpp"
+#include "testing/builders.hpp"
+
+namespace tsce::sim {
+namespace {
+
+using model::Allocation;
+using model::SystemModel;
+
+/// Figure 2 of the paper: applications a_1^1 (higher priority) and a_1^2
+/// share one CPU.  The discrete-event simulator must reproduce the paper's
+/// worst-case-overlap averages exactly, which also equal the eq. (5)
+/// estimates for these configurations.
+
+Allocation deploy_both(const SystemModel& m) {
+  Allocation a(m);
+  a.assign(0, 0, 0);
+  a.set_deployed(0, true);
+  a.assign(1, 0, 0);
+  a.set_deployed(1, true);
+  return a;
+}
+
+struct Fig2Case {
+  const char* name;
+  double p1, p2, u1;
+  double expected_comp2;  // average computation time of a_1^2
+};
+
+class Figure2 : public ::testing::TestWithParam<Fig2Case> {};
+
+TEST_P(Figure2, SimulationMatchesAnalyticEstimate) {
+  const auto& param = GetParam();
+  const SystemModel m = testing::figure2_system(param.p1, param.p2, param.u1);
+  const Allocation a = deploy_both(m);
+
+  SimOptions options;
+  options.horizon_s = 16.0;  // two hyperperiods of (8, 4)
+  const SimResult result = simulate(m, a, options);
+
+  // Higher-priority app is never disturbed.
+  EXPECT_NEAR(result.apps[0][0].comp_s.mean(), 2.0, 1e-9) << param.name;
+  // Lower-priority app matches the paper's average.
+  EXPECT_NEAR(result.apps[1][0].comp_s.mean(), param.expected_comp2, 1e-9)
+      << param.name;
+
+  // And eq. (5) agrees with the simulation.
+  const auto est = analysis::estimate_all(m, a);
+  EXPECT_NEAR(est.comp[1][0], param.expected_comp2, 1e-9) << param.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperCases, Figure2,
+    ::testing::Values(
+        // Case 1: equal periods, full utilization: a_1^2 waits a full t1.
+        Fig2Case{"case1_equal_periods", 4.0, 4.0, 1.0, 4.0},
+        // Case 2: P1 = 2*P2: only every other data set is delayed.
+        Fig2Case{"case2_double_period", 8.0, 4.0, 1.0, 3.0},
+        // Case 3: u1 = 0.5: the leftover CPU lets a_1^2 run concurrently.
+        Fig2Case{"case3_partial_utilization", 8.0, 4.0, 0.5, 2.5}),
+    [](const ::testing::TestParamInfo<Fig2Case>& info) {
+      return info.param.name;
+    });
+
+TEST(Figure2, HigherPriorityNeverViolates) {
+  for (const double u1 : {0.25, 0.5, 0.75, 1.0}) {
+    const SystemModel m = testing::figure2_system(8.0, 4.0, u1);
+    const SimResult result = simulate(m, deploy_both(m), {.horizon_s = 32.0});
+    EXPECT_EQ(result.apps[0][0].comp_violations, 0u);
+  }
+}
+
+TEST(Figure2, ThroughputViolationDetectedWhenPeriodTooTight) {
+  // P2 = 3 < worst-case comp time 4 of the low-priority app.
+  const SystemModel m = testing::figure2_system(3.0, 3.0, 1.0);
+  const SimResult result = simulate(m, deploy_both(m), {.horizon_s = 30.0});
+  EXPECT_GT(result.apps[1][0].comp_violations, 0u);
+}
+
+}  // namespace
+}  // namespace tsce::sim

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "analysis/utilization.hpp"
+#include "sim/simulator.hpp"
+#include "testing/builders.hpp"
+
+namespace tsce::sim {
+namespace {
+
+using model::Allocation;
+using model::SystemModel;
+using model::SystemModelBuilder;
+using model::Worth;
+
+TEST(Metering, MeasuredMachineUtilMatchesEquation2) {
+  // Feasible steady-state workload: the CPU share consumed per unit time must
+  // converge to U_machine = sum t*u/P (eq. 2).
+  const SystemModel m = testing::two_machine_system();
+  Allocation a(m);
+  for (int i = 0; i < 2; ++i) a.assign(0, i, 0);
+  for (int i = 0; i < 2; ++i) a.assign(1, i, 0);
+  a.set_deployed(0, true);
+  a.set_deployed(1, true);
+  const auto util = analysis::UtilizationState::from_allocation(m, a);
+  // Long horizon that is a common multiple of both periods (10 and 20).
+  const SimResult r = simulate(m, a, {.horizon_s = 400.0});
+  ASSERT_EQ(r.measured_machine_util.size(), 2u);
+  EXPECT_NEAR(r.measured_machine_util[0], util.machine_util(0), 0.02);
+  EXPECT_NEAR(r.measured_machine_util[1], 0.0, 1e-12);
+}
+
+TEST(Metering, MeasuredRouteUtilMatchesEquation3) {
+  const SystemModel m = SystemModelBuilder(2)
+                            .uniform_bandwidth(8.0)
+                            .begin_string(10.0, 100.0, Worth::kLow)
+                            .add_app(1.0, 1.0, 400.0)  // 3.2 Mb -> 0.4 s per period
+                            .add_app(1.0, 1.0, 0.0)
+                            .build();
+  Allocation a(m);
+  a.assign(0, 0, 0);
+  a.assign(0, 1, 1);
+  a.set_deployed(0, true);
+  const auto util = analysis::UtilizationState::from_allocation(m, a);
+  const SimResult r = simulate(m, a, {.horizon_s = 400.0});
+  // U_route(0,1) = 3.2 Mb / 10 s / 8 Mb/s = 0.04.
+  EXPECT_NEAR(util.route_util(0, 1), 0.04, 1e-12);
+  EXPECT_NEAR(r.measured_route_util[0 * 2 + 1], util.route_util(0, 1), 0.005);
+  EXPECT_NEAR(r.measured_route_util[1 * 2 + 0], 0.0, 1e-12);
+}
+
+TEST(Metering, WarmupDiscardsTransient) {
+  // Case 2 of Figure 2: the low-priority app alternates comp times 4,2,4,2...
+  // The average over full hyperperiods is 3 with or without warm-up, but the
+  // warm-up must reduce the sample count.
+  const SystemModel m = testing::figure2_system(8.0, 4.0, 1.0);
+  Allocation a(m);
+  a.assign(0, 0, 0);
+  a.assign(1, 0, 0);
+  a.set_deployed(0, true);
+  a.set_deployed(1, true);
+  const SimResult no_warmup = simulate(m, a, {.horizon_s = 32.0});
+  const SimResult with_warmup = simulate(m, a, {.horizon_s = 32.0, .warmup_s = 16.0});
+  EXPECT_LT(with_warmup.apps[1][0].comp_s.count(),
+            no_warmup.apps[1][0].comp_s.count());
+  EXPECT_NEAR(with_warmup.apps[1][0].comp_s.mean(), 3.0, 1e-9);
+  EXPECT_GT(with_warmup.apps[1][0].comp_s.count(), 0u);
+}
+
+TEST(Metering, WarmupLargerThanHorizonRecordsNothing) {
+  const SystemModel m = testing::minimal_system();
+  Allocation a(m);
+  a.assign(0, 0, 0);
+  a.set_deployed(0, true);
+  const SimResult r = simulate(m, a, {.horizon_s = 50.0, .warmup_s = 500.0});
+  EXPECT_EQ(r.strings[0].datasets_completed, 0u);
+  EXPECT_DOUBLE_EQ(r.measured_machine_util[0], 0.0);
+}
+
+TEST(Metering, SimulatorHonorsPriorityRule) {
+  // Same conflicting-rules setup as the analysis test: under rate-monotonic
+  // the short-period string preempts, flipping which app waits.
+  const SystemModel m = SystemModelBuilder(1)
+                            .begin_string(4.0, 100.0, Worth::kLow, "fast-loose")
+                            .add_app(2.0, 1.0, 0.0)
+                            .begin_string(8.0, 4.0, Worth::kHigh, "slow-tight")
+                            .add_app(2.0, 1.0, 0.0)
+                            .build();
+  Allocation a(m);
+  a.assign(0, 0, 0);
+  a.assign(1, 0, 0);
+  a.set_deployed(0, true);
+  a.set_deployed(1, true);
+
+  SimOptions tight;
+  tight.horizon_s = 64.0;
+  const SimResult by_tightness = simulate(m, a, tight);
+  EXPECT_NEAR(by_tightness.apps[1][0].comp_s.mean(), 2.0, 1e-9);
+  EXPECT_NEAR(by_tightness.apps[0][0].comp_s.mean(), 3.0, 1e-9);
+
+  SimOptions rm = tight;
+  rm.priority_rule = analysis::PriorityRule::kRateMonotonic;
+  const SimResult by_rate = simulate(m, a, rm);
+  EXPECT_NEAR(by_rate.apps[0][0].comp_s.mean(), 2.0, 1e-9);
+  // Note: eq. (5) estimates 2 + (P1/P0)*2 = 6 here, but with aligned releases
+  // only one of the two interferer jobs per period actually lands inside the
+  // response window: the estimate is conservative when the interferer has
+  // the shorter period.  The simulator measures the true 4.0 s.
+  EXPECT_NEAR(by_rate.apps[1][0].comp_s.mean(), 4.0, 1e-9);
+  EXPECT_GT(by_rate.apps[1][0].comp_s.mean(),
+            by_tightness.apps[1][0].comp_s.mean());
+}
+
+}  // namespace
+}  // namespace tsce::sim

@@ -1,0 +1,48 @@
+/// \file builders.hpp
+/// Shared fixtures for unit tests: small hand-checkable TSCE instances.
+
+#pragma once
+
+#include "model/system_model.hpp"
+
+namespace tsce::testing {
+
+/// Two homogeneous machines joined by 8 Mb/s routes; two 2-app strings.
+/// Chosen so every utilization is easy to compute by hand:
+///   string 0: P=10, Lmax=30, apps (t=2,u=0.5,O=100KB), (t=4,u=1.0)
+///   string 1: P=20, Lmax=50, apps (t=5,u=0.8,O=50KB), (t=2,u=0.25)
+inline model::SystemModel two_machine_system() {
+  return model::SystemModelBuilder(2)
+      .uniform_bandwidth(8.0)
+      .begin_string(10.0, 30.0, model::Worth::kHigh, "s0")
+      .add_app(2.0, 0.5, 100.0, "a0")
+      .add_app(4.0, 1.0, 0.0, "a1")
+      .begin_string(20.0, 50.0, model::Worth::kMedium, "s1")
+      .add_app(5.0, 0.8, 50.0, "b0")
+      .add_app(2.0, 0.25, 0.0, "b1")
+      .build();
+}
+
+/// Single machine, one single-app string: the smallest valid system.
+inline model::SystemModel minimal_system() {
+  return model::SystemModelBuilder(1)
+      .begin_string(10.0, 10.0, model::Worth::kLow, "only")
+      .add_app(3.0, 0.6, 0.0, "app")
+      .build();
+}
+
+/// The Figure 2 setup: two single-app strings sharing one machine, with
+/// configurable periods and utilizations.  String 0 is made relatively
+/// tighter (higher priority) via a smaller latency bound.
+inline model::SystemModel figure2_system(double p1, double p2, double u1,
+                                         double t1 = 2.0, double t2 = 2.0,
+                                         double u2 = 1.0) {
+  return model::SystemModelBuilder(1)
+      .begin_string(p1, /*Lmax=*/t1 * 1.5, model::Worth::kHigh, "tight")
+      .add_app(t1, u1, 0.0, "a11")
+      .begin_string(p2, /*Lmax=*/t2 * 50.0, model::Worth::kLow, "loose")
+      .add_app(t2, u2, 0.0, "a12")
+      .build();
+}
+
+}  // namespace tsce::testing

@@ -1,0 +1,149 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace tsce::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(7);
+  const auto first = a();
+  a.reseed(7);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(2.5, 7.5);
+    EXPECT_GE(u, 2.5);
+    EXPECT_LT(u, 7.5);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(5);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.005);
+}
+
+TEST(Rng, UniformIntCoversClosedRange) {
+  Rng rng(6);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all 6 values hit in 1000 draws
+}
+
+TEST(Rng, BoundedZeroAndOne) {
+  Rng rng(8);
+  EXPECT_EQ(rng.bounded(0), 0u);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Rng, BoundedIsRoughlyUniform) {
+  Rng rng(9);
+  std::array<int, 10> histogram{};
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) histogram[rng.bounded(10)]++;
+  for (int count : histogram) {
+    EXPECT_NEAR(count, kN / 10, kN / 100);
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(10);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, ShuffleProducesPermutation) {
+  Rng rng(11);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  const std::vector<int> original = v;
+  rng.shuffle(v);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), original.begin()));
+  EXPECT_NE(v, original);  // 50! permutations; identity is essentially impossible
+}
+
+TEST(Rng, ShuffleHandlesEmptyAndSingle) {
+  Rng rng(12);
+  std::vector<int> empty;
+  rng.shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{7};
+  rng.shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{7});
+}
+
+TEST(Rng, SpawnStreamsAreIndependent) {
+  Rng parent(13);
+  Rng child1 = parent.spawn();
+  Rng child2 = parent.spawn();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child1() == child2()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ChoicePicksExistingElement) {
+  Rng rng(14);
+  const std::vector<int> items{10, 20, 30};
+  for (int i = 0; i < 100; ++i) {
+    const int c = rng.choice(std::span<const int>(items));
+    EXPECT_TRUE(c == 10 || c == 20 || c == 30);
+  }
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace tsce::util

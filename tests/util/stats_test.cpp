@@ -1,0 +1,112 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace tsce::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half_width(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(4.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.5);
+  EXPECT_DOUBLE_EQ(s.max(), 4.5);
+}
+
+TEST(RunningStats, KnownMeanAndVariance) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Population variance 4 => sample variance 4 * 8/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all, left, right;
+  const std::vector<double> xs{1.5, -2.0, 3.25, 8.0, 0.0, -1.0, 4.5};
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    all.add(xs[i]);
+    (i < 3 ? left : right).add(xs[i]);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(RunningStats, Ci95ShrinksWithSamples) {
+  RunningStats small, large;
+  // Same alternating data at two sample sizes.
+  for (int i = 0; i < 10; ++i) small.add(i % 2 == 0 ? 1.0 : 3.0);
+  for (int i = 0; i < 1000; ++i) large.add(i % 2 == 0 ? 1.0 : 3.0);
+  EXPECT_GT(small.ci95_half_width(), large.ci95_half_width());
+  EXPECT_GT(small.ci95_half_width(), 0.0);
+}
+
+TEST(StudentT, MatchesTableValues) {
+  EXPECT_NEAR(student_t_quantile_95(1), 12.706, 1e-3);
+  EXPECT_NEAR(student_t_quantile_95(5), 2.571, 1e-3);
+  EXPECT_NEAR(student_t_quantile_95(10), 2.228, 1e-3);
+  EXPECT_NEAR(student_t_quantile_95(30), 2.042, 1e-3);
+  // df = 99 (100 simulation runs, the paper's setting) is close to normal.
+  EXPECT_NEAR(student_t_quantile_95(99), 1.984, 0.01);
+  EXPECT_NEAR(student_t_quantile_95(100000), 1.960, 1e-3);
+}
+
+TEST(StudentT, MonotoneNonIncreasing) {
+  double prev = student_t_quantile_95(1);
+  for (std::size_t df = 2; df <= 200; ++df) {
+    const double t = student_t_quantile_95(df);
+    EXPECT_LE(t, prev + 1e-9) << "df=" << df;
+    prev = t;
+  }
+}
+
+TEST(FormatMeanCi, ContainsBothNumbers) {
+  RunningStats s;
+  s.add(10.0);
+  s.add(20.0);
+  const std::string repr = format_mean_ci(s, 1);
+  EXPECT_NE(repr.find("15.0"), std::string::npos);
+  EXPECT_NE(repr.find("\xC2\xB1"), std::string::npos);  // the ± sign
+}
+
+TEST(MeanOf, HandlesEmptyAndValues) {
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  const std::vector<double> xs{1.0, 2.0, 6.0};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 3.0);
+}
+
+}  // namespace
+}  // namespace tsce::util

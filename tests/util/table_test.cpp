@@ -1,0 +1,80 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace tsce::util {
+namespace {
+
+/// Captures what Table prints into a string via a temporary file.
+std::string render(const Table& table, bool csv = false) {
+  std::FILE* f = std::tmpfile();
+  if (csv) {
+    table.print_csv(f);
+  } else {
+    table.print(f);
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::rewind(f);
+  std::string out(static_cast<std::size_t>(size), '\0');
+  const std::size_t read = std::fread(out.data(), 1, out.size(), f);
+  out.resize(read);
+  std::fclose(f);
+  return out;
+}
+
+TEST(Table, RendersHeadersAndCells) {
+  Table t({"heuristic", "total worth"});
+  t.add_row({"PSG", "2900"});
+  t.add_row({"MWF", "2500"});
+  const std::string out = render(t);
+  EXPECT_NE(out.find("heuristic"), std::string::npos);
+  EXPECT_NE(out.find("PSG"), std::string::npos);
+  EXPECT_NE(out.find("2900"), std::string::npos);
+  EXPECT_NE(out.find("MWF"), std::string::npos);
+}
+
+TEST(Table, CsvFormat) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(render(t, /*csv=*/true), "a,b\n1,2\n");
+}
+
+TEST(Table, NumFormatsDecimals) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::num(-0.5, 1), "-0.5");
+}
+
+TEST(Table, ColumnsAlignedToWidestCell) {
+  Table t({"x", "name"});
+  t.add_row({"1", "very-long-name"});
+  const std::string out = render(t);
+  // Each rendered line between rules has the same length.
+  std::size_t line_len = 0;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t eol = out.find('\n', pos);
+    const std::string line = out.substr(pos, eol - pos);
+    if (!line.empty()) {
+      if (line_len == 0) line_len = line.size();
+      // The ± is multi-byte; plain ASCII here so byte length is fine.
+      EXPECT_EQ(line.size(), line_len) << line;
+    }
+    pos = eol + 1;
+  }
+}
+
+TEST(Table, UtfWidthCountsOnce) {
+  Table t({"value"});
+  t.add_row({"10.0 \xC2\xB1 0.5"});
+  t.add_row({"123456789"});
+  const std::string out = render(t);
+  EXPECT_NE(out.find("\xC2\xB1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tsce::util
