@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bias_sweep.dir/ablation_bias_sweep.cpp.o"
+  "CMakeFiles/ablation_bias_sweep.dir/ablation_bias_sweep.cpp.o.d"
+  "ablation_bias_sweep"
+  "ablation_bias_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bias_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

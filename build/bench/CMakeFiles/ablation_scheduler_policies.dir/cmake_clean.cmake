@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_scheduler_policies.dir/ablation_scheduler_policies.cpp.o"
+  "CMakeFiles/ablation_scheduler_policies.dir/ablation_scheduler_policies.cpp.o.d"
+  "ablation_scheduler_policies"
+  "ablation_scheduler_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scheduler_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_solution_space_ga.dir/ablation_solution_space_ga.cpp.o"
+  "CMakeFiles/ablation_solution_space_ga.dir/ablation_solution_space_ga.cpp.o.d"
+  "ablation_solution_space_ga"
+  "ablation_solution_space_ga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_solution_space_ga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_solution_space_ga.
+# This may be replaced when dependencies are built.

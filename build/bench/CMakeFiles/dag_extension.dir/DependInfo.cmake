@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/dag_extension.cpp" "bench/CMakeFiles/dag_extension.dir/dag_extension.cpp.o" "gcc" "bench/CMakeFiles/dag_extension.dir/dag_extension.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/tsce_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tsce_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tsce_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/tsce_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tsce_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/tsce_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/tsce_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/tsce_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tsce_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dag_extension.dir/dag_extension.cpp.o"
+  "CMakeFiles/dag_extension.dir/dag_extension.cpp.o.d"
+  "dag_extension"
+  "dag_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dag_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_reallocation.dir/dynamic_reallocation.cpp.o"
+  "CMakeFiles/dynamic_reallocation.dir/dynamic_reallocation.cpp.o.d"
+  "dynamic_reallocation"
+  "dynamic_reallocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_reallocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

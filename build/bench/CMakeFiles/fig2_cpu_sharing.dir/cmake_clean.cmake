@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_cpu_sharing.dir/fig2_cpu_sharing.cpp.o"
+  "CMakeFiles/fig2_cpu_sharing.dir/fig2_cpu_sharing.cpp.o.d"
+  "fig2_cpu_sharing"
+  "fig2_cpu_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_cpu_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_scenario2.dir/fig4_scenario2.cpp.o"
+  "CMakeFiles/fig4_scenario2.dir/fig4_scenario2.cpp.o.d"
+  "fig4_scenario2"
+  "fig4_scenario2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_scenario2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libtsce_bench_common.a"
+  "../lib/libtsce_bench_common.pdb"
+  "CMakeFiles/tsce_bench_common.dir/harness.cpp.o"
+  "CMakeFiles/tsce_bench_common.dir/harness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsce_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libtsce_bench_common.a"
+)

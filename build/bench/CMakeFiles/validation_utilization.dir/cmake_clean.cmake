@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_utilization.dir/validation_utilization.cpp.o"
+  "CMakeFiles/validation_utilization.dir/validation_utilization.cpp.o.d"
+  "validation_utilization"
+  "validation_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dag_mission.dir/dag_mission.cpp.o"
+  "CMakeFiles/dag_mission.dir/dag_mission.cpp.o.d"
+  "dag_mission"
+  "dag_mission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dag_mission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shipboard_scenario.dir/shipboard_scenario.cpp.o"
+  "CMakeFiles/shipboard_scenario.dir/shipboard_scenario.cpp.o.d"
+  "shipboard_scenario"
+  "shipboard_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shipboard_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

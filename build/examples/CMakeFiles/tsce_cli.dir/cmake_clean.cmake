@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsce_cli.dir/tsce_cli.cpp.o"
+  "CMakeFiles/tsce_cli.dir/tsce_cli.cpp.o.d"
+  "tsce_cli"
+  "tsce_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsce_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_surge.dir/workload_surge.cpp.o"
+  "CMakeFiles/workload_surge.dir/workload_surge.cpp.o.d"
+  "workload_surge"
+  "workload_surge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_surge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

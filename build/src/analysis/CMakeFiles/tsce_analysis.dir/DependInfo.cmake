@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/estimates.cpp" "src/analysis/CMakeFiles/tsce_analysis.dir/estimates.cpp.o" "gcc" "src/analysis/CMakeFiles/tsce_analysis.dir/estimates.cpp.o.d"
+  "/root/repo/src/analysis/feasibility.cpp" "src/analysis/CMakeFiles/tsce_analysis.dir/feasibility.cpp.o" "gcc" "src/analysis/CMakeFiles/tsce_analysis.dir/feasibility.cpp.o.d"
+  "/root/repo/src/analysis/metrics.cpp" "src/analysis/CMakeFiles/tsce_analysis.dir/metrics.cpp.o" "gcc" "src/analysis/CMakeFiles/tsce_analysis.dir/metrics.cpp.o.d"
+  "/root/repo/src/analysis/priority.cpp" "src/analysis/CMakeFiles/tsce_analysis.dir/priority.cpp.o" "gcc" "src/analysis/CMakeFiles/tsce_analysis.dir/priority.cpp.o.d"
+  "/root/repo/src/analysis/session.cpp" "src/analysis/CMakeFiles/tsce_analysis.dir/session.cpp.o" "gcc" "src/analysis/CMakeFiles/tsce_analysis.dir/session.cpp.o.d"
+  "/root/repo/src/analysis/tightness.cpp" "src/analysis/CMakeFiles/tsce_analysis.dir/tightness.cpp.o" "gcc" "src/analysis/CMakeFiles/tsce_analysis.dir/tightness.cpp.o.d"
+  "/root/repo/src/analysis/utilization.cpp" "src/analysis/CMakeFiles/tsce_analysis.dir/utilization.cpp.o" "gcc" "src/analysis/CMakeFiles/tsce_analysis.dir/utilization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/tsce_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tsce_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsce_analysis.dir/estimates.cpp.o"
+  "CMakeFiles/tsce_analysis.dir/estimates.cpp.o.d"
+  "CMakeFiles/tsce_analysis.dir/feasibility.cpp.o"
+  "CMakeFiles/tsce_analysis.dir/feasibility.cpp.o.d"
+  "CMakeFiles/tsce_analysis.dir/metrics.cpp.o"
+  "CMakeFiles/tsce_analysis.dir/metrics.cpp.o.d"
+  "CMakeFiles/tsce_analysis.dir/priority.cpp.o"
+  "CMakeFiles/tsce_analysis.dir/priority.cpp.o.d"
+  "CMakeFiles/tsce_analysis.dir/session.cpp.o"
+  "CMakeFiles/tsce_analysis.dir/session.cpp.o.d"
+  "CMakeFiles/tsce_analysis.dir/tightness.cpp.o"
+  "CMakeFiles/tsce_analysis.dir/tightness.cpp.o.d"
+  "CMakeFiles/tsce_analysis.dir/utilization.cpp.o"
+  "CMakeFiles/tsce_analysis.dir/utilization.cpp.o.d"
+  "libtsce_analysis.a"
+  "libtsce_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsce_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

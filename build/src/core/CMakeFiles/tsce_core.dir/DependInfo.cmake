@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/tsce_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/tsce_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/class_based.cpp" "src/core/CMakeFiles/tsce_core.dir/class_based.cpp.o" "gcc" "src/core/CMakeFiles/tsce_core.dir/class_based.cpp.o.d"
+  "/root/repo/src/core/decode.cpp" "src/core/CMakeFiles/tsce_core.dir/decode.cpp.o" "gcc" "src/core/CMakeFiles/tsce_core.dir/decode.cpp.o.d"
+  "/root/repo/src/core/dynamic.cpp" "src/core/CMakeFiles/tsce_core.dir/dynamic.cpp.o" "gcc" "src/core/CMakeFiles/tsce_core.dir/dynamic.cpp.o.d"
+  "/root/repo/src/core/exact.cpp" "src/core/CMakeFiles/tsce_core.dir/exact.cpp.o" "gcc" "src/core/CMakeFiles/tsce_core.dir/exact.cpp.o.d"
+  "/root/repo/src/core/imr.cpp" "src/core/CMakeFiles/tsce_core.dir/imr.cpp.o" "gcc" "src/core/CMakeFiles/tsce_core.dir/imr.cpp.o.d"
+  "/root/repo/src/core/local_search.cpp" "src/core/CMakeFiles/tsce_core.dir/local_search.cpp.o" "gcc" "src/core/CMakeFiles/tsce_core.dir/local_search.cpp.o.d"
+  "/root/repo/src/core/ordered.cpp" "src/core/CMakeFiles/tsce_core.dir/ordered.cpp.o" "gcc" "src/core/CMakeFiles/tsce_core.dir/ordered.cpp.o.d"
+  "/root/repo/src/core/psg.cpp" "src/core/CMakeFiles/tsce_core.dir/psg.cpp.o" "gcc" "src/core/CMakeFiles/tsce_core.dir/psg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/tsce_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/tsce_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tsce_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsce_core.dir/baselines.cpp.o"
+  "CMakeFiles/tsce_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/tsce_core.dir/class_based.cpp.o"
+  "CMakeFiles/tsce_core.dir/class_based.cpp.o.d"
+  "CMakeFiles/tsce_core.dir/decode.cpp.o"
+  "CMakeFiles/tsce_core.dir/decode.cpp.o.d"
+  "CMakeFiles/tsce_core.dir/dynamic.cpp.o"
+  "CMakeFiles/tsce_core.dir/dynamic.cpp.o.d"
+  "CMakeFiles/tsce_core.dir/exact.cpp.o"
+  "CMakeFiles/tsce_core.dir/exact.cpp.o.d"
+  "CMakeFiles/tsce_core.dir/imr.cpp.o"
+  "CMakeFiles/tsce_core.dir/imr.cpp.o.d"
+  "CMakeFiles/tsce_core.dir/local_search.cpp.o"
+  "CMakeFiles/tsce_core.dir/local_search.cpp.o.d"
+  "CMakeFiles/tsce_core.dir/ordered.cpp.o"
+  "CMakeFiles/tsce_core.dir/ordered.cpp.o.d"
+  "CMakeFiles/tsce_core.dir/psg.cpp.o"
+  "CMakeFiles/tsce_core.dir/psg.cpp.o.d"
+  "libtsce_core.a"
+  "libtsce_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsce_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

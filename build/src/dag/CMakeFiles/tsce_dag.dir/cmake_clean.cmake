@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsce_dag.dir/allocator.cpp.o"
+  "CMakeFiles/tsce_dag.dir/allocator.cpp.o.d"
+  "CMakeFiles/tsce_dag.dir/analysis.cpp.o"
+  "CMakeFiles/tsce_dag.dir/analysis.cpp.o.d"
+  "CMakeFiles/tsce_dag.dir/generator.cpp.o"
+  "CMakeFiles/tsce_dag.dir/generator.cpp.o.d"
+  "CMakeFiles/tsce_dag.dir/model.cpp.o"
+  "CMakeFiles/tsce_dag.dir/model.cpp.o.d"
+  "libtsce_dag.a"
+  "libtsce_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsce_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsce_lp.dir/problem.cpp.o"
+  "CMakeFiles/tsce_lp.dir/problem.cpp.o.d"
+  "CMakeFiles/tsce_lp.dir/simplex.cpp.o"
+  "CMakeFiles/tsce_lp.dir/simplex.cpp.o.d"
+  "CMakeFiles/tsce_lp.dir/upper_bound.cpp.o"
+  "CMakeFiles/tsce_lp.dir/upper_bound.cpp.o.d"
+  "libtsce_lp.a"
+  "libtsce_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsce_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/allocation.cpp" "src/model/CMakeFiles/tsce_model.dir/allocation.cpp.o" "gcc" "src/model/CMakeFiles/tsce_model.dir/allocation.cpp.o.d"
+  "/root/repo/src/model/network.cpp" "src/model/CMakeFiles/tsce_model.dir/network.cpp.o" "gcc" "src/model/CMakeFiles/tsce_model.dir/network.cpp.o.d"
+  "/root/repo/src/model/serialization.cpp" "src/model/CMakeFiles/tsce_model.dir/serialization.cpp.o" "gcc" "src/model/CMakeFiles/tsce_model.dir/serialization.cpp.o.d"
+  "/root/repo/src/model/system_model.cpp" "src/model/CMakeFiles/tsce_model.dir/system_model.cpp.o" "gcc" "src/model/CMakeFiles/tsce_model.dir/system_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tsce_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsce_model.dir/allocation.cpp.o"
+  "CMakeFiles/tsce_model.dir/allocation.cpp.o.d"
+  "CMakeFiles/tsce_model.dir/network.cpp.o"
+  "CMakeFiles/tsce_model.dir/network.cpp.o.d"
+  "CMakeFiles/tsce_model.dir/serialization.cpp.o"
+  "CMakeFiles/tsce_model.dir/serialization.cpp.o.d"
+  "CMakeFiles/tsce_model.dir/system_model.cpp.o"
+  "CMakeFiles/tsce_model.dir/system_model.cpp.o.d"
+  "libtsce_model.a"
+  "libtsce_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsce_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

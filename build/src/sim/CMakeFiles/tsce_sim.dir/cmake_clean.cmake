@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsce_sim.dir/simulator.cpp.o"
+  "CMakeFiles/tsce_sim.dir/simulator.cpp.o.d"
+  "libtsce_sim.a"
+  "libtsce_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsce_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

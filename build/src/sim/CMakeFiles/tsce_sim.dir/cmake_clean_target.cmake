@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtsce_sim.a"
+)

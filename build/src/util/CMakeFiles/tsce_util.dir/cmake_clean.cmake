@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsce_util.dir/flags.cpp.o"
+  "CMakeFiles/tsce_util.dir/flags.cpp.o.d"
+  "CMakeFiles/tsce_util.dir/json.cpp.o"
+  "CMakeFiles/tsce_util.dir/json.cpp.o.d"
+  "CMakeFiles/tsce_util.dir/rng.cpp.o"
+  "CMakeFiles/tsce_util.dir/rng.cpp.o.d"
+  "CMakeFiles/tsce_util.dir/stats.cpp.o"
+  "CMakeFiles/tsce_util.dir/stats.cpp.o.d"
+  "CMakeFiles/tsce_util.dir/table.cpp.o"
+  "CMakeFiles/tsce_util.dir/table.cpp.o.d"
+  "CMakeFiles/tsce_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/tsce_util.dir/thread_pool.cpp.o.d"
+  "libtsce_util.a"
+  "libtsce_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsce_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsce_workload.dir/generator.cpp.o"
+  "CMakeFiles/tsce_workload.dir/generator.cpp.o.d"
+  "libtsce_workload.a"
+  "libtsce_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsce_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis.dir/analysis/estimates_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/estimates_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/feasibility_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/feasibility_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/metrics_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/metrics_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/priority_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/priority_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/session_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/session_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/tightness_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/tightness_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/utilization_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/utilization_test.cpp.o.d"
+  "test_analysis"
+  "test_analysis.pdb"
+  "test_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

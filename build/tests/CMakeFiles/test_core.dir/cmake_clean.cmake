@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/baselines_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/baselines_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/class_based_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/class_based_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/decode_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/decode_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/dynamic_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/dynamic_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/exact_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/exact_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/imr_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/imr_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/local_search_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/local_search_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/ordered_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/ordered_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/psg_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/psg_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

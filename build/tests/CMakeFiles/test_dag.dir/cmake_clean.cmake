@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dag.dir/dag/dag_allocator_test.cpp.o"
+  "CMakeFiles/test_dag.dir/dag/dag_allocator_test.cpp.o.d"
+  "CMakeFiles/test_dag.dir/dag/dag_analysis_test.cpp.o"
+  "CMakeFiles/test_dag.dir/dag/dag_analysis_test.cpp.o.d"
+  "CMakeFiles/test_dag.dir/dag/dag_model_test.cpp.o"
+  "CMakeFiles/test_dag.dir/dag/dag_model_test.cpp.o.d"
+  "test_dag"
+  "test_dag.pdb"
+  "test_dag[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

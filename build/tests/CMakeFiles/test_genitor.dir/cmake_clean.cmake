@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_genitor.dir/genitor/genitor_test.cpp.o"
+  "CMakeFiles/test_genitor.dir/genitor/genitor_test.cpp.o.d"
+  "test_genitor"
+  "test_genitor.pdb"
+  "test_genitor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_genitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/edge_cases_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/edge_cases_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/edge_cases_test.cpp.o.d"
+  "/root/repo/tests/integration/lifecycle_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/lifecycle_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/lifecycle_test.cpp.o.d"
+  "/root/repo/tests/integration/pipeline_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/pipeline_test.cpp.o.d"
+  "/root/repo/tests/integration/property_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/property_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/tsce_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tsce_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/tsce_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tsce_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/tsce_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/tsce_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/tsce_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tsce_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
