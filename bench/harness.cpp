@@ -5,6 +5,7 @@
 
 #include "core/baselines.hpp"
 #include "core/ordered.hpp"
+#include "util/thread_pool.hpp"
 
 namespace tsce::bench {
 
@@ -29,6 +30,7 @@ void ScenarioBenchConfig::register_flags(util::Flags& flags) {
   flags.add("psg-iterations", &psg_iterations, "PSG iteration budget");
   flags.add("psg-stagnation", &psg_stagnation, "PSG stagnation limit");
   flags.add("psg-trials", &psg_trials, "PSG independent trials per run");
+  flags.add("threads", &threads, "worker threads for Monte-Carlo runs (0 = all cores)");
 }
 
 void ScenarioBenchConfig::apply_full_scale(workload::Scenario s) {
@@ -75,32 +77,83 @@ ScenarioBenchResult run_scenario_bench(const ScenarioBenchConfig& config,
   }
   result.upper_bound.name = "UB";
 
+  // Every run's rng streams are spawned up front, in the exact order the
+  // serial loop used to draw them, so the metric results are independent of
+  // the thread count (and identical to the historical serial output).
+  const auto runs = static_cast<std::size_t>(config.runs);
   util::Rng master(static_cast<std::uint64_t>(config.seed));
-  for (std::int64_t run = 0; run < config.runs; ++run) {
-    util::Rng instance_rng = master.spawn();
-    const model::SystemModel m = workload::generate(gen_config, instance_rng);
-
+  struct RunPlan {
+    util::Rng instance_rng;
+    std::vector<util::Rng> search_rngs;
+  };
+  std::vector<RunPlan> plans(runs);
+  for (RunPlan& plan : plans) {
+    plan.instance_rng = master.spawn();
+    plan.search_rngs.reserve(allocators.size());
     for (std::size_t h = 0; h < allocators.size(); ++h) {
-      util::Rng search_rng = master.spawn();
-      const double t0 = now_seconds();
-      const auto alloc_result = allocators[h]->allocate(m, search_rng);
-      result.heuristics[h].seconds.add(now_seconds() - t0);
-      result.heuristics[h].metric.add(
-          slackness_metric ? alloc_result.fitness.slackness
-                           : static_cast<double>(alloc_result.fitness.total_worth));
+      plan.search_rngs.push_back(master.spawn());
     }
+  }
 
+  struct RunOutcome {
+    std::vector<double> metric;
+    std::vector<double> seconds;
+    double ub_value = 0.0;
+    double ub_seconds = 0.0;
+    lp::SolveStatus ub_status = lp::SolveStatus::kOptimal;
+  };
+  std::vector<RunOutcome> outcomes(runs);
+
+  auto execute_run = [&](std::size_t run) {
+    RunOutcome& out = outcomes[run];
+    const model::SystemModel m =
+        workload::generate(gen_config, plans[run].instance_rng);
+    out.metric.resize(allocators.size());
+    out.seconds.resize(allocators.size());
+    for (std::size_t h = 0; h < allocators.size(); ++h) {
+      const double t0 = now_seconds();
+      const auto alloc_result =
+          allocators[h]->allocate(m, plans[run].search_rngs[h]);
+      out.seconds[h] = now_seconds() - t0;
+      out.metric[h] =
+          slackness_metric ? alloc_result.fitness.slackness
+                           : static_cast<double>(alloc_result.fitness.total_worth);
+    }
     if (config.with_upper_bound) {
       const double t0 = now_seconds();
       const auto ub = slackness_metric ? lp::upper_bound_slackness(m)
                                        : lp::upper_bound_worth(m);
-      result.upper_bound.seconds.add(now_seconds() - t0);
-      if (ub.status == lp::SolveStatus::kOptimal) {
-        result.upper_bound.metric.add(ub.value);
+      out.ub_seconds = now_seconds() - t0;
+      out.ub_status = ub.status;
+      out.ub_value = ub.value;
+    }
+  };
+
+  if (config.threads == 1 || runs <= 1) {
+    for (std::size_t run = 0; run < runs; ++run) execute_run(run);
+  } else {
+    util::ThreadPool pool(config.threads <= 0
+                              ? 0
+                              : static_cast<std::size_t>(config.threads));
+    pool.parallel_for(runs, execute_run);
+  }
+
+  // Fold per-run metrics serially, in run order, for thread-count-independent
+  // statistics.
+  for (std::size_t run = 0; run < runs; ++run) {
+    const RunOutcome& out = outcomes[run];
+    for (std::size_t h = 0; h < allocators.size(); ++h) {
+      result.heuristics[h].seconds.add(out.seconds[h]);
+      result.heuristics[h].metric.add(out.metric[h]);
+    }
+    if (config.with_upper_bound) {
+      result.upper_bound.seconds.add(out.ub_seconds);
+      if (out.ub_status == lp::SolveStatus::kOptimal) {
+        result.upper_bound.metric.add(out.ub_value);
       } else {
         ++result.ub_failures;
         std::fprintf(stderr, "warning: run %lld UB LP: %s\n",
-                     static_cast<long long>(run), lp::to_string(ub.status));
+                     static_cast<long long>(run), lp::to_string(out.ub_status));
       }
     }
   }

@@ -42,6 +42,12 @@ struct ScenarioBenchConfig {
   std::int64_t psg_iterations = 400;
   std::int64_t psg_stagnation = 150;
   std::int64_t psg_trials = 2;
+  /// Worker threads for Monte-Carlo replications (1 = serial, 0 = all
+  /// cores).  Metric results are identical at any thread count: every run's
+  /// rng streams are derived up front in run order, and per-run metrics are
+  /// folded into the statistics serially in run order afterwards.  Only the
+  /// wall-clock column varies.
+  std::int64_t threads = 1;
 
   /// Registers the shared flags on \p flags (pointers into this object).
   void register_flags(util::Flags& flags);

@@ -11,6 +11,7 @@
 #include "model/serialization.hpp"
 #include "analysis/session.hpp"
 #include "core/decode.hpp"
+#include "core/evaluator.hpp"
 #include "core/imr.hpp"
 #include "lp/upper_bound.hpp"
 #include "sim/simulator.hpp"
@@ -79,6 +80,74 @@ void BM_DecodeOrder(benchmark::State& state) {
                           static_cast<std::int64_t>(m.num_strings()));
 }
 BENCHMARK(BM_DecodeOrder)->Arg(12)->Arg(24)->Arg(48);
+
+/// Swap-neighborhood candidate stream (the hill-climb / PSG-mutation access
+/// pattern): each candidate is one transposition away from the incumbent and
+/// is rejected afterwards.  Decoded incrementally through one DecodeContext,
+/// so only the divergent suffix is re-committed per candidate.
+void BM_DecodePrefixReuse(benchmark::State& state) {
+  const auto m = make_instance(6, static_cast<std::size_t>(state.range(0)));
+  const std::size_t q = m.num_strings();
+  auto order = core::identity_order(m);
+  util::Rng shuffle_rng(5);
+  shuffle_rng.shuffle(order);
+  core::DecodeContext ctx(m);
+  util::Rng rng(17);
+  for (auto _ : state) {
+    const std::size_t i = rng.bounded(q);
+    std::size_t j = rng.bounded(q);
+    while (j == i) j = rng.bounded(q);
+    std::swap(order[i], order[j]);
+    benchmark::DoNotOptimize(core::decode_order_into(ctx, order));
+    std::swap(order[i], order[j]);  // reject the neighbor
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["reused/decode"] =
+      static_cast<double>(ctx.strings_reused()) /
+      static_cast<double>(ctx.decodes());
+  state.counters["commits/decode"] =
+      static_cast<double>(ctx.commits_attempted()) /
+      static_cast<double>(ctx.decodes());
+}
+BENCHMARK(BM_DecodePrefixReuse)->Arg(32)->Arg(64)->Arg(128);
+
+/// The same candidate stream decoded from scratch each time (the pre-engine
+/// behavior): baseline for BM_DecodePrefixReuse.
+void BM_DecodeFromScratch(benchmark::State& state) {
+  const auto m = make_instance(6, static_cast<std::size_t>(state.range(0)));
+  const std::size_t q = m.num_strings();
+  auto order = core::identity_order(m);
+  util::Rng shuffle_rng(5);
+  shuffle_rng.shuffle(order);
+  util::Rng rng(17);
+  for (auto _ : state) {
+    const std::size_t i = rng.bounded(q);
+    std::size_t j = rng.bounded(q);
+    while (j == i) j = rng.bounded(q);
+    std::swap(order[i], order[j]);
+    benchmark::DoNotOptimize(core::decode_order(m, order));
+    std::swap(order[i], order[j]);  // reject the neighbor
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DecodeFromScratch)->Arg(32)->Arg(64)->Arg(128);
+
+/// Population-sized batch evaluation through BatchEvaluator (the GENITOR
+/// initial-population path); Arg = worker threads.
+void BM_BatchEvaluate(benchmark::State& state) {
+  const auto m = make_instance(6, 48);
+  std::vector<std::vector<model::StringId>> orders(
+      32, core::identity_order(m));
+  util::Rng rng(23);
+  for (auto& o : orders) rng.shuffle(o);
+  core::BatchEvaluator evaluator(m, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.evaluate_fitness(orders));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(orders.size()));
+}
+BENCHMARK(BM_BatchEvaluate)->Arg(1)->Arg(2);
 
 void BM_EstimateAll(benchmark::State& state) {
   const auto m = make_instance(6, static_cast<std::size_t>(state.range(0)));

@@ -45,7 +45,7 @@ FeasibilityReport check_stage_one(const UtilizationState& util) {
     if (!within(u, 1.0)) {
       report.stage_one_ok = false;
       report.violations.push_back(
-          {ViolationKind::kMachineOverload, -1, -1, j, -1, u, 1.0});
+          {ViolationKind::kMachineOverload, model::kInvalidId, model::kInvalidId, j, model::kInvalidId, u, 1.0});
     }
   }
   for (MachineId j1 = 0; j1 < m; ++j1) {
@@ -55,7 +55,7 @@ FeasibilityReport check_stage_one(const UtilizationState& util) {
       if (!within(u, 1.0)) {
         report.stage_one_ok = false;
         report.violations.push_back(
-            {ViolationKind::kRouteOverload, -1, -1, j1, j2, u, 1.0});
+            {ViolationKind::kRouteOverload, model::kInvalidId, model::kInvalidId, j1, j2, u, 1.0});
       }
     }
   }
@@ -74,7 +74,7 @@ FeasibilityReport check_stage_two(const SystemModel& model, const Allocation& al
         report.stage_two_ok = false;
         report.violations.push_back({ViolationKind::kCompThroughput,
                                      static_cast<StringId>(k),
-                                     static_cast<model::AppIndex>(i), -1, -1,
+                                     static_cast<model::AppIndex>(i), model::kInvalidId, model::kInvalidId,
                                      est.comp[k][i], p});
       }
     }
@@ -83,7 +83,7 @@ FeasibilityReport check_stage_two(const SystemModel& model, const Allocation& al
         report.stage_two_ok = false;
         report.violations.push_back({ViolationKind::kTranThroughput,
                                      static_cast<StringId>(k),
-                                     static_cast<model::AppIndex>(i), -1, -1,
+                                     static_cast<model::AppIndex>(i), model::kInvalidId, model::kInvalidId,
                                      est.tran[k][i], p});
       }
     }
@@ -91,7 +91,7 @@ FeasibilityReport check_stage_two(const SystemModel& model, const Allocation& al
     if (!within(latency, s.max_latency_s)) {
       report.stage_two_ok = false;
       report.violations.push_back({ViolationKind::kLatency, static_cast<StringId>(k),
-                                   -1, -1, -1, latency, s.max_latency_s});
+                                   model::kInvalidId, model::kInvalidId, model::kInvalidId, latency, s.max_latency_s});
     }
   }
   return report;

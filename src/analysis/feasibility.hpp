@@ -35,10 +35,10 @@ enum class ViolationKind {
 
 struct Violation {
   ViolationKind kind;
-  model::StringId k = -1;     ///< offending string (stage 2) or -1
-  model::AppIndex i = -1;     ///< offending app/transfer or -1
-  model::MachineId j1 = -1;   ///< machine (stage 1) or route source
-  model::MachineId j2 = -1;   ///< route destination (routes only)
+  model::StringId k = model::kInvalidId;    ///< offending string (stage 2) or invalid
+  model::AppIndex i = model::kInvalidId;    ///< offending app/transfer or invalid
+  model::MachineId j1 = model::kInvalidId;  ///< machine (stage 1) or route source
+  model::MachineId j2 = model::kInvalidId;  ///< route destination (routes only)
   double value = 0.0;         ///< measured quantity
   double bound = 0.0;         ///< violated bound
 

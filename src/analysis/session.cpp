@@ -77,6 +77,63 @@ void AllocationSession::uncommit(StringId k) {
   for (const StringId z : affected_strings_) refresh_estimates_of(z);
 }
 
+void AllocationSession::uncommit_all(std::span<const StringId> ks) {
+  // Union of resources the removed strings occupied (collected while the
+  // allocation still holds their assignments).
+  touched_machines_.clear();
+  touched_routes_.clear();
+  for (const StringId k : ks) {
+    assert(alloc_.deployed(k));
+    const auto& s = model_->strings[static_cast<std::size_t>(k)];
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      const MachineId j = alloc_.machine_of(k, static_cast<AppIndex>(i));
+      if (std::find(touched_machines_.begin(), touched_machines_.end(), j) ==
+          touched_machines_.end()) {
+        touched_machines_.push_back(j);
+      }
+      if (i + 1 < s.size()) {
+        const MachineId j2 = alloc_.machine_of(k, static_cast<AppIndex>(i + 1));
+        if (j != j2) {
+          const auto route = std::make_pair(j, j2);
+          if (std::find(touched_routes_.begin(), touched_routes_.end(), route) ==
+              touched_routes_.end()) {
+            touched_routes_.push_back(route);
+          }
+        }
+      }
+    }
+  }
+
+  util_.remove_strings(alloc_, ks);
+  for (const StringId k : ks) {
+    const auto ku = static_cast<std::size_t>(k);
+    alloc_.clear_string(k);
+    t_of_[ku] = std::numeric_limits<double>::quiet_NaN();
+    comp_[ku].clear();
+    tran_[ku].clear();
+  }
+
+  // One estimate refresh per affected survivor, against the final state.
+  affected_strings_.clear();
+  for (const MachineId j : touched_machines_) {
+    for (const AppRef& ref : util_.apps_on(j)) {
+      if (std::find(affected_strings_.begin(), affected_strings_.end(), ref.k) ==
+          affected_strings_.end()) {
+        affected_strings_.push_back(ref.k);
+      }
+    }
+  }
+  for (const auto& [j1, j2] : touched_routes_) {
+    for (const AppRef& ref : util_.transfers_on(j1, j2)) {
+      if (std::find(affected_strings_.begin(), affected_strings_.end(), ref.k) ==
+          affected_strings_.end()) {
+        affected_strings_.push_back(ref.k);
+      }
+    }
+  }
+  for (const StringId z : affected_strings_) refresh_estimates_of(z);
+}
+
 void AllocationSession::reset() {
   alloc_ = Allocation(*model_);
   util_ = UtilizationState(*model_);

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "analysis/metrics.hpp"
@@ -42,6 +43,16 @@ class AllocationSession {
   /// string that shared resources with it.  Enables backtracking searches
   /// (e.g. the exact permutation enumeration).
   void uncommit(model::StringId k);
+
+  /// Batched uncommit: removes every string in \p ks, then restores the
+  /// estimates of the affected survivors once at the end.  The final state is
+  /// bit-identical to uncommitting the strings one at a time (in any order):
+  /// eq. (5)-(6) estimates are pure functions of the final (allocation,
+  /// utilization, tightness) state, and survivors whose resources are
+  /// disjoint from the removed set see identical inputs either way.  The
+  /// single deferred refresh makes a suffix rewind in the prefix-reuse decode
+  /// O(residents) instead of O(suffix x residents).
+  void uncommit_all(std::span<const model::StringId> ks);
 
   /// Forgets all commitments.
   void reset();

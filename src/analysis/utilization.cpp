@@ -48,49 +48,93 @@ double UtilizationState::route_delta(StringId k, AppIndex i, MachineId j1,
   return mbps_needed / model_->network.bandwidth_mbps(j1, j2);
 }
 
-void UtilizationState::apply_string(const Allocation& alloc, StringId k, double sign) {
+void UtilizationState::add_string(const Allocation& alloc, StringId k) {
   const auto& s = model_->strings[static_cast<std::size_t>(k)];
   const auto n = static_cast<AppIndex>(s.size());
   for (AppIndex i = 0; i < n; ++i) {
     const MachineId j = alloc.machine_of(k, i);
     assert(j != model::kUnassigned);
-    machine_util_[static_cast<std::size_t>(j)] += sign * machine_delta(k, i, j);
+    machine_util_[static_cast<std::size_t>(j)] += machine_delta(k, i, j);
+    machine_apps_[static_cast<std::size_t>(j)].push_back({k, i});
+    if (i + 1 < n) {
+      const MachineId j2 = alloc.machine_of(k, i + 1);
+      if (j != j2) {
+        const std::size_t r = route_index(j, j2);
+        route_util_[r] += route_delta(k, i, j, j2);
+        route_transfers_[r].push_back({k, i});
+      }
+    }
+  }
+}
+
+void UtilizationState::remove_string(const Allocation& alloc, StringId k) {
+  // Removal erases the string's entries from the resident lists and then
+  // recomputes every touched utilization as a fresh left-to-right sum over
+  // the survivors.  Subtracting the deltas instead would leave floating-point
+  // residues ((u + d) - d != u in general), breaking the exact-rollback
+  // invariant that the prefix-reuse decode and try_commit rely on: a
+  // commit/uncommit round trip must restore bit-identical state.  Fresh
+  // summation makes each utilization a pure function of its resident list,
+  // and add_string's running sum equals the same left fold, so the two paths
+  // can never drift apart.
+  touched_machines_.clear();
+  touched_routes_.clear();
+  erase_string(alloc, k);
+  resum_touched();
+}
+
+void UtilizationState::remove_strings(const Allocation& alloc,
+                                      std::span<const StringId> ks) {
+  touched_machines_.clear();
+  touched_routes_.clear();
+  for (const StringId k : ks) erase_string(alloc, k);
+  resum_touched();
+}
+
+void UtilizationState::erase_string(const Allocation& alloc, StringId k) {
+  const auto& s = model_->strings[static_cast<std::size_t>(k)];
+  const auto n = static_cast<AppIndex>(s.size());
+  for (AppIndex i = 0; i < n; ++i) {
+    const MachineId j = alloc.machine_of(k, i);
+    assert(j != model::kUnassigned);
     auto& residents = machine_apps_[static_cast<std::size_t>(j)];
-    if (sign > 0) {
-      residents.push_back({k, i});
-    } else {
-      residents.erase(std::find(residents.begin(), residents.end(), AppRef{k, i}));
+    residents.erase(std::find(residents.begin(), residents.end(), AppRef{k, i}));
+    if (std::find(touched_machines_.begin(), touched_machines_.end(), j) ==
+        touched_machines_.end()) {
+      touched_machines_.push_back(j);
     }
     if (i + 1 < n) {
       const MachineId j2 = alloc.machine_of(k, i + 1);
       if (j != j2) {
         const std::size_t r = route_index(j, j2);
-        route_util_[r] += sign * route_delta(k, i, j, j2);
         auto& transfers = route_transfers_[r];
-        if (sign > 0) {
-          transfers.push_back({k, i});
-        } else {
-          transfers.erase(
-              std::find(transfers.begin(), transfers.end(), AppRef{k, i}));
+        transfers.erase(std::find(transfers.begin(), transfers.end(), AppRef{k, i}));
+        if (std::find(touched_routes_.begin(), touched_routes_.end(), r) ==
+            touched_routes_.end()) {
+          touched_routes_.push_back(r);
         }
       }
     }
   }
 }
 
-void UtilizationState::add_string(const Allocation& alloc, StringId k) {
-  apply_string(alloc, k, 1.0);
-}
-
-void UtilizationState::remove_string(const Allocation& alloc, StringId k) {
-  apply_string(alloc, k, -1.0);
-  // Guard against drift from repeated add/remove cycles: clamp tiny negative
-  // residues to zero.
-  for (auto& u : machine_util_) {
-    if (u < 0.0 && u > -1e-12) u = 0.0;
+void UtilizationState::resum_touched() {
+  for (const MachineId j : touched_machines_) {
+    double u = 0.0;
+    for (const AppRef& ref : machine_apps_[static_cast<std::size_t>(j)]) {
+      u += machine_delta(ref.k, ref.i, j);
+    }
+    machine_util_[static_cast<std::size_t>(j)] = u;
   }
-  for (auto& u : route_util_) {
-    if (u < 0.0 && u > -1e-12) u = 0.0;
+  const auto m = static_cast<MachineId>(machine_util_.size());
+  for (const std::size_t r : touched_routes_) {
+    const auto j1 = static_cast<MachineId>(r / static_cast<std::size_t>(m));
+    const auto j2 = static_cast<MachineId>(r % static_cast<std::size_t>(m));
+    double u = 0.0;
+    for (const AppRef& ref : route_transfers_[r]) {
+      u += route_delta(ref.k, ref.i, j1, j2);
+    }
+    route_util_[r] = u;
   }
 }
 

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "model/allocation.hpp"
@@ -37,8 +38,19 @@ class UtilizationState {
   /// Adds every application/transfer of string k using its assignment in
   /// \p alloc (string must be fully mapped).
   void add_string(const model::Allocation& alloc, model::StringId k);
-  /// Exact inverse of add_string.
+  /// Exact inverse of add_string: after the call, every utilization is
+  /// bit-identical to a state that never added string k (touched resources
+  /// are re-summed over their resident lists rather than decremented, so no
+  /// floating-point residue survives).  This exactness is the rollback
+  /// invariant the prefix-reuse decode (core::DecodeContext) depends on.
   void remove_string(const model::Allocation& alloc, model::StringId k);
+  /// Batched remove_string: erases every string in \p ks, then re-sums each
+  /// touched resource once.  Because removal is exact (pure function of the
+  /// final resident lists), the result is bit-identical to removing the
+  /// strings one at a time, in any order — but a suffix rewind pays one
+  /// re-summation per touched resource instead of one per removed string.
+  void remove_strings(const model::Allocation& alloc,
+                      std::span<const model::StringId> ks);
 
   /// U_machine[j], eq. (2).
   [[nodiscard]] double machine_util(model::MachineId j) const noexcept {
@@ -90,17 +102,24 @@ class UtilizationState {
   [[nodiscard]] std::size_t num_machines() const noexcept { return machine_util_.size(); }
 
  private:
+  /// Erases k's entries from the resident lists, accumulating the touched
+  /// resources into the scratch vectors (callers clear them first).
+  void erase_string(const model::Allocation& alloc, model::StringId k);
+  /// Recomputes every touched utilization as a fresh sum over its residents.
+  void resum_touched();
+
   [[nodiscard]] std::size_t route_index(model::MachineId j1, model::MachineId j2) const noexcept {
     return static_cast<std::size_t>(j1) * machine_util_.size() +
            static_cast<std::size_t>(j2);
   }
-  void apply_string(const model::Allocation& alloc, model::StringId k, double sign);
-
   const model::SystemModel* model_ = nullptr;
   std::vector<double> machine_util_;
   std::vector<double> route_util_;  // M x M row-major; diagonal stays 0
   std::vector<std::vector<AppRef>> machine_apps_;
   std::vector<std::vector<AppRef>> route_transfers_;
+  // Scratch for remove_string (resources whose sums need recomputation).
+  std::vector<model::MachineId> touched_machines_;
+  std::vector<std::size_t> touched_routes_;
 };
 
 }  // namespace tsce::analysis

@@ -15,7 +15,9 @@ using model::Worth;
 namespace {
 
 /// GENITOR problem over orderings of one worth class, evaluated by decoding
-/// the frozen base order followed by the class ordering.
+/// the frozen base order followed by the class ordering.  Every candidate
+/// shares the frozen base as a prefix, so the context-based decode reuses it
+/// across the whole search instead of re-deploying it per evaluation.
 class ClassOrderProblem {
  public:
   using Chromosome = std::vector<StringId>;
@@ -23,12 +25,12 @@ class ClassOrderProblem {
 
   ClassOrderProblem(const SystemModel& model, const std::vector<StringId>& base,
                     std::vector<StringId> members)
-      : model_(&model), base_(&base), members_(std::move(members)) {}
+      : base_(&base), members_(std::move(members)), ctx_(model) {}
 
   [[nodiscard]] Fitness evaluate(const Chromosome& order) const {
-    std::vector<StringId> full = *base_;
-    full.insert(full.end(), order.begin(), order.end());
-    return decode_order(*model_, full).fitness;
+    full_.assign(base_->begin(), base_->end());
+    full_.insert(full_.end(), order.begin(), order.end());
+    return decode_order_into(ctx_, full_).fitness;
   }
 
   [[nodiscard]] std::pair<Chromosome, Chromosome> crossover(const Chromosome& a,
@@ -58,9 +60,10 @@ class ClassOrderProblem {
   }
 
  private:
-  const SystemModel* model_;
   const std::vector<StringId>* base_;
   std::vector<StringId> members_;
+  mutable DecodeContext ctx_;
+  mutable std::vector<StringId> full_;
 };
 
 }  // namespace

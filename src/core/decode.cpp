@@ -1,8 +1,8 @@
 #include "core/decode.hpp"
 
+#include <cassert>
 #include <numeric>
 
-#include "analysis/session.hpp"
 #include "core/imr.hpp"
 
 namespace tsce::core {
@@ -10,22 +10,74 @@ namespace tsce::core {
 using model::StringId;
 using model::SystemModel;
 
-DecodeResult decode_order(const SystemModel& model,
-                          std::span<const StringId> order) {
-  analysis::AllocationSession session(model);
+DecodeContext::DecodeContext(const SystemModel& model) : session_(model) {
+  committed_.reserve(model.num_strings());
+}
+
+bool DecodeContext::try_push(StringId k) {
+  ++commits_attempted_;
+  imr_map_string_into(session_.system(), session_.util(), k, imr_scratch_,
+                      assignment_scratch_);
+  if (!session_.try_commit(k, assignment_scratch_)) return false;
+  committed_.push_back(k);
+  return true;
+}
+
+void DecodeContext::pop() {
+  assert(!committed_.empty());
+  session_.uncommit(committed_.back());
+  committed_.pop_back();
+}
+
+void DecodeContext::rewind_to(std::size_t prefix_len) {
+  assert(prefix_len <= committed_.size());
+  if (prefix_len >= committed_.size()) return;
+  // Batched removal: one touched-resource re-summation and one estimate
+  // refresh for the whole suffix (bit-identical to popping one at a time).
+  session_.uncommit_all(std::span(committed_).subspan(prefix_len));
+  committed_.resize(prefix_len);
+}
+
+DecodeResult DecodeContext::materialize(const DecodeOutcome& outcome) const {
   DecodeResult result;
-  result.first_failed = -1;
-  for (const StringId k : order) {
-    const auto assignment = imr_map_string(model, session.util(), k);
-    if (!session.try_commit(k, assignment)) {
-      result.first_failed = k;
+  result.allocation = session_.allocation();
+  result.fitness = outcome.fitness;
+  result.strings_deployed = outcome.strings_deployed;
+  result.first_failed = outcome.first_failed;
+  return result;
+}
+
+DecodeOutcome decode_order_into(DecodeContext& ctx,
+                                std::span<const StringId> order) {
+  ++ctx.decodes_;
+  // Longest common prefix of the new order and the committed stack.  Strings
+  // at and beyond the previous decode's first failure were never committed,
+  // so the stack is exactly the deployed prefix of the last order: everything
+  // up to the divergence point can be kept as-is.
+  std::size_t lcp = 0;
+  const std::size_t max_lcp = std::min(ctx.committed_.size(), order.size());
+  while (lcp < max_lcp && ctx.committed_[lcp] == order[lcp]) ++lcp;
+  ctx.rewind_to(lcp);
+  ctx.reused_ += lcp;
+
+  DecodeOutcome outcome;
+  outcome.prefix_reused = lcp;
+  outcome.strings_deployed = lcp;
+  for (std::size_t p = lcp; p < order.size(); ++p) {
+    if (!ctx.try_push(order[p])) {
+      outcome.first_failed = order[p];
       break;
     }
-    ++result.strings_deployed;
+    ++outcome.strings_deployed;
   }
-  result.fitness = session.fitness();
-  result.allocation = session.allocation();
-  return result;
+  outcome.fitness = ctx.fitness();
+  return outcome;
+}
+
+DecodeResult decode_order(const SystemModel& model,
+                          std::span<const StringId> order) {
+  DecodeContext ctx(model);
+  return ctx.materialize(decode_order_into(ctx, order));
 }
 
 std::vector<StringId> identity_order(const SystemModel& model) {

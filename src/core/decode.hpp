@@ -4,13 +4,25 @@
 /// two-stage feasibility analysis runs on the intermediate mapping, and the
 /// first failure terminates the process (partial allocation), leaving the
 /// previous feasible mapping as the result.
+///
+/// The evaluation engine: search allocators decode millions of neighboring
+/// permutations, so DecodeContext keeps one long-lived AllocationSession and
+/// diffs each new order against the commit stack of the previous one.  Only
+/// the divergent suffix is uncommitted and re-decoded; the longest common
+/// prefix is reused verbatim.  This relies on the session's exact-rollback
+/// invariant (see utilization.hpp): after rewinding, the session state is
+/// bit-identical to a from-scratch decode of the shared prefix, so
+/// incremental results equal full re-decodes exactly.
 
 #pragma once
 
+#include <cstddef>
 #include <span>
 #include <vector>
 
 #include "analysis/metrics.hpp"
+#include "analysis/session.hpp"
+#include "core/imr.hpp"
 #include "model/allocation.hpp"
 #include "model/system_model.hpp"
 #include "model/types.hpp"
@@ -22,11 +34,89 @@ struct DecodeResult {
   analysis::Fitness fitness;
   /// Number of strings deployed before the process stopped.
   std::size_t strings_deployed = 0;
-  /// The string whose commit failed, or -1 when every string fit.
-  model::StringId first_failed = -1;
+  /// The string whose commit failed, or kInvalidId when every string fit.
+  model::StringId first_failed = model::kInvalidId;
 };
 
-/// Decodes \p order (a permutation of string ids, possibly a prefix).
+/// Allocation-free view of one decode: everything DecodeResult carries except
+/// the allocation itself (readable from the context that produced it).
+struct DecodeOutcome {
+  analysis::Fitness fitness;
+  std::size_t strings_deployed = 0;
+  model::StringId first_failed = model::kInvalidId;
+  /// Strings reused from the committed prefix of the previous decode.
+  std::size_t prefix_reused = 0;
+};
+
+/// Reusable decoding state: a long-lived AllocationSession plus the stack of
+/// committed strings.  A context is single-threaded; parallel evaluation uses
+/// one context per worker (see BatchEvaluator in evaluator.hpp).
+class DecodeContext {
+ public:
+  explicit DecodeContext(const model::SystemModel& model);
+
+  [[nodiscard]] const model::SystemModel& system() const noexcept {
+    return session_.system();
+  }
+
+  /// Incremental primitive: IMR-maps string k onto the current utilization
+  /// state and attempts the commit.  On success k joins the commit stack.
+  /// The exact enumerator drives its depth-first search with these.
+  bool try_push(model::StringId k);
+  /// Uncommits the most recently pushed string.
+  void pop();
+  /// Uncommits until only \p prefix_len strings remain committed.
+  void rewind_to(std::size_t prefix_len);
+
+  /// Committed strings, in commit order.
+  [[nodiscard]] std::span<const model::StringId> committed() const noexcept {
+    return committed_;
+  }
+  [[nodiscard]] std::size_t depth() const noexcept { return committed_.size(); }
+
+  [[nodiscard]] analysis::Fitness fitness() const noexcept {
+    return session_.fitness();
+  }
+  [[nodiscard]] const model::Allocation& allocation() const noexcept {
+    return session_.allocation();
+  }
+  [[nodiscard]] const analysis::UtilizationState& util() const noexcept {
+    return session_.util();
+  }
+
+  /// Copies the current session state into a full DecodeResult using the
+  /// outcome of the decode that produced it.
+  [[nodiscard]] DecodeResult materialize(const DecodeOutcome& outcome) const;
+
+  /// Lifetime counters (for benchmarks and engine introspection).
+  [[nodiscard]] std::size_t decodes() const noexcept { return decodes_; }
+  [[nodiscard]] std::size_t commits_attempted() const noexcept {
+    return commits_attempted_;
+  }
+  [[nodiscard]] std::size_t strings_reused() const noexcept { return reused_; }
+
+ private:
+  friend DecodeOutcome decode_order_into(DecodeContext& ctx,
+                                         std::span<const model::StringId> order);
+
+  analysis::AllocationSession session_;
+  std::vector<model::StringId> committed_;
+  ImrScratch imr_scratch_;
+  std::vector<model::MachineId> assignment_scratch_;
+  std::size_t decodes_ = 0;
+  std::size_t commits_attempted_ = 0;
+  std::size_t reused_ = 0;
+};
+
+/// Decodes \p order into \p ctx, reusing the longest common prefix with the
+/// context's committed stack: O(divergent suffix) instead of O(order length).
+/// The result is bit-identical to decode_order on a fresh session.
+DecodeOutcome decode_order_into(DecodeContext& ctx,
+                                std::span<const model::StringId> order);
+
+/// Decodes \p order (a permutation of string ids, possibly a prefix) on a
+/// fresh session.  Thin wrapper over DecodeContext; search loops should hold
+/// a context and call decode_order_into instead.
 [[nodiscard]] DecodeResult decode_order(const model::SystemModel& model,
                                         std::span<const model::StringId> order);
 

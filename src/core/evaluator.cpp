@@ -1,0 +1,40 @@
+#include "core/evaluator.hpp"
+
+#include <thread>
+
+namespace tsce::core {
+
+BatchEvaluator::BatchEvaluator(const model::SystemModel& model, std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  contexts_.reserve(threads);
+  for (std::size_t w = 0; w < threads; ++w) {
+    contexts_.push_back(std::make_unique<DecodeContext>(model));
+  }
+  if (threads > 1) pool_ = std::make_unique<util::ThreadPool>(threads);
+}
+
+std::vector<DecodeOutcome> BatchEvaluator::evaluate(
+    std::span<const std::vector<model::StringId>> orders) {
+  std::vector<DecodeOutcome> outcomes(orders.size());
+  for_each(orders.size(), [&](std::size_t i, DecodeContext& ctx) {
+    outcomes[i] = decode_order_into(ctx, orders[i]);
+    // prefix_reused depends on what this worker's context evaluated before,
+    // i.e. on the work schedule; strip it so batch results are byte-identical
+    // at any thread count (reuse totals stay readable via the contexts).
+    outcomes[i].prefix_reused = 0;
+  });
+  return outcomes;
+}
+
+std::vector<analysis::Fitness> BatchEvaluator::evaluate_fitness(
+    std::span<const std::vector<model::StringId>> orders) {
+  std::vector<analysis::Fitness> fitness(orders.size());
+  for_each(orders.size(), [&](std::size_t i, DecodeContext& ctx) {
+    fitness[i] = decode_order_into(ctx, orders[i]).fitness;
+  });
+  return fitness;
+}
+
+}  // namespace tsce::core

@@ -2,32 +2,29 @@
 
 #include <stdexcept>
 
-#include "analysis/session.hpp"
-#include "core/imr.hpp"
+#include "core/decode.hpp"
 
 namespace tsce::core {
 
-using analysis::AllocationSession;
 using analysis::Fitness;
 using model::StringId;
 using model::SystemModel;
 
 namespace {
 
-/// Depth-first enumeration state.
+/// Depth-first enumeration state on top of the incremental decode engine:
+/// DecodeContext supplies push/pop string commits, so each tree edge costs
+/// one IMR mapping plus the suffix-local feasibility re-analysis.
 class Enumerator {
  public:
   Enumerator(const SystemModel& model, std::size_t max_evaluations)
-      : model_(model),
-        session_(model),
-        max_evaluations_(max_evaluations),
+      : model_(model), ctx_(model), max_evaluations_(max_evaluations),
         used_(model.num_strings(), false) {
     remaining_worth_ = model.total_worth_available();
   }
 
   void run() {
-    order_.clear();
-    consider(session_.fitness());
+    consider(ctx_.fitness());
     descend();
   }
 
@@ -44,8 +41,8 @@ class Enumerator {
   void consider(const Fitness& fitness) {
     if (!have_best_ || best_fitness_ < fitness) {
       best_fitness_ = fitness;
-      best_allocation_ = session_.allocation();
-      best_order_ = order_;
+      best_allocation_ = ctx_.allocation();
+      best_order_.assign(ctx_.committed().begin(), ctx_.committed().end());
       have_best_ = true;
     }
   }
@@ -53,7 +50,7 @@ class Enumerator {
   void descend() {
     if (evaluations_ >= max_evaluations_) return;
     // Bound: even deploying every remaining string cannot beat the best.
-    const Fitness current = session_.fitness();
+    const Fitness current = ctx_.fitness();
     if (have_best_ &&
         current.total_worth + remaining_worth_ < best_fitness_.total_worth) {
       return;
@@ -63,18 +60,15 @@ class Enumerator {
     for (StringId k = 0; k < q; ++k) {
       if (used_[static_cast<std::size_t>(k)]) continue;
       leaf = false;
-      const auto assignment = imr_map_string(model_, session_.util(), k);
       ++evaluations_;
       const int worth_k = model_.strings[static_cast<std::size_t>(k)].worth_factor();
-      if (session_.try_commit(k, assignment)) {
+      if (ctx_.try_push(k)) {
         used_[static_cast<std::size_t>(k)] = true;
         remaining_worth_ -= worth_k;
-        order_.push_back(k);
         descend();
-        order_.pop_back();
         remaining_worth_ += worth_k;
         used_[static_cast<std::size_t>(k)] = false;
-        session_.uncommit(k);
+        ctx_.pop();
       } else {
         // The sequential decode stops at the first infeasible string: every
         // completion of this prefix ending in k has the current value.
@@ -86,11 +80,10 @@ class Enumerator {
   }
 
   const SystemModel& model_;
-  AllocationSession session_;
+  DecodeContext ctx_;
   std::size_t max_evaluations_;
   std::size_t evaluations_ = 0;
   std::vector<bool> used_;
-  std::vector<StringId> order_;
   int remaining_worth_ = 0;
 
   bool have_best_ = false;

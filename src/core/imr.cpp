@@ -22,15 +22,20 @@ double computational_intensity(const SystemModel& model, StringId k,
 namespace {
 
 /// Local view of resource usage: committed state plus the in-progress
-/// assignments of the string being mapped.
+/// assignments of the string being mapped.  Buffers live in the caller's
+/// ImrScratch so repeated mappings do not allocate.
 class ScratchUtil {
  public:
-  ScratchUtil(const SystemModel& model, const UtilizationState& util, StringId k)
+  ScratchUtil(const SystemModel& model, const UtilizationState& util, StringId k,
+              ImrScratch& scratch)
       : model_(model),
         util_(util),
         k_(k),
-        machine_extra_(model.num_machines(), 0.0),
-        route_extra_(model.num_machines() * model.num_machines(), 0.0) {}
+        machine_extra_(scratch.machine_extra),
+        route_extra_(scratch.route_extra) {
+    machine_extra_.assign(model.num_machines(), 0.0);
+    route_extra_.assign(model.num_machines() * model.num_machines(), 0.0);
+  }
 
   [[nodiscard]] double machine_util_if(MachineId j, AppIndex i) const noexcept {
     return util_.machine_util(j) + machine_extra_[static_cast<std::size_t>(j)] +
@@ -63,26 +68,28 @@ class ScratchUtil {
   const SystemModel& model_;
   const UtilizationState& util_;
   StringId k_;
-  std::vector<double> machine_extra_;
-  std::vector<double> route_extra_;
+  std::vector<double>& machine_extra_;
+  std::vector<double>& route_extra_;
 };
 
 }  // namespace
 
-std::vector<MachineId> imr_map_string(const SystemModel& model,
-                                      const UtilizationState& util, StringId k) {
+void imr_map_string_into(const SystemModel& model, const UtilizationState& util,
+                         StringId k, ImrScratch& buffers,
+                         std::vector<MachineId>& assignment) {
   const auto& s = model.strings[static_cast<std::size_t>(k)];
   const auto n = static_cast<AppIndex>(s.size());
   const auto m = static_cast<MachineId>(model.num_machines());
   assert(n > 0 && m > 0);
 
-  std::vector<MachineId> assignment(static_cast<std::size_t>(n), model::kUnassigned);
-  std::vector<bool> in_d(static_cast<std::size_t>(n), false);
-  ScratchUtil scratch(model, util, k);
+  assignment.assign(static_cast<std::size_t>(n), model::kUnassigned);
+  auto& in_d = buffers.in_d;
+  in_d.assign(static_cast<std::size_t>(n), 0);
+  ScratchUtil scratch(model, util, k, buffers);
 
   // Step 1: the most computationally intensive application seeds the mapping.
   auto most_intensive_unassigned = [&]() {
-    AppIndex best = -1;
+    AppIndex best = model::kInvalidId;
     double best_val = -std::numeric_limits<double>::infinity();
     for (AppIndex i = 0; i < n; ++i) {
       if (in_d[static_cast<std::size_t>(i)]) continue;
@@ -119,7 +126,7 @@ std::vector<MachineId> imr_map_string(const SystemModel& model,
   AppIndex assigned = 1;
   while (assigned < n) {
     const AppIndex target = most_intensive_unassigned();
-    assert(target != -1);
+    assert(target != model::kInvalidId);
     while (target > i_right) {
       const AppIndex i = i_right + 1;
       const MachineId prev = assignment[static_cast<std::size_t>(i - 1)];
@@ -163,6 +170,13 @@ std::vector<MachineId> imr_map_string(const SystemModel& model,
       i_left = i;
     }
   }
+}
+
+std::vector<MachineId> imr_map_string(const SystemModel& model,
+                                      const UtilizationState& util, StringId k) {
+  ImrScratch scratch;
+  std::vector<MachineId> assignment;
+  imr_map_string_into(model, util, k, scratch, assignment);
   return assignment;
 }
 

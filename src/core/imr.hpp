@@ -28,10 +28,26 @@ namespace tsce::core {
                                              model::StringId k,
                                              model::AppIndex i) noexcept;
 
+/// Reusable working buffers for the IMR.  Hot search loops map a string per
+/// candidate evaluation; keeping the buffers alive across calls makes the
+/// routine allocation-free after the first use (see DecodeContext).
+struct ImrScratch {
+  std::vector<double> machine_extra;
+  std::vector<double> route_extra;
+  std::vector<char> in_d;
+};
+
 /// Maps string \p k against the resource usage in \p util (which reflects all
-/// previously committed strings; it is not modified).  Returns one machine per
-/// application.  Feasibility is NOT checked here; the caller runs the
-/// two-stage analysis on the resulting intermediate mapping.
+/// previously committed strings; it is not modified), writing one machine per
+/// application into \p assignment (resized as needed).  Feasibility is NOT
+/// checked here; the caller runs the two-stage analysis on the resulting
+/// intermediate mapping.
+void imr_map_string_into(const model::SystemModel& model,
+                         const analysis::UtilizationState& util,
+                         model::StringId k, ImrScratch& scratch,
+                         std::vector<model::MachineId>& assignment);
+
+/// Convenience wrapper over imr_map_string_into with throwaway buffers.
 [[nodiscard]] std::vector<model::MachineId> imr_map_string(
     const model::SystemModel& model, const analysis::UtilizationState& util,
     model::StringId k);

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "core/decode.hpp"
+#include "core/evaluator.hpp"
 
 namespace tsce::core {
 
@@ -11,52 +13,110 @@ using analysis::Fitness;
 using model::StringId;
 using model::SystemModel;
 
-AllocatorResult HillClimb::allocate(const SystemModel& model, util::Rng& rng) const {
-  AllocatorResult best;
-  bool have_best = false;
-  std::size_t evaluations = 0;
-  const std::size_t q = model.num_strings();
+namespace {
 
-  for (std::size_t restart = 0; restart < std::max<std::size_t>(1, options_.restarts);
-       ++restart) {
-    std::vector<StringId> current = identity_order(model);
-    rng.shuffle(current);
-    DecodeResult current_decoded = decode_order(model, current);
-    ++evaluations;
+/// One first-improvement climb from \p current (mutated in place to the local
+/// optimum).  \p evaluations is the shared decode counter; \p budget is an
+/// absolute cap on it (0 = unlimited).  Returns the optimum's outcome.
+DecodeOutcome climb(DecodeContext& ctx, std::vector<StringId>& current,
+                    util::Rng& rng, const HillClimbOptions& options,
+                    std::size_t& evaluations, std::size_t budget) {
+  const std::size_t q = current.size();
+  DecodeOutcome current_decoded = decode_order_into(ctx, current);
+  ++evaluations;
 
-    bool improved = true;
-    while (improved &&
-           (options_.max_evaluations == 0 || evaluations < options_.max_evaluations)) {
-      improved = false;
-      for (std::size_t attempt = 0;
-           attempt < options_.max_neighbors_per_step && q >= 2; ++attempt) {
-        const std::size_t i = rng.bounded(q);
-        std::size_t j = rng.bounded(q);
-        while (j == i) j = rng.bounded(q);
-        std::swap(current[i], current[j]);
-        DecodeResult neighbor = decode_order(model, current);
-        ++evaluations;
-        if (current_decoded.fitness < neighbor.fitness) {
-          current_decoded = std::move(neighbor);
-          improved = true;
-          break;  // first improvement: restart the neighborhood scan
-        }
-        std::swap(current[i], current[j]);  // undo
-        if (options_.max_evaluations != 0 && evaluations >= options_.max_evaluations) {
-          break;
-        }
+  bool improved = true;
+  while (improved && (budget == 0 || evaluations < budget)) {
+    improved = false;
+    for (std::size_t attempt = 0;
+         attempt < options.max_neighbors_per_step && q >= 2; ++attempt) {
+      const std::size_t i = rng.bounded(q);
+      std::size_t j = rng.bounded(q);
+      while (j == i) j = rng.bounded(q);
+      std::swap(current[i], current[j]);
+      const DecodeOutcome neighbor = decode_order_into(ctx, current);
+      ++evaluations;
+      if (current_decoded.fitness < neighbor.fitness) {
+        current_decoded = neighbor;
+        improved = true;
+        break;  // first improvement: restart the neighborhood scan
       }
-    }
-    if (!have_best || best.fitness < current_decoded.fitness) {
-      best.allocation = std::move(current_decoded.allocation);
-      best.fitness = current_decoded.fitness;
-      best.order = current;
-      have_best = true;
-    }
-    if (options_.max_evaluations != 0 && evaluations >= options_.max_evaluations) {
-      break;
+      std::swap(current[i], current[j]);  // undo
+      if (budget != 0 && evaluations >= budget) break;
     }
   }
+  return current_decoded;
+}
+
+}  // namespace
+
+AllocatorResult HillClimb::allocate(const SystemModel& model, util::Rng& rng) const {
+  const std::size_t restarts = std::max<std::size_t>(1, options_.restarts);
+  Fitness best_fitness{};
+  std::vector<StringId> best_order;
+  bool have_best = false;
+  std::size_t evaluations = 0;
+  DecodeContext replay_ctx(model);
+
+  if (options_.threads <= 1) {
+    // Serial engine: one context across all restarts, the caller's rng driving
+    // both the restart shuffles and the neighbor picks (the legacy stream),
+    // and a global evaluation budget.
+    for (std::size_t restart = 0; restart < restarts; ++restart) {
+      std::vector<StringId> current = identity_order(model);
+      rng.shuffle(current);
+      const DecodeOutcome optimum = climb(replay_ctx, current, rng, options_,
+                                          evaluations, options_.max_evaluations);
+      if (!have_best || best_fitness < optimum.fitness) {
+        best_fitness = optimum.fitness;
+        best_order = std::move(current);
+        have_best = true;
+      }
+      if (options_.max_evaluations != 0 && evaluations >= options_.max_evaluations) {
+        break;
+      }
+    }
+  } else {
+    // Parallel engine: restarts are independent, so each gets its own worker
+    // context, an index-derived rng stream, and an equal slice of the budget;
+    // results are deterministic at any thread count.  Ties across restarts go
+    // to the lowest restart index.
+    const std::uint64_t base_seed = rng();
+    const std::size_t slice =
+        options_.max_evaluations == 0
+            ? 0
+            : std::max<std::size_t>(1, options_.max_evaluations / restarts);
+    struct Restart {
+      Fitness fitness;
+      std::vector<StringId> order;
+      std::size_t evaluations = 0;
+    };
+    std::vector<Restart> outcomes(restarts);
+    BatchEvaluator evaluator(model, options_.threads);
+    evaluator.for_each(restarts, [&](std::size_t r, DecodeContext& ctx) {
+      util::Rng restart_rng = util::Rng::stream(base_seed, r);
+      std::vector<StringId> current = identity_order(model);
+      restart_rng.shuffle(current);
+      const DecodeOutcome optimum =
+          climb(ctx, current, restart_rng, options_, outcomes[r].evaluations, slice);
+      outcomes[r].fitness = optimum.fitness;
+      outcomes[r].order = std::move(current);
+    });
+    for (const Restart& r : outcomes) {
+      evaluations += r.evaluations;
+      if (!have_best || best_fitness < r.fitness) {
+        best_fitness = r.fitness;
+        best_order = r.order;
+        have_best = true;
+      }
+    }
+  }
+
+  AllocatorResult best;
+  best.fitness = best_fitness;
+  best.allocation = replay_ctx.materialize(decode_order_into(replay_ctx, best_order))
+                        .allocation;
+  best.order = std::move(best_order);
   best.evaluations = evaluations;
   return best;
 }
@@ -74,13 +134,12 @@ AllocatorResult SimulatedAnnealing::allocate(const SystemModel& model,
   const std::size_t q = model.num_strings();
   std::vector<StringId> current = identity_order(model);
   rng.shuffle(current);
-  DecodeResult current_decoded = decode_order(model, current);
+  DecodeContext ctx(model);
+  DecodeOutcome current_decoded = decode_order_into(ctx, current);
 
-  AllocatorResult best;
-  best.allocation = current_decoded.allocation;
-  best.fitness = current_decoded.fitness;
-  best.order = current;
-  best.evaluations = 1;
+  Fitness best_fitness = current_decoded.fitness;
+  std::vector<StringId> best_order = current;
+  std::size_t evaluations = 1;
 
   double temperature = options_.initial_temperature > 0.0
                            ? options_.initial_temperature
@@ -90,24 +149,30 @@ AllocatorResult SimulatedAnnealing::allocate(const SystemModel& model,
     std::size_t j = rng.bounded(q);
     while (j == i) j = rng.bounded(q);
     std::swap(current[i], current[j]);
-    DecodeResult neighbor = decode_order(model, current);
-    ++best.evaluations;
+    const DecodeOutcome neighbor = decode_order_into(ctx, current);
+    ++evaluations;
 
     const double delta = energy(neighbor.fitness) - energy(current_decoded.fitness);
     const bool accept =
         delta >= 0.0 || rng.uniform() < std::exp(delta / std::max(temperature, 1e-9));
     if (accept) {
-      current_decoded = std::move(neighbor);
-      if (best.fitness < current_decoded.fitness) {
-        best.allocation = current_decoded.allocation;
-        best.fitness = current_decoded.fitness;
-        best.order = current;
+      current_decoded = neighbor;
+      if (best_fitness < current_decoded.fitness) {
+        best_fitness = current_decoded.fitness;
+        best_order = current;
       }
     } else {
       std::swap(current[i], current[j]);  // undo
     }
     temperature *= options_.cooling;
   }
+
+  AllocatorResult best;
+  best.fitness = best_fitness;
+  best.allocation =
+      ctx.materialize(decode_order_into(ctx, best_order)).allocation;
+  best.order = std::move(best_order);
+  best.evaluations = evaluations;
   return best;
 }
 

@@ -18,7 +18,14 @@ struct HillClimbOptions {
   /// Neighbor evaluations per climb before giving up on an improvement.
   std::size_t max_neighbors_per_step = 64;
   /// Total decode-evaluation budget across all restarts (0 = unlimited).
+  /// With threads > 1 the budget is split evenly across restarts so parallel
+  /// runs stay deterministic.
   std::size_t max_evaluations = 0;
+  /// Worker threads for running restarts concurrently; 1 = serial (drives
+  /// restarts off the caller's rng stream, the legacy behavior), > 1 gives
+  /// each restart an index-derived rng stream so results are reproducible at
+  /// any thread count (0 = hardware concurrency).
+  std::size_t threads = 1;
 };
 
 /// First-improvement hill climbing over string orderings with the swap

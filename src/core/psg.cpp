@@ -12,7 +12,12 @@ using model::StringId;
 using model::SystemModel;
 
 analysis::Fitness PermutationProblem::evaluate(const Chromosome& order) const {
-  return decode_order(*model_, order).fitness;
+  return decode_order_into(evaluator_.context(0), order).fitness;
+}
+
+std::vector<analysis::Fitness> PermutationProblem::evaluate_batch(
+    std::span<const Chromosome> batch) const {
+  return evaluator_.evaluate_fitness(batch);
 }
 
 PermutationProblem::Chromosome PermutationProblem::reorder_top(
@@ -66,7 +71,7 @@ PermutationProblem::Chromosome PermutationProblem::random_chromosome(
 }
 
 AllocatorResult Psg::allocate(const SystemModel& model, util::Rng& rng) const {
-  const PermutationProblem problem(model);
+  const PermutationProblem problem(model, options_.eval_threads);
   const auto seed_orders = seeds(model);
 
   AllocatorResult best;

@@ -14,10 +14,12 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <utility>
 #include <vector>
 
 #include "core/allocator.hpp"
+#include "core/evaluator.hpp"
 #include "genitor/genitor.hpp"
 
 namespace tsce::core {
@@ -27,17 +29,28 @@ struct PsgOptions {
   /// Independent restarts; the best of all trials is reported (the paper uses
   /// four trials per run for the evolutionary algorithms).
   std::size_t trials = 4;
+  /// Worker threads for batch chromosome evaluation (initial populations);
+  /// 1 = serial, 0 = hardware concurrency.  Results are identical at any
+  /// thread count (the BatchEvaluator determinism contract).
+  std::size_t eval_threads = 1;
 };
 
-/// GENITOR problem adapter for the permutation space.
+/// GENITOR problem adapter for the permutation space.  Owns the evaluation
+/// engine: every evaluate() goes through a long-lived DecodeContext (prefix
+/// reuse, no per-candidate allocation), and evaluate_batch() fans initial
+/// populations out across the BatchEvaluator's workers.
 class PermutationProblem {
  public:
   using Chromosome = std::vector<model::StringId>;
   using Fitness = analysis::Fitness;
 
-  explicit PermutationProblem(const model::SystemModel& model) : model_(&model) {}
+  explicit PermutationProblem(const model::SystemModel& model,
+                              std::size_t eval_threads = 1)
+      : model_(&model), evaluator_(model, eval_threads) {}
 
   [[nodiscard]] Fitness evaluate(const Chromosome& order) const;
+  [[nodiscard]] std::vector<Fitness> evaluate_batch(
+      std::span<const Chromosome> batch) const;
   [[nodiscard]] std::pair<Chromosome, Chromosome> crossover(const Chromosome& a,
                                                             const Chromosome& b,
                                                             util::Rng& rng) const;
@@ -52,6 +65,7 @@ class PermutationProblem {
 
  private:
   const model::SystemModel* model_;
+  mutable BatchEvaluator evaluator_;
 };
 
 class Psg : public Allocator {

@@ -88,7 +88,7 @@ std::vector<MachineId> dag_map_string(const DagSystemModel& model,
   };
 
   auto most_intensive = [&](bool frontier_only) -> AppIndex {
-    AppIndex best = -1;
+    AppIndex best = model::kInvalidId;
     double best_val = -std::numeric_limits<double>::infinity();
     for (AppIndex i = 0; i < n; ++i) {
       if (assigned[static_cast<std::size_t>(i)]) continue;
@@ -112,10 +112,10 @@ std::vector<MachineId> dag_map_string(const DagSystemModel& model,
   };
 
   AppIndex next = most_intensive(/*frontier_only=*/false);  // seed
-  while (next != -1) {
+  while (next != model::kInvalidId) {
     place(next);
     next = most_intensive(/*frontier_only=*/true);
-    if (next == -1) {
+    if (next == model::kInvalidId) {
       // Disconnected component: fall back to the global pick.
       next = most_intensive(/*frontier_only=*/false);
     }

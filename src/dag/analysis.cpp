@@ -216,8 +216,9 @@ analysis::FeasibilityReport check_feasibility(const DagSystemModel& model,
   for (MachineId j = 0; j < machines; ++j) {
     if (!analysis::within(util.machine_util(j), 1.0)) {
       report.stage_one_ok = false;
-      report.violations.push_back({analysis::ViolationKind::kMachineOverload, -1, -1,
-                                   j, -1, util.machine_util(j), 1.0});
+      report.violations.push_back({analysis::ViolationKind::kMachineOverload, model::kInvalidId,
+                                   model::kInvalidId, j, model::kInvalidId,
+                                   util.machine_util(j), 1.0});
     }
   }
   for (MachineId j1 = 0; j1 < machines; ++j1) {
@@ -225,8 +226,9 @@ analysis::FeasibilityReport check_feasibility(const DagSystemModel& model,
       if (j1 == j2) continue;
       if (!analysis::within(util.route_util(j1, j2), 1.0)) {
         report.stage_one_ok = false;
-        report.violations.push_back({analysis::ViolationKind::kRouteOverload, -1, -1,
-                                     j1, j2, util.route_util(j1, j2), 1.0});
+        report.violations.push_back({analysis::ViolationKind::kRouteOverload, model::kInvalidId,
+                                     model::kInvalidId, j1, j2,
+                                     util.route_util(j1, j2), 1.0});
       }
     }
   }
@@ -240,7 +242,8 @@ analysis::FeasibilityReport check_feasibility(const DagSystemModel& model,
         report.stage_two_ok = false;
         report.violations.push_back({analysis::ViolationKind::kCompThroughput,
                                      static_cast<StringId>(k),
-                                     static_cast<AppIndex>(i), -1, -1,
+                                     static_cast<AppIndex>(i), model::kInvalidId,
+                                     model::kInvalidId,
                                      est.comp[k][i], s.period_s});
       }
     }
@@ -249,7 +252,8 @@ analysis::FeasibilityReport check_feasibility(const DagSystemModel& model,
         report.stage_two_ok = false;
         report.violations.push_back({analysis::ViolationKind::kTranThroughput,
                                      static_cast<StringId>(k),
-                                     static_cast<AppIndex>(e), -1, -1,
+                                     static_cast<AppIndex>(e), model::kInvalidId,
+                                     model::kInvalidId,
                                      est.tran[k][e], s.period_s});
       }
     }
@@ -257,7 +261,8 @@ analysis::FeasibilityReport check_feasibility(const DagSystemModel& model,
     if (!analysis::within(latency, s.max_latency_s)) {
       report.stage_two_ok = false;
       report.violations.push_back({analysis::ViolationKind::kLatency,
-                                   static_cast<StringId>(k), -1, -1, -1, latency,
+                                   static_cast<StringId>(k), model::kInvalidId,
+                                   model::kInvalidId, model::kInvalidId, latency,
                                    s.max_latency_s});
     }
   }

@@ -19,6 +19,7 @@
 #include <cmath>
 #include <concepts>
 #include <cstddef>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -64,6 +65,16 @@ concept Problem = requires(const P& p, const typename P::Chromosome& c,
   { p.random_chromosome(rng) } -> std::convertible_to<typename P::Chromosome>;
 };
 
+/// Problems that can evaluate a whole batch at once (e.g. across a
+/// BatchEvaluator's workers).  The framework uses this for the initial
+/// population, where all chromosomes are known up front; results must match
+/// per-chromosome evaluate() exactly.
+template <typename P>
+concept BatchProblem =
+    Problem<P> && requires(const P& p, std::span<const typename P::Chromosome> batch) {
+      { p.evaluate_batch(batch) } -> std::convertible_to<std::vector<typename P::Fitness>>;
+    };
+
 template <Problem P>
 struct Result {
   typename P::Chromosome best;
@@ -88,16 +99,29 @@ class Genitor {
     Result<P> result;
     population_.clear();
     population_.reserve(config_.population_size);
+    // All initial chromosomes are known before any evaluation (random ones
+    // draw no fitness-dependent state), so they can be evaluated as one
+    // batch — in parallel when the problem supports it.
+    std::vector<Chromosome> initial;
+    initial.reserve(config_.population_size);
     for (const Chromosome& seed : seeds) {
-      if (population_.size() == config_.population_size) break;
-      insert_sorted({seed, problem_.evaluate(seed)});
-      ++result.evaluations;
+      if (initial.size() == config_.population_size) break;
+      initial.push_back(seed);
     }
-    while (population_.size() < config_.population_size) {
-      Chromosome c = problem_.random_chromosome(rng);
-      Fitness f = problem_.evaluate(c);
-      insert_sorted({std::move(c), std::move(f)});
-      ++result.evaluations;
+    while (initial.size() < config_.population_size) {
+      initial.push_back(problem_.random_chromosome(rng));
+    }
+    result.evaluations += initial.size();
+    if constexpr (BatchProblem<P>) {
+      std::vector<Fitness> fitness = problem_.evaluate_batch(initial);
+      for (std::size_t i = 0; i < initial.size(); ++i) {
+        insert_sorted({std::move(initial[i]), std::move(fitness[i])});
+      }
+    } else {
+      for (Chromosome& c : initial) {
+        Fitness f = problem_.evaluate(c);
+        insert_sorted({std::move(c), std::move(f)});
+      }
     }
 
     std::size_t stagnant = 0;

@@ -15,8 +15,13 @@ using StringId = std::int32_t;
 /// Index of an application within its string, 0-based.
 using AppIndex = std::int32_t;
 
+/// Sentinel for "no such id".  MachineId/StringId/AppIndex are all 32-bit
+/// signed typedefs; every "is this id valid" comparison goes through this
+/// constant instead of a bare -1 literal.
+inline constexpr std::int32_t kInvalidId = -1;
+
 /// Sentinel for "application not assigned to any machine".
-inline constexpr MachineId kUnassigned = -1;
+inline constexpr MachineId kUnassigned = kInvalidId;
 
 /// Intra-machine routes are modeled with infinite bandwidth (paper §6).
 inline constexpr double kInfiniteBandwidth = std::numeric_limits<double>::infinity();

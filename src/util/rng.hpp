@@ -103,6 +103,15 @@ class Rng {
     return Rng(split_mix64(s));
   }
 
+  /// The \p index-th independent stream of \p seed.  Unlike spawn() this
+  /// advances no generator, so parallel work items can derive their stream
+  /// from their index alone and stay deterministic under any scheduling
+  /// (the BatchEvaluator seeding contract).
+  [[nodiscard]] static Rng stream(std::uint64_t seed, std::uint64_t index) noexcept {
+    std::uint64_t s = seed ^ (0x9E3779B97F4A7C15ULL * (index + 1));
+    return Rng(split_mix64(s));
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

@@ -5,6 +5,8 @@
 #include "analysis/feasibility.hpp"
 #include "model/system_model.hpp"
 #include "testing/builders.hpp"
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
 
 namespace tsce::core {
 namespace {
@@ -92,6 +94,88 @@ TEST(Decode, DeployedSetAlwaysPassesFeasibility) {
        {std::vector<StringId>{0, 1, 2}, {1, 0, 2}, {2, 1, 0}, {2, 0, 1}}) {
     const DecodeResult r = decode_order(m, order);
     EXPECT_TRUE(analysis::check_feasibility(m, r.allocation).feasible());
+  }
+}
+
+TEST(DecodeContext, PushPopRewindPrimitives) {
+  const SystemModel m = testing::two_machine_system();
+  DecodeContext ctx(m);
+  EXPECT_EQ(ctx.depth(), 0u);
+  EXPECT_TRUE(ctx.try_push(0));
+  EXPECT_TRUE(ctx.try_push(1));
+  EXPECT_EQ(ctx.depth(), 2u);
+  EXPECT_EQ(ctx.fitness().total_worth, 110);
+  ctx.pop();
+  EXPECT_EQ(ctx.depth(), 1u);
+  EXPECT_EQ(ctx.fitness().total_worth, 100);
+  EXPECT_TRUE(ctx.try_push(1));
+  ctx.rewind_to(0);
+  EXPECT_EQ(ctx.depth(), 0u);
+  EXPECT_EQ(ctx.fitness().total_worth, 0);
+  EXPECT_DOUBLE_EQ(ctx.fitness().slackness, 1.0);
+  // The context is reusable after a full rewind.
+  EXPECT_TRUE(ctx.try_push(0));
+  EXPECT_EQ(ctx.fitness().total_worth, 100);
+}
+
+/// Compares an incremental decode against a from-scratch decode of the same
+/// order.  Equality is exact (operator==, no tolerance): the prefix-reuse
+/// engine promises bit-identical results.
+void expect_matches_from_scratch(DecodeContext& ctx, const SystemModel& m,
+                                 const std::vector<StringId>& order) {
+  const DecodeOutcome inc = decode_order_into(ctx, order);
+  const DecodeResult fresh = decode_order(m, order);
+  EXPECT_EQ(inc.fitness.total_worth, fresh.fitness.total_worth);
+  EXPECT_EQ(inc.fitness.slackness, fresh.fitness.slackness);
+  EXPECT_EQ(inc.strings_deployed, fresh.strings_deployed);
+  EXPECT_EQ(inc.first_failed, fresh.first_failed);
+  EXPECT_LE(inc.prefix_reused, order.size());
+  for (std::size_t k = 0; k < m.num_strings(); ++k) {
+    const auto id = static_cast<StringId>(k);
+    ASSERT_EQ(ctx.allocation().deployed(id), fresh.allocation.deployed(id))
+        << "k=" << k;
+    if (!fresh.allocation.deployed(id)) continue;
+    for (std::size_t i = 0; i < m.strings[k].size(); ++i) {
+      EXPECT_EQ(ctx.allocation().machine_of(id, static_cast<model::AppIndex>(i)),
+                fresh.allocation.machine_of(id, static_cast<model::AppIndex>(i)))
+          << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+/// Differential fuzz (fixed seeds): a long stream of swap-neighbor and
+/// fully-reshuffled orders through one context must match from-scratch
+/// decodes exactly, on both an overloaded and a lightly loaded instance.
+TEST(DecodeContext, PrefixReuseMatchesFromScratchFuzz) {
+  for (const auto scenario :
+       {workload::Scenario::kHighlyLoaded, workload::Scenario::kLightlyLoaded}) {
+    for (const std::uint64_t seed : {11ULL, 29ULL}) {
+      util::Rng rng(seed);
+      auto config = workload::GeneratorConfig::for_scenario(scenario);
+      config.num_machines = 4;
+      config.num_strings = 20;
+      const SystemModel m = workload::generate(config, rng);
+      DecodeContext ctx(m);
+      std::vector<StringId> order = identity_order(m);
+      rng.shuffle(order);
+      for (int iter = 0; iter < 60; ++iter) {
+        SCOPED_TRACE("seed=" + std::to_string(seed) + " iter=" + std::to_string(iter));
+        if (iter % 15 == 14) {
+          rng.shuffle(order);  // occasional full reshuffle: tiny prefix
+        } else {
+          const std::size_t i = rng.bounded(order.size());
+          std::size_t j = rng.bounded(order.size());
+          while (j == i) j = rng.bounded(order.size());
+          std::swap(order[i], order[j]);
+        }
+        expect_matches_from_scratch(ctx, m, order);
+      }
+      // Shrinking and growing the order length exercises rewinds past the
+      // end of the new order.
+      std::vector<StringId> prefix(order.begin(), order.begin() + 5);
+      expect_matches_from_scratch(ctx, m, prefix);
+      expect_matches_from_scratch(ctx, m, order);
+    }
   }
 }
 

@@ -61,6 +61,43 @@ TEST(HillClimb, RespectsEvaluationBudget) {
   EXPECT_LE(result.evaluations, 55u);  // budget plus the in-flight neighbor
 }
 
+TEST(HillClimb, ParallelRestartsDeterministicAcrossThreadCounts) {
+  // With threads > 1 every restart derives its rng stream from its index, so
+  // the result must be identical at any worker count (and across reruns).
+  const SystemModel m = contended(15);
+  HillClimbOptions options;
+  options.restarts = 4;
+  options.max_evaluations = 400;
+  auto run = [&](std::size_t threads) {
+    HillClimbOptions o = options;
+    o.threads = threads;
+    util::Rng rng(16);
+    return HillClimb(o).allocate(m, rng);
+  };
+  const auto two = run(2);
+  const auto three = run(3);
+  const auto two_again = run(2);
+  EXPECT_EQ(two.fitness.total_worth, three.fitness.total_worth);
+  EXPECT_EQ(two.fitness.slackness, three.fitness.slackness);
+  EXPECT_EQ(two.order, three.order);
+  EXPECT_EQ(two.evaluations, three.evaluations);
+  EXPECT_EQ(two.order, two_again.order);
+  EXPECT_EQ(two.evaluations, two_again.evaluations);
+  EXPECT_TRUE(analysis::check_feasibility(m, two.allocation).feasible());
+}
+
+TEST(HillClimb, ParallelBudgetIsSplitAcrossRestarts) {
+  const SystemModel m = contended(17);
+  HillClimbOptions options;
+  options.restarts = 4;
+  options.threads = 2;
+  options.max_evaluations = 100;
+  util::Rng rng(18);
+  const auto result = HillClimb(options).allocate(m, rng);
+  // Each restart gets a 25-evaluation slice plus its in-flight neighbor.
+  EXPECT_LE(result.evaluations, 100u + options.restarts);
+}
+
 TEST(HillClimb, SingleStringInstance) {
   util::Rng rng(7);
   auto config =

@@ -149,6 +149,38 @@ TEST(Psg, DeterministicForSameSeed) {
   EXPECT_EQ(a.order, b.order);
 }
 
+TEST(PermutationProblem, BatchEvaluateMatchesSerialEvaluate) {
+  const SystemModel m = small_contended_system(5);
+  const PermutationProblem serial(m, 1);
+  const PermutationProblem parallel(m, 2);
+  util::Rng rng(21);
+  std::vector<PermutationProblem::Chromosome> batch;
+  for (int i = 0; i < 12; ++i) batch.push_back(serial.random_chromosome(rng));
+  const auto parallel_fitness = parallel.evaluate_batch(batch);
+  ASSERT_EQ(parallel_fitness.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto one = serial.evaluate(batch[i]);
+    EXPECT_EQ(parallel_fitness[i].total_worth, one.total_worth);
+    EXPECT_EQ(parallel_fitness[i].slackness, one.slackness);
+  }
+}
+
+TEST(Psg, EvalThreadsDoNotChangeResult) {
+  const SystemModel m = small_contended_system(16);
+  PsgOptions serial_options = quick_options();
+  serial_options.eval_threads = 1;
+  PsgOptions parallel_options = quick_options();
+  parallel_options.eval_threads = 2;
+  util::Rng rng1(17);
+  util::Rng rng2(17);
+  const auto a = Psg(serial_options).allocate(m, rng1);
+  const auto b = Psg(parallel_options).allocate(m, rng2);
+  EXPECT_EQ(a.fitness.total_worth, b.fitness.total_worth);
+  EXPECT_EQ(a.fitness.slackness, b.fitness.slackness);
+  EXPECT_EQ(a.order, b.order);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
 TEST(SeededPsg, NeverWorseThanItsSeeds) {
   // Elitism + seeding: the Seeded PSG result dominates both MWF and TF.
   for (std::uint64_t seed : {11u, 12u, 13u}) {
