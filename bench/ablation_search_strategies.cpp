@@ -19,6 +19,8 @@
 #include "core/local_search.hpp"
 #include "core/ordered.hpp"
 #include "core/psg.hpp"
+#include "obs/run_info.hpp"
+#include "obs/trace.hpp"
 #include "util/flags.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -33,6 +35,7 @@ int main(int argc, char** argv) {
   std::int64_t seed = 13;
   bool with_exact = true;
   bool csv = false;
+  std::string trace_path;
   util::Flags flags(
       "ablation_search_strategies — permutation-space search strategies under "
       "a matched evaluation budget, sandwiched by the exact optimum");
@@ -43,7 +46,25 @@ int main(int argc, char** argv) {
   flags.add("seed", &seed, "base RNG seed");
   flags.add("exact", &with_exact, "also compute the exact permutation optimum");
   flags.add("csv", &csv, "emit CSV");
+  flags.add("trace", &trace_path, "write span/event JSONL trace to this path");
   if (!flags.parse(argc, argv)) return 0;
+
+  bool tracing = false;
+  if (!trace_path.empty()) {
+    obs::RunInfo info = obs::RunInfo::current();
+    info.seed = static_cast<std::uint64_t>(seed);
+    info.set_param("scenario", "highly_loaded");
+    info.set_param("machines", machines);
+    info.set_param("strings", strings);
+    info.set_param("runs", runs);
+    info.set_param("budget", budget);
+    tracing = obs::trace_open(trace_path, info);
+    if (!tracing) {
+      std::fprintf(stderr, "warning: could not open trace '%s'%s\n",
+                   trace_path.c_str(),
+                   obs::kTracingCompiledIn ? "" : " (tracing compiled out)");
+    }
+  }
 
   auto gen_config =
       workload::GeneratorConfig::for_scenario(workload::Scenario::kHighlyLoaded);
@@ -84,14 +105,23 @@ int main(int argc, char** argv) {
     const model::SystemModel m = workload::generate(gen_config, instance_rng);
     for (std::size_t s = 0; s < searchers.size(); ++s) {
       util::Rng rng = master.spawn();
-      worth[s].add(searchers[s]->allocate(m, rng).fitness.total_worth);
+      obs::Span span("bench.alloc", {{"phase", searchers[s]->name()},
+                                     {"run", std::uint64_t{static_cast<std::uint64_t>(run)}}});
+      const auto result = searchers[s]->allocate(m, rng);
+      span.add("metric", static_cast<double>(result.fitness.total_worth));
+      span.add("evaluations", static_cast<double>(result.evaluations));
+      worth[s].add(result.fitness.total_worth);
     }
     if (with_exact && m.num_strings() <= 9) {
       util::Rng rng = master.spawn();
-      exact_worth.add(
-          core::ExactPermutationSearch{}.allocate(m, rng).fitness.total_worth);
+      obs::Span span("bench.alloc", {{"phase", "Exact"},
+                                     {"run", std::uint64_t{static_cast<std::uint64_t>(run)}}});
+      const auto result = core::ExactPermutationSearch{}.allocate(m, rng);
+      span.add("metric", static_cast<double>(result.fitness.total_worth));
+      exact_worth.add(result.fitness.total_worth);
     }
   }
+  if (tracing) obs::trace_close();
 
   std::printf("== Permutation-space search strategies (M=%lld, Q=%lld, budget "
               "%lld decodes) ==\n\n",

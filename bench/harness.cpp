@@ -5,6 +5,9 @@
 
 #include "core/baselines.hpp"
 #include "core/ordered.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/json.hpp"
 #include "util/thread_pool.hpp"
 
 namespace tsce::bench {
@@ -15,6 +18,15 @@ double now_seconds() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+const char* scenario_name(workload::Scenario s) {
+  switch (s) {
+    case workload::Scenario::kHighlyLoaded: return "highly_loaded";
+    case workload::Scenario::kQosLimited: return "qos_limited";
+    case workload::Scenario::kLightlyLoaded: return "lightly_loaded";
+  }
+  return "unknown";
 }
 
 }  // namespace
@@ -31,6 +43,9 @@ void ScenarioBenchConfig::register_flags(util::Flags& flags) {
   flags.add("psg-stagnation", &psg_stagnation, "PSG stagnation limit");
   flags.add("psg-trials", &psg_trials, "PSG independent trials per run");
   flags.add("threads", &threads, "worker threads for Monte-Carlo runs (0 = all cores)");
+  flags.add("trace", &trace_path, "write span/event JSONL trace to this path");
+  flags.add("metrics", &metrics_path, "write a metrics snapshot JSON to this path");
+  flags.add("json", &json_path, "write the result series JSON to this path");
 }
 
 void ScenarioBenchConfig::apply_full_scale(workload::Scenario s) {
@@ -42,6 +57,22 @@ void ScenarioBenchConfig::apply_full_scale(workload::Scenario s) {
   psg_iterations = 5000;
   psg_stagnation = 300;
   psg_trials = 4;
+}
+
+obs::RunInfo ScenarioBenchConfig::run_info() const {
+  obs::RunInfo info = obs::RunInfo::current();
+  info.seed = static_cast<std::uint64_t>(seed);
+  info.threads = threads <= 0 ? std::thread::hardware_concurrency()
+                              : static_cast<std::size_t>(threads);
+  info.set_param("scenario", scenario_name(scenario));
+  info.set_param("machines", machines);
+  info.set_param("strings", strings);
+  info.set_param("runs", runs);
+  info.set_param("psg_population", psg_population);
+  info.set_param("psg_iterations", psg_iterations);
+  info.set_param("psg_stagnation", psg_stagnation);
+  info.set_param("psg_trials", psg_trials);
+  return info;
 }
 
 core::PsgOptions ScenarioBenchConfig::psg_options() const {
@@ -65,6 +96,17 @@ std::vector<core::AllocatorPtr> paper_allocators(const core::PsgOptions& psg) {
 
 ScenarioBenchResult run_scenario_bench(const ScenarioBenchConfig& config,
                                        bool slackness_metric) {
+  bool tracing = false;
+  if (!config.trace_path.empty()) {
+    tracing = obs::trace_open(config.trace_path, config.run_info());
+    if (!tracing) {
+      std::fprintf(stderr, "warning: could not open trace '%s'%s\n",
+                   config.trace_path.c_str(),
+                   obs::kTracingCompiledIn ? "" : " (tracing compiled out)");
+    }
+  }
+  if (!config.metrics_path.empty()) util::ThreadPool::set_timing(true);
+
   auto gen_config = workload::GeneratorConfig::for_scenario(config.scenario);
   gen_config.num_machines = static_cast<std::size_t>(config.machines);
   gen_config.num_strings = static_cast<std::size_t>(config.strings);
@@ -111,6 +153,8 @@ ScenarioBenchResult run_scenario_bench(const ScenarioBenchConfig& config,
     out.metric.resize(allocators.size());
     out.seconds.resize(allocators.size());
     for (std::size_t h = 0; h < allocators.size(); ++h) {
+      obs::Span span("bench.alloc", {{"phase", allocators[h]->name()},
+                                     {"run", std::uint64_t{run}}});
       const double t0 = now_seconds();
       const auto alloc_result =
           allocators[h]->allocate(m, plans[run].search_rngs[h]);
@@ -118,14 +162,18 @@ ScenarioBenchResult run_scenario_bench(const ScenarioBenchConfig& config,
       out.metric[h] =
           slackness_metric ? alloc_result.fitness.slackness
                            : static_cast<double>(alloc_result.fitness.total_worth);
+      span.add("metric", out.metric[h]);
+      span.add("evaluations", static_cast<double>(alloc_result.evaluations));
     }
     if (config.with_upper_bound) {
+      obs::Span span("bench.ub", {{"phase", "UB"}, {"run", std::uint64_t{run}}});
       const double t0 = now_seconds();
       const auto ub = slackness_metric ? lp::upper_bound_slackness(m)
                                        : lp::upper_bound_worth(m);
       out.ub_seconds = now_seconds() - t0;
       out.ub_status = ub.status;
       out.ub_value = ub.value;
+      span.add("metric", out.ub_value);
     }
   };
 
@@ -157,7 +205,46 @@ ScenarioBenchResult run_scenario_bench(const ScenarioBenchConfig& config,
       }
     }
   }
+
+  // Worker threads (if any) were joined when the pool left scope above, so
+  // every thread buffer is quiescent here.
+  if (tracing) obs::trace_close();
+  if (!config.metrics_path.empty()) {
+    util::Json doc = util::Json::object();
+    doc.set("run_info", config.run_info().to_json());
+    doc.set("metrics", obs::MetricsRegistry::instance().snapshot());
+    util::write_json_file(config.metrics_path, doc);
+  }
   return result;
+}
+
+util::Json scenario_bench_json(const ScenarioBenchConfig& config,
+                               const ScenarioBenchResult& result,
+                               const std::string& metric_name) {
+  auto series_json = [](const HeuristicSeries& series) {
+    util::Json j = util::Json::object();
+    j.set("name", series.name);
+    j.set("mean", series.metric.mean());
+    j.set("ci95", series.metric.ci95_half_width());
+    j.set("min", series.metric.min());
+    j.set("max", series.metric.max());
+    j.set("runs", series.metric.count());
+    j.set("seconds_mean", series.seconds.mean());
+    return j;
+  };
+  util::Json doc = util::Json::object();
+  doc.set("run_info", config.run_info().to_json());
+  doc.set("metric", metric_name);
+  util::Json heuristics = util::Json::array();
+  for (const HeuristicSeries& h : result.heuristics) {
+    heuristics.push_back(series_json(h));
+  }
+  doc.set("heuristics", std::move(heuristics));
+  if (config.with_upper_bound) {
+    doc.set("upper_bound", series_json(result.upper_bound));
+    doc.set("ub_failures", result.ub_failures);
+  }
+  return doc;
 }
 
 void print_scenario_table(const ScenarioBenchConfig& config,
@@ -179,6 +266,10 @@ void print_scenario_table(const ScenarioBenchConfig& config,
   }
   if (result.ub_failures > 0) {
     std::printf("(UB failed on %zu run(s))\n", result.ub_failures);
+  }
+  if (!config.json_path.empty()) {
+    util::write_json_file(config.json_path,
+                          scenario_bench_json(config, result, metric_name));
   }
 }
 

@@ -22,6 +22,7 @@
 #include "core/allocator.hpp"
 #include "core/psg.hpp"
 #include "lp/upper_bound.hpp"
+#include "obs/run_info.hpp"
 #include "util/flags.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -48,6 +49,14 @@ struct ScenarioBenchConfig {
   /// folded into the statistics serially in run order afterwards.  Only the
   /// wall-clock column varies.
   std::int64_t threads = 1;
+  /// Telemetry sinks (empty = off).  --trace streams span/event JSONL through
+  /// obs::trace_open (no-op when the tracer is compiled out); --metrics dumps
+  /// the obs::MetricsRegistry snapshot as JSON after the runs; --json writes
+  /// the per-heuristic result series as JSON.  All three carry the RunInfo
+  /// provenance block.
+  std::string trace_path;
+  std::string metrics_path;
+  std::string json_path;
 
   /// Registers the shared flags on \p flags (pointers into this object).
   void register_flags(util::Flags& flags);
@@ -55,6 +64,9 @@ struct ScenarioBenchConfig {
   void apply_full_scale(workload::Scenario scenario);
   /// PSG options assembled from the flag fields.
   [[nodiscard]] core::PsgOptions psg_options() const;
+  /// Provenance block for this configuration (build stamps + seed, threads,
+  /// and scenario parameters).
+  [[nodiscard]] obs::RunInfo run_info() const;
 };
 
 struct HeuristicSeries {
@@ -80,9 +92,16 @@ struct ScenarioBenchResult {
                                                      bool slackness_metric);
 
 /// Prints the per-heuristic table in the paper's bar-chart order
-/// (PSG, MWF, TF, Seeded PSG, UB).
+/// (PSG, MWF, TF, Seeded PSG, UB).  When config.json_path is set, the same
+/// series (plus the RunInfo provenance block) is written there as JSON.
 void print_scenario_table(const ScenarioBenchConfig& config,
                           const ScenarioBenchResult& result,
                           const std::string& metric_name, int decimals);
+
+/// The result series as a provenance-stamped JSON document:
+/// {"run_info": {...}, "metric": ..., "heuristics": [...], "ub_failures": N}.
+[[nodiscard]] util::Json scenario_bench_json(const ScenarioBenchConfig& config,
+                                             const ScenarioBenchResult& result,
+                                             const std::string& metric_name);
 
 }  // namespace tsce::bench

@@ -14,6 +14,8 @@
 #include "core/evaluator.hpp"
 #include "core/imr.hpp"
 #include "lp/upper_bound.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "workload/generator.hpp"
 
@@ -204,6 +206,32 @@ void BM_JsonModelRoundTrip(benchmark::State& state) {
                           static_cast<std::int64_t>(text.size()));
 }
 BENCHMARK(BM_JsonModelRoundTrip)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+/// Cost of one registry counter increment (the obs hot-path primitive): a
+/// thread-local relaxed load+store, no lock, no RMW.
+void BM_MetricsCounterAdd(benchmark::State& state) {
+  auto& counter = obs::MetricsRegistry::instance().counter("bench.micro.counter");
+  for (auto _ : state) {
+    counter.add(1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MetricsCounterAdd);
+
+/// Cost of a span + event when no trace is open: with TSCE_TRACING=ON one
+/// relaxed atomic load each; with TSCE_TRACING=OFF the loop body is empty
+/// (tracer fully elided), so this measures the zero-overhead claim directly.
+void BM_TracingDisabledSpan(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::Span span("bench.micro.span", {{"k", 1}});
+    obs::trace_event("bench.micro.event", {{"k", 2}});
+    benchmark::DoNotOptimize(obs::tracing_active());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(obs::kTracingCompiledIn ? "tracing compiled in (inactive)"
+                                         : "tracing compiled out");
+}
+BENCHMARK(BM_TracingDisabledSpan);
 
 void BM_SessionCommitUncommit(benchmark::State& state) {
   const auto m = make_instance(6, 16);

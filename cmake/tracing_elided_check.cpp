@@ -1,0 +1,26 @@
+// Configure-time proof that the TSCE_TRACING=OFF surface of obs/trace.hpp is
+// fully elided: tracing is compile-time false (so `if (tracing_active())`
+// call sites are dead code) and Span carries no state.  Compiled by the
+// try_compile check in the top-level CMakeLists regardless of the main
+// build's TSCE_TRACING setting; a static_assert failure fails the configure.
+
+#define TSCE_TRACING_ENABLED 0
+#include "obs/trace.hpp"
+
+#include <type_traits>
+
+static_assert(!tsce::obs::kTracingCompiledIn,
+              "TSCE_TRACING_ENABLED=0 must compile the tracer out");
+static_assert(!tsce::obs::tracing_active(),
+              "tracing_active() must be a constexpr false when compiled out");
+static_assert(std::is_empty_v<tsce::obs::Span>,
+              "disabled Span must be an empty class");
+
+int main() {
+  // The stub surface must accept the same call shapes as the real one.
+  tsce::obs::Span span("configure.check", {{"k", 1}, {"s", "v"}});
+  span.add("later", 2.0);
+  tsce::obs::trace_event("configure.event", {{"n", std::uint64_t{3}}});
+  tsce::obs::trace_close();
+  return tsce::obs::tracing_active() ? 1 : 0;
+}

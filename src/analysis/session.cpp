@@ -7,6 +7,7 @@
 #include "analysis/estimates.hpp"
 #include "analysis/feasibility.hpp"
 #include "analysis/tightness.hpp"
+#include "obs/metrics.hpp"
 
 namespace tsce::analysis {
 
@@ -15,6 +16,30 @@ using model::AppIndex;
 using model::MachineId;
 using model::StringId;
 using model::SystemModel;
+
+namespace {
+
+/// Feasibility-rejection and rewind tallies, by cause.  Handles are resolved
+/// once; updates are thread-local (see obs/metrics.hpp).
+struct SessionMetrics {
+  obs::Counter& reject_utilization;  ///< stage one: resource over 100%
+  obs::Counter& reject_throughput;   ///< stage two: eq. (1) period overrun
+  obs::Counter& reject_latency;      ///< stage two: eq. (1) latency overrun
+  obs::Counter& uncommit_batches;
+  obs::Counter& uncommit_strings;
+
+  static SessionMetrics& get() {
+    auto& reg = obs::MetricsRegistry::instance();
+    static SessionMetrics m{reg.counter("session.reject.utilization"),
+                            reg.counter("session.reject.throughput"),
+                            reg.counter("session.reject.latency"),
+                            reg.counter("session.uncommit.batches"),
+                            reg.counter("session.uncommit.strings")};
+    return m;
+  }
+};
+
+}  // namespace
 
 AllocationSession::AllocationSession(const SystemModel& model, PriorityRule rule)
     : model_(&model),
@@ -78,6 +103,9 @@ void AllocationSession::uncommit(StringId k) {
 }
 
 void AllocationSession::uncommit_all(std::span<const StringId> ks) {
+  SessionMetrics& metrics = SessionMetrics::get();
+  metrics.uncommit_batches.add(1);
+  metrics.uncommit_strings.add(ks.size());
   // Union of resources the removed strings occupied (collected while the
   // allocation still holds their assignments).
   touched_machines_.clear();
@@ -185,9 +213,17 @@ bool AllocationSession::try_commit(StringId k,
     if (!within(util_.route_util(j1, j2), 1.0)) ok = false;
   }
 
-  if (ok) {
+  if (!ok) {
+    SessionMetrics::get().reject_utilization.add(1);
+  } else {
     t_of_[ku] = priority_value(*model_, alloc_, k, rule_);
-    ok = stage_two_after_add(k);
+    const ConstraintViolation violation = stage_two_after_add(k);
+    ok = violation == ConstraintViolation::kNone;
+    if (violation == ConstraintViolation::kThroughput) {
+      SessionMetrics::get().reject_throughput.add(1);
+    } else if (violation == ConstraintViolation::kLatency) {
+      SessionMetrics::get().reject_latency.add(1);
+    }
   }
 
   if (!ok) {
@@ -206,7 +242,7 @@ bool AllocationSession::try_commit(StringId k,
   return true;
 }
 
-bool AllocationSession::stage_two_after_add(StringId k) {
+ConstraintViolation AllocationSession::stage_two_after_add(StringId k) {
   // Collect strings whose estimates may change: owners of apps resident on
   // touched machines and of transfers on touched routes, plus k itself.
   affected_strings_.clear();
@@ -225,8 +261,11 @@ bool AllocationSession::stage_two_after_add(StringId k) {
   }
 
   for (const StringId z : affected_strings_) refresh_estimates_of(z);
-  return std::all_of(affected_strings_.begin(), affected_strings_.end(),
-                     [&](StringId z) { return string_meets_constraints(z); });
+  for (const StringId z : affected_strings_) {
+    const ConstraintViolation violation = constraint_violation(z);
+    if (violation != ConstraintViolation::kNone) return violation;
+  }
+  return ConstraintViolation::kNone;
 }
 
 void AllocationSession::refresh_estimates_of(StringId z) {
@@ -247,19 +286,20 @@ void AllocationSession::refresh_estimates_of(StringId z) {
   }
 }
 
-bool AllocationSession::string_meets_constraints(StringId z) const noexcept {
+ConstraintViolation AllocationSession::constraint_violation(StringId z) const noexcept {
   const auto zu = static_cast<std::size_t>(z);
   const auto& s = model_->strings[zu];
   double latency = 0.0;
   for (const double c : comp_[zu]) {
-    if (!within(c, s.period_s)) return false;
+    if (!within(c, s.period_s)) return ConstraintViolation::kThroughput;
     latency += c;
   }
   for (const double t : tran_[zu]) {
-    if (!within(t, s.period_s)) return false;
+    if (!within(t, s.period_s)) return ConstraintViolation::kThroughput;
     latency += t;
   }
-  return within(latency, s.max_latency_s);
+  return within(latency, s.max_latency_s) ? ConstraintViolation::kNone
+                                          : ConstraintViolation::kLatency;
 }
 
 }  // namespace tsce::analysis

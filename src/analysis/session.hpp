@@ -26,6 +26,12 @@
 
 namespace tsce::analysis {
 
+/// Which eq. (1) constraint a deployed string violates under the current
+/// estimates: a per-app/transfer period overrun (throughput) or an end-to-end
+/// latency overrun.  Rejection counts per kind are exported through
+/// obs::MetricsRegistry ("session.reject.*").
+enum class ConstraintViolation { kNone, kThroughput, kLatency };
+
 class AllocationSession {
  public:
   explicit AllocationSession(
@@ -65,6 +71,9 @@ class AllocationSession {
     return {total_worth(*model_, alloc_), util_.slackness()};
   }
 
+  /// Classifies string \p z against eq. (1) under the current estimates.
+  [[nodiscard]] ConstraintViolation constraint_violation(model::StringId z) const noexcept;
+
   /// Estimated computation times of deployed string k (empty otherwise).
   [[nodiscard]] const std::vector<double>& comp_estimates(model::StringId k) const noexcept {
     return comp_[static_cast<std::size_t>(k)];
@@ -75,10 +84,14 @@ class AllocationSession {
 
  private:
   /// Re-estimates every resident app/transfer on resources touched by string
-  /// k plus string k itself, then checks eq. (1) for each affected string.
-  [[nodiscard]] bool stage_two_after_add(model::StringId k);
+  /// k plus string k itself, then checks eq. (1) for each affected string;
+  /// returns the first violation found (kNone when all pass).
+  [[nodiscard]] ConstraintViolation stage_two_after_add(model::StringId k);
   void refresh_estimates_of(model::StringId k);
-  [[nodiscard]] bool string_meets_constraints(model::StringId k) const noexcept;
+  /// Shim over constraint_violation for boolean call sites.
+  [[nodiscard]] bool string_meets_constraints(model::StringId k) const noexcept {
+    return constraint_violation(k) == ConstraintViolation::kNone;
+  }
 
   const model::SystemModel* model_;
   PriorityRule rule_;

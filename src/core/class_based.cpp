@@ -5,6 +5,7 @@
 
 #include "core/decode.hpp"
 #include "genitor/genitor.hpp"
+#include "obs/trace.hpp"
 
 namespace tsce::core {
 
@@ -75,6 +76,7 @@ AllocatorResult ClassBasedAllocator::allocate(const SystemModel& model,
   std::vector<StringId> committed;  // deployed strings of frozen classes
   std::size_t evaluations = 0;
 
+  std::size_t class_index = 0;
   for (const Worth worth_class : kClassOrder) {
     std::vector<StringId> members;
     for (std::size_t k = 0; k < model.num_strings(); ++k) {
@@ -83,6 +85,10 @@ AllocatorResult ClassBasedAllocator::allocate(const SystemModel& model,
       }
     }
     if (members.empty()) continue;
+    obs::Span span("search.class",
+                   {{"phase", "ClassBased"},
+                    {"class", std::uint64_t{class_index++}},
+                    {"members", std::uint64_t{members.size()}}});
 
     std::vector<StringId> best_class_order;
     if (members.size() == 1) {
@@ -96,10 +102,20 @@ AllocatorResult ClassBasedAllocator::allocate(const SystemModel& model,
       genitor::Genitor<ClassOrderProblem> ga(problem, config);
       analysis::Fitness best_fitness{};
       bool have_best = false;
+      const std::size_t trace_class = class_index - 1;
       for (std::size_t trial = 0; trial < std::max<std::size_t>(1, options_.trials);
            ++trial) {
         util::Rng trial_rng = rng.spawn();
-        auto ga_result = ga.run(trial_rng);
+        auto ga_result = ga.run(
+            trial_rng, {},
+            [&](std::size_t iteration, const analysis::Fitness& elite) {
+              obs::trace_event("search.improve",
+                               {{"phase", "ClassBased"},
+                                {"trial", std::uint64_t{trace_class}},
+                                {"iteration", std::uint64_t{iteration}},
+                                {"worth", elite.total_worth},
+                                {"slackness", elite.slackness}});
+            });
         evaluations += ga_result.evaluations;
         if (!have_best || best_fitness < ga_result.best_fitness) {
           best_fitness = ga_result.best_fitness;

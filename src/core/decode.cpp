@@ -4,14 +4,45 @@
 #include <numeric>
 
 #include "core/imr.hpp"
+#include "obs/metrics.hpp"
 
 namespace tsce::core {
 
 using model::StringId;
 using model::SystemModel;
 
+namespace {
+
+/// Registry handles resolved once per process; contexts fold their local
+/// tallies into these on destruction (the hot loop stays untouched).
+struct DecodeMetrics {
+  obs::Counter& calls;
+  obs::Counter& commits_attempted;
+  obs::Counter& strings_reused;
+  obs::Histogram& prefix_reuse_len;
+
+  static DecodeMetrics& get() {
+    static DecodeMetrics m{
+        obs::MetricsRegistry::instance().counter("decode.calls"),
+        obs::MetricsRegistry::instance().counter("decode.commits_attempted"),
+        obs::MetricsRegistry::instance().counter("decode.strings_reused"),
+        obs::MetricsRegistry::instance().histogram("decode.prefix_reuse_len")};
+    return m;
+  }
+};
+
+}  // namespace
+
 DecodeContext::DecodeContext(const SystemModel& model) : session_(model) {
   committed_.reserve(model.num_strings());
+}
+
+DecodeContext::~DecodeContext() {
+  if (decodes_ == 0 && commits_attempted_ == 0) return;
+  DecodeMetrics& m = DecodeMetrics::get();
+  m.calls.add(decodes_);
+  m.commits_attempted.add(commits_attempted_);
+  m.strings_reused.add(reused_);
 }
 
 bool DecodeContext::try_push(StringId k) {
@@ -59,6 +90,7 @@ DecodeOutcome decode_order_into(DecodeContext& ctx,
   while (lcp < max_lcp && ctx.committed_[lcp] == order[lcp]) ++lcp;
   ctx.rewind_to(lcp);
   ctx.reused_ += lcp;
+  DecodeMetrics::get().prefix_reuse_len.record(lcp);
 
   DecodeOutcome outcome;
   outcome.prefix_reused = lcp;

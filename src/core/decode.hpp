@@ -54,6 +54,9 @@ struct DecodeOutcome {
 class DecodeContext {
  public:
   explicit DecodeContext(const model::SystemModel& model);
+  /// Folds the lifetime counters into the process-wide obs::MetricsRegistry
+  /// ("decode.calls" etc.) so the hot loop never touches shared state.
+  ~DecodeContext();
 
   [[nodiscard]] const model::SystemModel& system() const noexcept {
     return session_.system();
@@ -88,7 +91,9 @@ class DecodeContext {
   /// outcome of the decode that produced it.
   [[nodiscard]] DecodeResult materialize(const DecodeOutcome& outcome) const;
 
-  /// Lifetime counters (for benchmarks and engine introspection).
+  /// Lifetime counters (for benchmarks and engine introspection).  Thin
+  /// shims over the context-local tallies that back the registry metrics;
+  /// process-wide totals live in obs::MetricsRegistry.
   [[nodiscard]] std::size_t decodes() const noexcept { return decodes_; }
   [[nodiscard]] std::size_t commits_attempted() const noexcept {
     return commits_attempted_;

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/decode.hpp"
+#include "obs/trace.hpp"
 
 namespace tsce::core {
 
@@ -44,6 +45,11 @@ class Enumerator {
       best_allocation_ = ctx_.allocation();
       best_order_.assign(ctx_.committed().begin(), ctx_.committed().end());
       have_best_ = true;
+      obs::trace_event("search.improve",
+                       {{"phase", "Exact"},
+                        {"iteration", std::uint64_t{evaluations_}},
+                        {"worth", best_fitness_.total_worth},
+                        {"slackness", best_fitness_.slackness}});
     }
   }
 
@@ -102,8 +108,11 @@ AllocatorResult ExactPermutationSearch::allocate(const SystemModel& model,
         std::to_string(model.num_strings()) + " strings > max " +
         std::to_string(options_.max_strings) + ")");
   }
+  obs::Span span("search.exact", {{"phase", "Exact"}});
   Enumerator enumerator(model, options_.max_evaluations);
   enumerator.run();
+  span.add("evaluations", static_cast<double>(enumerator.evaluations()));
+  span.add("worth", static_cast<double>(enumerator.best_fitness().total_worth));
   AllocatorResult result;
   result.allocation = enumerator.best_allocation();
   result.fitness = enumerator.best_fitness();

@@ -6,6 +6,7 @@
 
 #include "core/decode.hpp"
 #include "core/evaluator.hpp"
+#include "obs/trace.hpp"
 
 namespace tsce::core {
 
@@ -63,14 +64,24 @@ AllocatorResult HillClimb::allocate(const SystemModel& model, util::Rng& rng) co
     // both the restart shuffles and the neighbor picks (the legacy stream),
     // and a global evaluation budget.
     for (std::size_t restart = 0; restart < restarts; ++restart) {
+      obs::Span span("search.restart",
+                     {{"phase", "HillClimb"}, {"restart", std::uint64_t{restart}}});
       std::vector<StringId> current = identity_order(model);
       rng.shuffle(current);
+      const std::size_t before = evaluations;
       const DecodeOutcome optimum = climb(replay_ctx, current, rng, options_,
                                           evaluations, options_.max_evaluations);
+      span.add("evaluations", static_cast<double>(evaluations - before));
+      span.add("worth", static_cast<double>(optimum.fitness.total_worth));
       if (!have_best || best_fitness < optimum.fitness) {
         best_fitness = optimum.fitness;
         best_order = std::move(current);
         have_best = true;
+        obs::trace_event("search.improve",
+                         {{"phase", "HillClimb"},
+                          {"trial", std::uint64_t{restart}},
+                          {"worth", best_fitness.total_worth},
+                          {"slackness", best_fitness.slackness}});
       }
       if (options_.max_evaluations != 0 && evaluations >= options_.max_evaluations) {
         break;
@@ -94,6 +105,8 @@ AllocatorResult HillClimb::allocate(const SystemModel& model, util::Rng& rng) co
     std::vector<Restart> outcomes(restarts);
     BatchEvaluator evaluator(model, options_.threads);
     evaluator.for_each(restarts, [&](std::size_t r, DecodeContext& ctx) {
+      obs::Span span("search.restart",
+                     {{"phase", "HillClimb"}, {"restart", std::uint64_t{r}}});
       util::Rng restart_rng = util::Rng::stream(base_seed, r);
       std::vector<StringId> current = identity_order(model);
       restart_rng.shuffle(current);
@@ -101,13 +114,22 @@ AllocatorResult HillClimb::allocate(const SystemModel& model, util::Rng& rng) co
           climb(ctx, current, restart_rng, options_, outcomes[r].evaluations, slice);
       outcomes[r].fitness = optimum.fitness;
       outcomes[r].order = std::move(current);
+      span.add("evaluations", static_cast<double>(outcomes[r].evaluations));
+      span.add("worth", static_cast<double>(optimum.fitness.total_worth));
     });
-    for (const Restart& r : outcomes) {
-      evaluations += r.evaluations;
-      if (!have_best || best_fitness < r.fitness) {
-        best_fitness = r.fitness;
-        best_order = r.order;
+    // The fold is serial and deterministic; improvement events carry the
+    // restart index, so post-hoc ordering matches the parallel execution.
+    for (std::size_t r = 0; r < outcomes.size(); ++r) {
+      evaluations += outcomes[r].evaluations;
+      if (!have_best || best_fitness < outcomes[r].fitness) {
+        best_fitness = outcomes[r].fitness;
+        best_order = outcomes[r].order;
         have_best = true;
+        obs::trace_event("search.improve",
+                         {{"phase", "HillClimb"},
+                          {"trial", std::uint64_t{r}},
+                          {"worth", best_fitness.total_worth},
+                          {"slackness", best_fitness.slackness}});
       }
     }
   }
@@ -141,6 +163,7 @@ AllocatorResult SimulatedAnnealing::allocate(const SystemModel& model,
   std::vector<StringId> best_order = current;
   std::size_t evaluations = 1;
 
+  obs::Span span("search.anneal", {{"phase", "Annealing"}});
   double temperature = options_.initial_temperature > 0.0
                            ? options_.initial_temperature
                            : 0.1 * std::max(1, model.total_worth_available());
@@ -160,12 +183,20 @@ AllocatorResult SimulatedAnnealing::allocate(const SystemModel& model,
       if (best_fitness < current_decoded.fitness) {
         best_fitness = current_decoded.fitness;
         best_order = current;
+        obs::trace_event("search.improve",
+                         {{"phase", "Annealing"},
+                          {"iteration", std::uint64_t{iter}},
+                          {"temperature", temperature},
+                          {"worth", best_fitness.total_worth},
+                          {"slackness", best_fitness.slackness}});
       }
     } else {
       std::swap(current[i], current[j]);  // undo
     }
     temperature *= options_.cooling;
   }
+  span.add("evaluations", static_cast<double>(evaluations));
+  span.add("worth", static_cast<double>(best_fitness.total_worth));
 
   AllocatorResult best;
   best.fitness = best_fitness;

@@ -5,6 +5,7 @@
 
 #include "core/decode.hpp"
 #include "core/ordered.hpp"
+#include "obs/trace.hpp"
 
 namespace tsce::core {
 
@@ -77,12 +78,27 @@ AllocatorResult Psg::allocate(const SystemModel& model, util::Rng& rng) const {
   AllocatorResult best;
   bool have_best = false;
   std::size_t total_evaluations = 0;
+  const std::string phase = name();
   for (std::size_t trial = 0; trial < std::max<std::size_t>(1, options_.trials);
        ++trial) {
+    obs::Span span("search.trial",
+                   {{"phase", phase}, {"trial", std::uint64_t{trial}}});
     util::Rng trial_rng = rng.spawn();
     genitor::Genitor<PermutationProblem> ga(problem, options_.ga);
-    auto ga_result = ga.run(trial_rng, seed_orders);
+    auto ga_result =
+        ga.run(trial_rng, seed_orders,
+               [&](std::size_t iteration, const analysis::Fitness& elite) {
+                 obs::trace_event("search.improve",
+                                  {{"phase", phase},
+                                   {"trial", std::uint64_t{trial}},
+                                   {"iteration", std::uint64_t{iteration}},
+                                   {"worth", elite.total_worth},
+                                   {"slackness", elite.slackness}});
+               });
     total_evaluations += ga_result.evaluations;
+    span.add("iterations", static_cast<double>(ga_result.iterations));
+    span.add("evaluations", static_cast<double>(ga_result.evaluations));
+    span.add("best_worth", static_cast<double>(ga_result.best_fitness.total_worth));
     if (!have_best || best.fitness < ga_result.best_fitness) {
       DecodeResult decoded = decode_order(model, ga_result.best);
       best.allocation = std::move(decoded.allocation);

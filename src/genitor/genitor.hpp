@@ -96,6 +96,18 @@ class Genitor {
   /// verbatim (Seeded PSG); the remainder is random.
   [[nodiscard]] Result<P> run(util::Rng& rng,
                               const std::vector<Chromosome>& seeds = {}) {
+    return run(rng, seeds, [](std::size_t, const Fitness&) {});
+  }
+
+  /// Observer variant: \p observe(iteration, elite_fitness) is invoked once
+  /// after the initial population (iteration 0) and whenever the elite
+  /// improves.  The default overload passes a no-op lambda, so callers that
+  /// don't observe pay nothing.  Keeps this framework telemetry-agnostic:
+  /// the obs wiring lives in the callers (PSG, class-based).
+  template <typename Obs>
+    requires std::invocable<Obs&, std::size_t, const Fitness&>
+  [[nodiscard]] Result<P> run(util::Rng& rng, const std::vector<Chromosome>& seeds,
+                              Obs&& observe) {
     Result<P> result;
     population_.clear();
     population_.reserve(config_.population_size);
@@ -126,6 +138,7 @@ class Genitor {
 
     std::size_t stagnant = 0;
     Fitness elite = population_.front().fitness;
+    observe(std::size_t{0}, elite);
     for (std::size_t iter = 0; iter < config_.max_iterations; ++iter) {
       result.iterations = iter + 1;
       // Crossover: two distinct biased parents, two offspring.
@@ -151,6 +164,7 @@ class Genitor {
 
       if (elite < population_.front().fitness) {
         elite = population_.front().fitness;
+        observe(iter + 1, elite);
         stagnant = 0;
       } else {
         ++stagnant;

@@ -1,0 +1,271 @@
+#include "obs/metrics.hpp"
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace tsce::obs {
+
+namespace {
+
+constexpr std::size_t kHistBuckets = 48;  // 2^47 ns ≈ 39 h: ample for latencies
+
+struct HistCell {
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<std::uint64_t> max{0};
+  std::array<std::atomic<std::uint64_t>, kHistBuckets> buckets{};
+};
+
+/// One thread's slice of every metric.  Only the owning thread writes it;
+/// snapshot() reads it with relaxed loads.
+struct Shard {
+  std::array<std::atomic<std::uint64_t>, MetricsRegistry::kMaxCounters> counters{};
+  std::array<std::atomic<std::uint64_t>, MetricsRegistry::kMaxGauges> gauge_max{};
+  std::array<HistCell, MetricsRegistry::kMaxHistograms> hists{};
+};
+
+/// Owner-thread single-writer increment: no RMW, no lock prefix.
+inline void bump(std::atomic<std::uint64_t>& cell, std::uint64_t n) noexcept {
+  cell.store(cell.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
+}
+
+inline void raise(std::atomic<std::uint64_t>& cell, std::uint64_t v) noexcept {
+  if (v > cell.load(std::memory_order_relaxed)) {
+    cell.store(v, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+struct MetricsRegistry::Impl {
+  std::mutex mu;  ///< guards names, handle storage, and the shard list
+  std::vector<std::string> counter_names;
+  std::vector<std::string> gauge_names;
+  std::vector<std::string> hist_names;
+  std::vector<Counter> counters;
+  std::vector<MaxGauge> gauges;
+  std::vector<Histogram> hists;
+  std::vector<Shard*> live_shards;
+  Shard retired;  ///< tallies folded in by exiting threads
+
+  Impl() {
+    counters.reserve(kMaxCounters);
+    gauges.reserve(kMaxGauges);
+    hists.reserve(kMaxHistograms);
+  }
+
+  void fold_and_remove(Shard* s) {
+    std::lock_guard lock(mu);
+    for (std::size_t i = 0; i < kMaxCounters; ++i) {
+      bump(retired.counters[i], s->counters[i].load(std::memory_order_relaxed));
+    }
+    for (std::size_t i = 0; i < kMaxGauges; ++i) {
+      raise(retired.gauge_max[i], s->gauge_max[i].load(std::memory_order_relaxed));
+    }
+    for (std::size_t i = 0; i < kMaxHistograms; ++i) {
+      const HistCell& from = s->hists[i];
+      HistCell& to = retired.hists[i];
+      bump(to.count, from.count.load(std::memory_order_relaxed));
+      bump(to.sum, from.sum.load(std::memory_order_relaxed));
+      raise(to.max, from.max.load(std::memory_order_relaxed));
+      for (std::size_t b = 0; b < kHistBuckets; ++b) {
+        bump(to.buckets[b], from.buckets[b].load(std::memory_order_relaxed));
+      }
+    }
+    std::erase(live_shards, s);
+    delete s;
+  }
+};
+
+namespace {
+
+MetricsRegistry::Impl* g_impl = nullptr;  // set once by instance()
+
+/// Registers a fresh shard on first metric touch from a thread and folds it
+/// into the retired totals when the thread exits.
+struct ShardOwner {
+  Shard* shard;
+  ShardOwner() : shard(new Shard) {
+    std::lock_guard lock(g_impl->mu);
+    g_impl->live_shards.push_back(shard);
+  }
+  ~ShardOwner() { g_impl->fold_and_remove(shard); }
+};
+
+inline Shard& local_shard() {
+  // instance() has necessarily run before any handle exists, so g_impl is set.
+  static thread_local ShardOwner owner;
+  return *owner.shard;
+}
+
+void zero(Shard& s) {
+  for (auto& c : s.counters) c.store(0, std::memory_order_relaxed);
+  for (auto& g : s.gauge_max) g.store(0, std::memory_order_relaxed);
+  for (auto& h : s.hists) {
+    h.count.store(0, std::memory_order_relaxed);
+    h.sum.store(0, std::memory_order_relaxed);
+    h.max.store(0, std::memory_order_relaxed);
+    for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+void Counter::add(std::uint64_t n) noexcept { bump(local_shard().counters[index_], n); }
+
+void MaxGauge::observe(std::uint64_t v) noexcept {
+  raise(local_shard().gauge_max[index_], v);
+}
+
+void Histogram::record(std::uint64_t v) noexcept {
+  HistCell& cell = local_shard().hists[index_];
+  bump(cell.count, 1);
+  bump(cell.sum, v);
+  raise(cell.max, v);
+  const auto b = static_cast<std::size_t>(std::bit_width(v));
+  bump(cell.buckets[b < kHistBuckets ? b : kHistBuckets - 1], 1);
+}
+
+MetricsRegistry::MetricsRegistry() : impl_(new Impl) { g_impl = impl_; }
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry* registry = new MetricsRegistry;  // leaked on purpose
+  return *registry;
+}
+
+template <typename Handle>
+Handle& MetricsRegistry::find_or_add(std::vector<std::string>& names,
+                                     std::vector<Handle>& handles,
+                                     std::size_t capacity, std::string_view name,
+                                     const char* kind) {
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return handles[i];
+  }
+  if (handles.size() == capacity) {
+    throw std::length_error(std::string("MetricsRegistry: ") + kind +
+                            " capacity exhausted registering '" + std::string(name) +
+                            "'");
+  }
+  names.emplace_back(name);
+  handles.push_back(Handle(static_cast<std::uint32_t>(handles.size())));
+  return handles.back();
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(impl_->mu);
+  return find_or_add(impl_->counter_names, impl_->counters, kMaxCounters, name,
+                     "counter");
+}
+
+MaxGauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(impl_->mu);
+  return find_or_add(impl_->gauge_names, impl_->gauges, kMaxGauges, name, "gauge");
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard lock(impl_->mu);
+  return find_or_add(impl_->hist_names, impl_->hists, kMaxHistograms, name,
+                     "histogram");
+}
+
+util::Json MetricsRegistry::snapshot() {
+  std::lock_guard lock(impl_->mu);
+  auto shards = impl_->live_shards;
+  shards.push_back(&impl_->retired);
+
+  util::Json counters = util::Json::object();
+  for (std::size_t i = 0; i < impl_->counter_names.size(); ++i) {
+    std::uint64_t total = 0;
+    for (const Shard* s : shards) {
+      total += s->counters[i].load(std::memory_order_relaxed);
+    }
+    counters.set(impl_->counter_names[i], static_cast<std::int64_t>(total));
+  }
+
+  util::Json gauges = util::Json::object();
+  for (std::size_t i = 0; i < impl_->gauge_names.size(); ++i) {
+    std::uint64_t peak = 0;
+    for (const Shard* s : shards) {
+      peak = std::max(peak, s->gauge_max[i].load(std::memory_order_relaxed));
+    }
+    gauges.set(impl_->gauge_names[i] + ".max", static_cast<std::int64_t>(peak));
+  }
+
+  util::Json hists = util::Json::object();
+  for (std::size_t i = 0; i < impl_->hist_names.size(); ++i) {
+    std::uint64_t count = 0, sum = 0, peak = 0;
+    std::array<std::uint64_t, kHistBuckets> buckets{};
+    for (const Shard* s : shards) {
+      const HistCell& cell = s->hists[i];
+      count += cell.count.load(std::memory_order_relaxed);
+      sum += cell.sum.load(std::memory_order_relaxed);
+      peak = std::max(peak, cell.max.load(std::memory_order_relaxed));
+      for (std::size_t b = 0; b < kHistBuckets; ++b) {
+        buckets[b] += cell.buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+    util::Json h = util::Json::object();
+    h.set("count", static_cast<std::int64_t>(count));
+    h.set("sum", static_cast<std::int64_t>(sum));
+    h.set("max", static_cast<std::int64_t>(peak));
+    h.set("mean", count > 0 ? static_cast<double>(sum) / static_cast<double>(count)
+                            : 0.0);
+    util::Json bs = util::Json::array();
+    for (std::size_t b = 0; b < kHistBuckets; ++b) {
+      if (buckets[b] == 0) continue;
+      util::Json entry = util::Json::object();
+      // Bucket b holds samples of bit_width b: upper bound 2^b - 1.
+      entry.set("le", static_cast<std::int64_t>((std::uint64_t{1} << b) - 1));
+      entry.set("n", static_cast<std::int64_t>(buckets[b]));
+      bs.push_back(std::move(entry));
+    }
+    h.set("buckets", std::move(bs));
+    hists.set(impl_->hist_names[i], std::move(h));
+  }
+
+  // The thread pool keeps its own raw tallies (util sits below obs); fold
+  // them into the same snapshot so there is one metrics document.
+  const util::ThreadPool::Stats& pool = util::ThreadPool::global_stats();
+  util::Json pool_json = util::Json::object();
+  const auto tasks = pool.tasks.load(std::memory_order_relaxed);
+  const auto timed = pool.timed_tasks.load(std::memory_order_relaxed);
+  pool_json.set("tasks", static_cast<std::int64_t>(tasks));
+  pool_json.set("queue_depth.max", static_cast<std::int64_t>(
+                                       pool.max_queue_depth.load(std::memory_order_relaxed)));
+  pool_json.set("timed_tasks", static_cast<std::int64_t>(timed));
+  pool_json.set("task_wait_ns.total", static_cast<std::int64_t>(
+                                          pool.wait_ns_total.load(std::memory_order_relaxed)));
+  pool_json.set("task_wait_ns.max", static_cast<std::int64_t>(
+                                        pool.wait_ns_max.load(std::memory_order_relaxed)));
+  pool_json.set("task_run_ns.total", static_cast<std::int64_t>(
+                                         pool.run_ns_total.load(std::memory_order_relaxed)));
+  pool_json.set("task_run_ns.mean",
+                timed > 0 ? static_cast<double>(
+                                pool.run_ns_total.load(std::memory_order_relaxed)) /
+                                static_cast<double>(timed)
+                          : 0.0);
+
+  util::Json doc = util::Json::object();
+  doc.set("counters", std::move(counters));
+  doc.set("gauges", std::move(gauges));
+  doc.set("histograms", std::move(hists));
+  doc.set("thread_pool", std::move(pool_json));
+  return doc;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(impl_->mu);
+  for (Shard* s : impl_->live_shards) zero(*s);
+  zero(impl_->retired);
+  util::ThreadPool::global_stats().reset();
+}
+
+}  // namespace tsce::obs

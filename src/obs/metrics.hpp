@@ -1,0 +1,113 @@
+/// \file metrics.hpp
+/// Process-wide registry of cheap, thread-locally aggregated metrics.
+///
+/// Instrumented code asks the registry once for a handle (Counter, MaxGauge,
+/// Histogram) and then updates it on the hot path; every update touches only
+/// the calling thread's shard (a plain relaxed load/store on a cache line no
+/// other thread writes), so there is no contention and no lock.  snapshot()
+/// folds all live shards plus the tallies of exited threads into one JSON
+/// document; the thread-pool's queue/latency statistics (owned by util, which
+/// obs sits above) are folded into the same snapshot.
+///
+/// Registration is bounded (kMaxCounters/kMaxGauges/kMaxHistograms) so shard
+/// storage is a fixed-size block and handle references stay stable for the
+/// process lifetime.  Metric names are dotted paths ("decode.calls",
+/// "session.reject.latency").
+///
+/// Hot-path modules that already keep local tallies (e.g. DecodeContext's
+/// lifetime counters) act as their own "shard": they fold into the registry's
+/// counters when the object dies, keeping their inner loops untouched.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace tsce::obs {
+
+class MetricsRegistry;
+
+/// Monotonic counter.  add() is wait-free: one relaxed load+store on the
+/// calling thread's shard.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::uint32_t index) noexcept : index_(index) {}
+  std::uint32_t index_;
+};
+
+/// Running-maximum gauge (e.g. peak queue depth).
+class MaxGauge {
+ public:
+  void observe(std::uint64_t v) noexcept;
+
+ private:
+  friend class MetricsRegistry;
+  explicit MaxGauge(std::uint32_t index) noexcept : index_(index) {}
+  std::uint32_t index_;
+};
+
+/// Power-of-two-bucketed histogram of non-negative integer samples (bucket b
+/// holds values with bit_width b, i.e. upper bound 2^b - 1); tracks count,
+/// sum, and max alongside the buckets.
+class Histogram {
+ public:
+  void record(std::uint64_t v) noexcept;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::uint32_t index) noexcept : index_(index) {}
+  std::uint32_t index_;
+};
+
+class MetricsRegistry {
+ public:
+  /// Opaque state, defined in metrics.cpp (public so the per-thread shard
+  /// machinery in that file's anonymous namespace can name it).
+  struct Impl;
+
+  static constexpr std::size_t kMaxCounters = 64;
+  static constexpr std::size_t kMaxGauges = 32;
+  static constexpr std::size_t kMaxHistograms = 32;
+
+  [[nodiscard]] static MetricsRegistry& instance();
+
+  /// Returns the handle registered under \p name, creating it on first use.
+  /// Handles are process-lifetime references.  Throws std::length_error when
+  /// the fixed capacity is exhausted.
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] MaxGauge& gauge(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name);
+
+  /// Folds every thread's shard (live and exited) into one JSON document:
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...},
+  ///  "thread_pool": {...}}.  Concurrent updates are allowed (relaxed reads
+  /// may miss in-flight increments).
+  [[nodiscard]] util::Json snapshot();
+
+  /// Zeroes every metric (including thread-pool stats).  Test-only: callers
+  /// must ensure no other thread is updating metrics concurrently.
+  void reset();
+
+ private:
+  MetricsRegistry();
+
+  /// Linear find-or-create under the registry lock (handle classes befriend
+  /// only this class, so construction must happen inside a member).
+  template <typename Handle>
+  static Handle& find_or_add(std::vector<std::string>& names,
+                             std::vector<Handle>& handles, std::size_t capacity,
+                             std::string_view name, const char* kind);
+
+  Impl* impl_;  // intentionally leaked singleton state (no static-destruction order issues)
+};
+
+}  // namespace tsce::obs

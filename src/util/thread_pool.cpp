@@ -4,6 +4,39 @@
 
 namespace tsce::util {
 
+namespace {
+
+std::atomic<bool> g_timing{false};
+
+/// Relaxed running-maximum update (safe against concurrent raisers).
+void raise_max(std::atomic<std::uint64_t>& cell, std::uint64_t v) noexcept {
+  std::uint64_t cur = cell.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !cell.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+ThreadPool::Stats& ThreadPool::global_stats() noexcept {
+  static Stats stats;
+  return stats;
+}
+
+void ThreadPool::set_timing(bool enabled) noexcept {
+  g_timing.store(enabled, std::memory_order_relaxed);
+}
+
+bool ThreadPool::timing_enabled() noexcept {
+  return g_timing.load(std::memory_order_relaxed);
+}
+
+void ThreadPool::note_submitted(std::size_t queue_depth) noexcept {
+  Stats& stats = global_stats();
+  stats.tasks.fetch_add(1, std::memory_order_relaxed);
+  raise_max(stats.max_queue_depth, queue_depth);
+}
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -25,7 +58,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Item item;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -33,10 +66,28 @@ void ThreadPool::worker_loop() {
         if (stop_) return;
         continue;
       }
-      task = std::move(queue_.front());
+      item = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    if (item.timed) {
+      Stats& stats = global_stats();
+      const auto start = std::chrono::steady_clock::now();
+      const auto wait_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(start -
+                                                               item.enqueued)
+              .count());
+      item.fn();
+      const auto run_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+      stats.timed_tasks.fetch_add(1, std::memory_order_relaxed);
+      stats.wait_ns_total.fetch_add(wait_ns, std::memory_order_relaxed);
+      raise_max(stats.wait_ns_max, wait_ns);
+      stats.run_ns_total.fetch_add(run_ns, std::memory_order_relaxed);
+    } else {
+      item.fn();
+    }
   }
 }
 

@@ -6,11 +6,19 @@
 /// std::move_only_function-style tasks; results flow back through
 /// std::future.  On a single-core host the pool degrades gracefully to one
 /// worker with negligible overhead.
+///
+/// The pool keeps process-wide Stats (task count, peak queue depth, and —
+/// when set_timing(true) — per-task queue-wait and run latency).  They live
+/// here rather than in src/obs because util sits below obs in the layer
+/// order; obs::MetricsRegistry::snapshot() folds them into its document.
 
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -24,6 +32,33 @@ namespace tsce::util {
 
 class ThreadPool {
  public:
+  /// Process-wide tallies across every pool instance.  Counters are updated
+  /// with relaxed atomics; wait/run latencies are only collected while
+  /// set_timing(true) (timestamping every task costs two clock reads).
+  struct Stats {
+    std::atomic<std::uint64_t> tasks{0};            ///< tasks ever submitted
+    std::atomic<std::uint64_t> max_queue_depth{0};  ///< peak queue length seen
+    std::atomic<std::uint64_t> timed_tasks{0};      ///< tasks with latency data
+    std::atomic<std::uint64_t> wait_ns_total{0};    ///< submit -> dequeue
+    std::atomic<std::uint64_t> wait_ns_max{0};
+    std::atomic<std::uint64_t> run_ns_total{0};     ///< dequeue -> completion
+
+    void reset() noexcept {
+      tasks.store(0, std::memory_order_relaxed);
+      max_queue_depth.store(0, std::memory_order_relaxed);
+      timed_tasks.store(0, std::memory_order_relaxed);
+      wait_ns_total.store(0, std::memory_order_relaxed);
+      wait_ns_max.store(0, std::memory_order_relaxed);
+      run_ns_total.store(0, std::memory_order_relaxed);
+    }
+  };
+
+  [[nodiscard]] static Stats& global_stats() noexcept;
+  /// Enables per-task wait/run timing for pools created afterwards or tasks
+  /// submitted afterwards (checked per submit).
+  static void set_timing(bool enabled) noexcept;
+  [[nodiscard]] static bool timing_enabled() noexcept;
+
   /// Creates \p num_threads workers; 0 means std::thread::hardware_concurrency().
   explicit ThreadPool(std::size_t num_threads = 0);
   ~ThreadPool();
@@ -39,10 +74,19 @@ class ThreadPool {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> result = task->get_future();
+    Item item;
+    item.fn = [task]() { (*task)(); };
+    if (timing_enabled()) {
+      item.timed = true;
+      item.enqueued = std::chrono::steady_clock::now();
+    }
+    std::size_t depth;
     {
       std::lock_guard lock(mutex_);
-      queue_.emplace_back([task]() { (*task)(); });
+      queue_.push_back(std::move(item));
+      depth = queue_.size();
     }
+    note_submitted(depth);
     cv_.notify_one();
     return result;
   }
@@ -60,10 +104,18 @@ class ThreadPool {
   }
 
  private:
+  struct Item {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued{};
+    bool timed = false;
+  };
+
+  static void note_submitted(std::size_t queue_depth) noexcept;
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Item> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;

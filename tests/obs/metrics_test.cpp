@@ -1,0 +1,153 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/thread_pool.hpp"
+
+namespace tsce::obs {
+namespace {
+
+std::int64_t counter_value(const util::Json& snapshot, const std::string& name) {
+  return static_cast<std::int64_t>(snapshot.at("counters").at(name).as_number());
+}
+
+TEST(Metrics, CounterAccumulates) {
+  auto& registry = MetricsRegistry::instance();
+  registry.reset();
+  auto& c = registry.counter("test.metrics.counter");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(counter_value(registry.snapshot(), "test.metrics.counter"), 42);
+}
+
+TEST(Metrics, SameNameReturnsSameHandle) {
+  auto& registry = MetricsRegistry::instance();
+  EXPECT_EQ(&registry.counter("test.metrics.counter"),
+            &registry.counter("test.metrics.counter"));
+  EXPECT_EQ(&registry.gauge("test.metrics.gauge"),
+            &registry.gauge("test.metrics.gauge"));
+  EXPECT_EQ(&registry.histogram("test.metrics.hist"),
+            &registry.histogram("test.metrics.hist"));
+}
+
+TEST(Metrics, CounterFoldsAcrossExitedThreads) {
+  auto& registry = MetricsRegistry::instance();
+  registry.reset();
+  auto& c = registry.counter("test.metrics.counter");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();  // shards fold into the retired totals
+  EXPECT_EQ(counter_value(registry.snapshot(), "test.metrics.counter"),
+            kThreads * kPerThread);
+}
+
+TEST(Metrics, GaugeTracksMaximum) {
+  auto& registry = MetricsRegistry::instance();
+  registry.reset();
+  auto& g = registry.gauge("test.metrics.gauge");
+  g.observe(5);
+  g.observe(17);
+  g.observe(3);
+  const auto snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.at("gauges").at("test.metrics.gauge.max").as_number(), 17.0);
+}
+
+TEST(Metrics, GaugeFoldsMaxAcrossThreads) {
+  auto& registry = MetricsRegistry::instance();
+  registry.reset();
+  auto& g = registry.gauge("test.metrics.gauge");
+  g.observe(9);
+  std::thread other([&g] { g.observe(23); });
+  other.join();
+  const auto snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.at("gauges").at("test.metrics.gauge.max").as_number(), 23.0);
+}
+
+TEST(Metrics, HistogramCountSumMaxAndBuckets) {
+  auto& registry = MetricsRegistry::instance();
+  registry.reset();
+  auto& h = registry.histogram("test.metrics.hist");
+  h.record(0);     // bit_width 0 -> bucket le 0
+  h.record(1);     // bit_width 1 -> bucket le 1
+  h.record(2);     // bit_width 2 -> bucket le 3
+  h.record(3);     // bit_width 2 -> bucket le 3
+  h.record(1000);  // bit_width 10 -> bucket le 1023
+  const auto snapshot = registry.snapshot();
+  const auto& hist = snapshot.at("histograms").at("test.metrics.hist");
+  EXPECT_EQ(hist.at("count").as_number(), 5.0);
+  EXPECT_EQ(hist.at("sum").as_number(), 1006.0);
+  EXPECT_EQ(hist.at("max").as_number(), 1000.0);
+  EXPECT_DOUBLE_EQ(hist.at("mean").as_number(), 1006.0 / 5.0);
+
+  const auto& buckets = hist.at("buckets").as_array();
+  ASSERT_EQ(buckets.size(), 4u);  // empty buckets are omitted
+  EXPECT_EQ(buckets[0].at("le").as_number(), 0.0);
+  EXPECT_EQ(buckets[0].at("n").as_number(), 1.0);
+  EXPECT_EQ(buckets[1].at("le").as_number(), 1.0);
+  EXPECT_EQ(buckets[1].at("n").as_number(), 1.0);
+  EXPECT_EQ(buckets[2].at("le").as_number(), 3.0);
+  EXPECT_EQ(buckets[2].at("n").as_number(), 2.0);
+  EXPECT_EQ(buckets[3].at("le").as_number(), 1023.0);
+  EXPECT_EQ(buckets[3].at("n").as_number(), 1.0);
+}
+
+TEST(Metrics, ResetZeroesEverything) {
+  auto& registry = MetricsRegistry::instance();
+  registry.counter("test.metrics.counter").add(7);
+  registry.gauge("test.metrics.gauge").observe(7);
+  registry.histogram("test.metrics.hist").record(7);
+  registry.reset();
+  const auto snapshot = registry.snapshot();
+  EXPECT_EQ(counter_value(snapshot, "test.metrics.counter"), 0);
+  EXPECT_EQ(snapshot.at("gauges").at("test.metrics.gauge.max").as_number(), 0.0);
+  EXPECT_EQ(
+      snapshot.at("histograms").at("test.metrics.hist").at("count").as_number(),
+      0.0);
+}
+
+TEST(Metrics, SnapshotFoldsThreadPoolStats) {
+  auto& registry = MetricsRegistry::instance();
+  registry.reset();
+  {
+    util::ThreadPool pool(2);
+    pool.parallel_for(8, [](std::size_t) {});
+  }
+  const auto snapshot = registry.snapshot();
+  ASSERT_TRUE(snapshot.contains("thread_pool"));
+  EXPECT_EQ(snapshot.at("thread_pool").at("tasks").as_number(), 8.0);
+  EXPECT_GE(snapshot.at("thread_pool").at("queue_depth.max").as_number(), 1.0);
+}
+
+// Registers gauges until the fixed capacity trips.  Runs last in this suite:
+// it permanently consumes the process's remaining gauge slots (handles are
+// process-lifetime), which no later test in this binary needs.
+TEST(Metrics, ZCapacityExhaustionThrows) {
+  auto& registry = MetricsRegistry::instance();
+  bool threw = false;
+  for (std::size_t i = 0; i <= MetricsRegistry::kMaxGauges; ++i) {
+    try {
+      (void)registry.gauge("test.metrics.cap." + std::to_string(i));
+    } catch (const std::length_error&) {
+      threw = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(threw);
+}
+
+}  // namespace
+}  // namespace tsce::obs

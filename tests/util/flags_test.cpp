@@ -79,6 +79,30 @@ TEST(Flags, StringFlag) {
   EXPECT_EQ(out, "csv");
 }
 
+TEST(Flags, TelemetrySinkFlagsParse) {
+  // The harness telemetry flags (--trace / --metrics / --json) are plain
+  // string sinks; empty string means "off" and must survive a parse that
+  // does not mention them.
+  std::string trace_path, metrics_path, json_path;
+  Flags flags("test");
+  flags.add("trace", &trace_path, "write span/event JSONL trace to this path");
+  flags.add("metrics", &metrics_path, "write a metrics snapshot JSON to this path");
+  flags.add("json", &json_path, "write the result series JSON to this path");
+  Argv argv({"prog", "--trace=/tmp/run.jsonl", "--metrics", "/tmp/metrics.json"});
+  ASSERT_TRUE(flags.parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(trace_path, "/tmp/run.jsonl");
+  EXPECT_EQ(metrics_path, "/tmp/metrics.json");
+  EXPECT_TRUE(json_path.empty());
+}
+
+TEST(Flags, TraceFlagMissingValueFails) {
+  std::string trace_path;
+  Flags flags("test");
+  flags.add("trace", &trace_path, "");
+  Argv argv({"prog", "--trace"});
+  EXPECT_FALSE(flags.parse(argv.argc(), argv.argv()));
+}
+
 TEST(Flags, UnknownFlagFails) {
   Flags flags("test");
   Argv argv({"prog", "--bogus=1"});

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace tsce::util {
@@ -73,6 +76,72 @@ TEST(ThreadPool, DestructorDrainsCleanly) {
     for (auto& f : futures) f.get();
   }  // destructor joins workers
   EXPECT_EQ(counter.load(), 16);
+}
+
+TEST(ThreadPool, DestructorRunsQueuedUnawaitedTasks) {
+  std::atomic<int> counter{0};
+  // The gate must outlive the pool: workers may still be draining when the
+  // block ends, and destruction runs in reverse declaration order.
+  std::promise<void> gate;
+  std::shared_future<void> gate_open = gate.get_future().share();
+  {
+    ThreadPool pool(1);
+    // Park the single worker so the remaining submissions pile up in the
+    // queue, then destroy the pool without touching any future: the worker
+    // must drain the backlog before joining (futures would otherwise report
+    // broken_promise).
+    (void)pool.submit([gate_open] { gate_open.wait(); });
+    for (int i = 0; i < 32; ++i) {
+      (void)pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    gate.set_value();
+  }
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPool, StatsCountSubmissionsAndPeakDepth) {
+  ThreadPool::Stats& stats = ThreadPool::global_stats();
+  stats.reset();
+  {
+    ThreadPool pool(2);
+    pool.parallel_for(24, [](std::size_t) {});
+  }
+  EXPECT_EQ(stats.tasks.load(), 24u);
+  EXPECT_GE(stats.max_queue_depth.load(), 1u);
+  // Timing was off, so no latency samples were collected.
+  EXPECT_EQ(stats.timed_tasks.load(), 0u);
+  EXPECT_EQ(stats.run_ns_total.load(), 0u);
+}
+
+TEST(ThreadPool, TimingCollectsWaitAndRunLatency) {
+  ThreadPool::Stats& stats = ThreadPool::global_stats();
+  stats.reset();
+  ThreadPool::set_timing(true);
+  {
+    ThreadPool pool(2);
+    pool.parallel_for(8, [](std::size_t) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    });
+  }
+  ThreadPool::set_timing(false);
+  EXPECT_EQ(stats.timed_tasks.load(), 8u);
+  // 8 tasks x >= 1 ms each.
+  EXPECT_GE(stats.run_ns_total.load(), 8u * 1'000'000u);
+  EXPECT_GE(stats.wait_ns_max.load(), stats.wait_ns_total.load() / 8);
+  stats.reset();
+}
+
+TEST(ThreadPool, TimingOffCollectsNoLatency) {
+  ThreadPool::Stats& stats = ThreadPool::global_stats();
+  stats.reset();
+  ASSERT_FALSE(ThreadPool::timing_enabled());
+  {
+    ThreadPool pool(2);
+    pool.parallel_for(4, [](std::size_t) {});
+  }
+  EXPECT_EQ(stats.tasks.load(), 4u);
+  EXPECT_EQ(stats.timed_tasks.load(), 0u);
+  stats.reset();
 }
 
 }  // namespace

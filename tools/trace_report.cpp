@@ -1,0 +1,239 @@
+/// \file trace_report.cpp
+/// Folds a trace JSONL file (obs::trace_open output) into per-phase span-time
+/// and fitness-convergence tables.
+///
+/// Usage: trace_report <trace.jsonl> [--csv] [--full]
+///
+/// Span records are grouped by "name [phase]" (the phase field is the
+/// allocator name by convention, so one span kind like "search.trial" yields
+/// one row per strategy).  "search.improve" events are folded into a
+/// per-phase convergence summary: improvement count, first/best fitness, and
+/// the time at which the best was reached; --full additionally lists every
+/// improvement event in order.
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/flags.hpp"
+#include "util/json.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using tsce::util::Json;
+using tsce::util::RunningStats;
+using tsce::util::Table;
+
+double field_num(const Json& f, std::string_view key, double fallback = 0.0) {
+  return f.contains(key) ? f.at(key).as_number() : fallback;
+}
+
+std::string field_str(const Json& f, std::string_view key) {
+  return f.contains(key) && f.at(key).is_string() ? f.at(key).as_string()
+                                                  : std::string();
+}
+
+struct SpanGroup {
+  RunningStats dur_s;
+};
+
+struct Improvement {
+  double ts = 0.0;
+  std::string phase;
+  double trial = 0.0;
+  double iteration = 0.0;
+  double worth = 0.0;
+  double slackness = 0.0;
+};
+
+struct Convergence {
+  std::size_t improvements = 0;
+  double first_worth = 0.0;
+  double best_worth = 0.0;
+  double best_slackness = 0.0;
+  double t_first_s = 0.0;
+  double t_best_s = 0.0;
+};
+
+void print_run_info(const Json& info) {
+  std::printf("run: git %s, %s build, seed %lld, %lld threads\n",
+              info.contains("git_sha") ? info.at("git_sha").as_string().c_str()
+                                       : "?",
+              info.contains("build_type")
+                  ? info.at("build_type").as_string().c_str()
+                  : "?",
+              static_cast<long long>(field_num(info, "seed")),
+              static_cast<long long>(field_num(info, "threads", 1)));
+  if (info.contains("params") && info.at("params").is_object()) {
+    const auto& params = info.at("params").as_object();
+    if (!params.empty()) {
+      std::printf("params:");
+      for (const auto& [key, value] : params) {
+        std::printf(" %s=%s", key.c_str(),
+                    value.is_string() ? value.as_string().c_str()
+                                      : value.dump().c_str());
+      }
+      std::printf("\n");
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool csv = false;
+  bool full = false;
+  tsce::util::Flags flags(
+      "trace_report: fold a tsce trace JSONL into per-phase span-time and\n"
+      "fitness-convergence tables.\n"
+      "usage: trace_report <trace.jsonl> [--csv] [--full]");
+  flags.add("csv", &csv, "emit CSV instead of aligned tables");
+  flags.add("full", &full, "also list every improvement event");
+  if (!flags.parse(argc, argv)) return 1;
+  if (flags.positional().size() != 1) {
+    std::fprintf(stderr, "trace_report: expected exactly one trace file\n");
+    return 1;
+  }
+
+  std::ifstream in(flags.positional()[0]);
+  if (!in) {
+    std::fprintf(stderr, "trace_report: cannot open '%s'\n",
+                 flags.positional()[0].c_str());
+    return 1;
+  }
+
+  // Insertion-ordered group keys (std::map would alphabetize phases).
+  std::vector<std::string> span_order;
+  std::map<std::string, SpanGroup> spans;
+  std::vector<std::string> conv_order;
+  std::map<std::string, Convergence> convergence;
+  std::vector<Improvement> improvements;
+  std::size_t malformed = 0;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    Json record;
+    try {
+      record = Json::parse(line);
+    } catch (const std::exception&) {
+      ++malformed;
+      continue;
+    }
+    if (!record.is_object() || !record.contains("t")) {
+      ++malformed;
+      continue;
+    }
+    const std::string& type = record.at("t").as_string();
+    if (type == "header") {
+      if (record.contains("run_info")) print_run_info(record.at("run_info"));
+      continue;
+    }
+    const Json fields =
+        record.contains("f") ? record.at("f") : Json::object();
+    if (type == "span") {
+      const std::string phase = field_str(fields, "phase");
+      std::string key = record.at("name").as_string();
+      if (!phase.empty()) key += " [" + phase + "]";
+      auto [it, inserted] = spans.try_emplace(key);
+      if (inserted) span_order.push_back(key);
+      it->second.dur_s.add(field_num(record, "dur"));
+    } else if (type == "event" &&
+               record.at("name").as_string() == "search.improve") {
+      Improvement imp;
+      imp.ts = field_num(record, "ts");
+      imp.phase = field_str(fields, "phase");
+      imp.trial = field_num(fields, "trial");
+      imp.iteration = field_num(fields, "iteration");
+      imp.worth = field_num(fields, "worth");
+      imp.slackness = field_num(fields, "slackness");
+      improvements.push_back(imp);
+
+      auto [it, inserted] = convergence.try_emplace(imp.phase);
+      if (inserted) conv_order.push_back(imp.phase);
+      Convergence& c = it->second;
+      if (c.improvements == 0) {
+        c.first_worth = imp.worth;
+        c.t_first_s = imp.ts;
+        c.best_worth = imp.worth;
+        c.best_slackness = imp.slackness;
+        c.t_best_s = imp.ts;
+      } else if (imp.worth > c.best_worth ||
+                 (imp.worth == c.best_worth &&
+                  imp.slackness > c.best_slackness)) {
+        c.best_worth = imp.worth;
+        c.best_slackness = imp.slackness;
+        c.t_best_s = imp.ts;
+      }
+      ++c.improvements;
+    }
+  }
+
+  if (spans.empty() && convergence.empty()) {
+    std::fprintf(stderr,
+                 "trace_report: no span or improvement records found (%zu "
+                 "malformed lines)\n",
+                 malformed);
+    return 1;
+  }
+
+  Table span_table({"phase", "spans", "total s", "mean ms", "max ms"});
+  for (const std::string& key : span_order) {
+    const RunningStats& d = spans.at(key).dur_s;
+    span_table.add_row({key, std::to_string(d.count()),
+                        Table::num(d.mean() * static_cast<double>(d.count()), 3),
+                        Table::num(d.mean() * 1e3, 3),
+                        Table::num(d.max() * 1e3, 3)});
+  }
+  if (csv) {
+    span_table.print_csv();
+  } else {
+    std::printf("\nPer-phase span time:\n");
+    span_table.print();
+  }
+
+  if (!convergence.empty()) {
+    Table conv_table({"phase", "improvements", "first worth", "best worth",
+                      "best slack", "t(first) s", "t(best) s"});
+    for (const std::string& phase : conv_order) {
+      const Convergence& c = convergence.at(phase);
+      conv_table.add_row({phase.empty() ? "(none)" : phase,
+                          std::to_string(c.improvements),
+                          Table::num(c.first_worth, 0),
+                          Table::num(c.best_worth, 0),
+                          Table::num(c.best_slackness, 4),
+                          Table::num(c.t_first_s, 3), Table::num(c.t_best_s, 3)});
+    }
+    if (csv) {
+      conv_table.print_csv();
+    } else {
+      std::printf("\nFitness convergence (search.improve events):\n");
+      conv_table.print();
+    }
+  }
+
+  if (full && !improvements.empty()) {
+    Table events({"t s", "phase", "trial", "iteration", "worth", "slack"});
+    for (const Improvement& imp : improvements) {
+      events.add_row({Table::num(imp.ts, 3), imp.phase,
+                      Table::num(imp.trial, 0), Table::num(imp.iteration, 0),
+                      Table::num(imp.worth, 0), Table::num(imp.slackness, 4)});
+    }
+    if (csv) {
+      events.print_csv();
+    } else {
+      std::printf("\nImprovement events:\n");
+      events.print();
+    }
+  }
+
+  if (malformed > 0) {
+    std::fprintf(stderr, "trace_report: skipped %zu malformed lines\n",
+                 malformed);
+  }
+  return 0;
+}
