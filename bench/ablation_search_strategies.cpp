@@ -19,6 +19,7 @@
 #include "core/local_search.hpp"
 #include "core/ordered.hpp"
 #include "core/psg.hpp"
+#include "obs/names.hpp"
 #include "obs/run_info.hpp"
 #include "obs/trace.hpp"
 #include "util/flags.hpp"
@@ -105,7 +106,7 @@ int main(int argc, char** argv) {
     const model::SystemModel m = workload::generate(gen_config, instance_rng);
     for (std::size_t s = 0; s < searchers.size(); ++s) {
       util::Rng rng = master.spawn();
-      obs::Span span("bench.alloc", {{"phase", searchers[s]->name()},
+      obs::Span span(obs::names::kBenchAlloc, {{"phase", searchers[s]->name()},
                                      {"run", std::uint64_t{static_cast<std::uint64_t>(run)}}});
       const auto result = searchers[s]->allocate(m, rng);
       span.add("metric", static_cast<double>(result.fitness.total_worth));
@@ -114,7 +115,7 @@ int main(int argc, char** argv) {
     }
     if (with_exact && m.num_strings() <= 9) {
       util::Rng rng = master.spawn();
-      obs::Span span("bench.alloc", {{"phase", "Exact"},
+      obs::Span span(obs::names::kBenchAlloc, {{"phase", "Exact"},
                                      {"run", std::uint64_t{static_cast<std::uint64_t>(run)}}});
       const auto result = core::ExactPermutationSearch{}.allocate(m, rng);
       span.add("metric", static_cast<double>(result.fitness.total_worth));

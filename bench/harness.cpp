@@ -6,6 +6,7 @@
 #include "core/baselines.hpp"
 #include "core/ordered.hpp"
 #include "obs/metrics.hpp"
+#include "obs/names.hpp"
 #include "obs/trace.hpp"
 #include "util/json.hpp"
 #include "util/thread_pool.hpp"
@@ -153,7 +154,7 @@ ScenarioBenchResult run_scenario_bench(const ScenarioBenchConfig& config,
     out.metric.resize(allocators.size());
     out.seconds.resize(allocators.size());
     for (std::size_t h = 0; h < allocators.size(); ++h) {
-      obs::Span span("bench.alloc", {{"phase", allocators[h]->name()},
+      obs::Span span(obs::names::kBenchAlloc, {{"phase", allocators[h]->name()},
                                      {"run", std::uint64_t{run}}});
       const double t0 = now_seconds();
       const auto alloc_result =
@@ -166,7 +167,7 @@ ScenarioBenchResult run_scenario_bench(const ScenarioBenchConfig& config,
       span.add("evaluations", static_cast<double>(alloc_result.evaluations));
     }
     if (config.with_upper_bound) {
-      obs::Span span("bench.ub", {{"phase", "UB"}, {"run", std::uint64_t{run}}});
+      obs::Span span(obs::names::kBenchUb, {{"phase", "UB"}, {"run", std::uint64_t{run}}});
       const double t0 = now_seconds();
       const auto ub = slackness_metric ? lp::upper_bound_slackness(m)
                                        : lp::upper_bound_worth(m);

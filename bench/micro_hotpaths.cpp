@@ -15,6 +15,7 @@
 #include "core/imr.hpp"
 #include "lp/upper_bound.hpp"
 #include "obs/metrics.hpp"
+#include "obs/names.hpp"
 #include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "workload/generator.hpp"
@@ -210,7 +211,7 @@ BENCHMARK(BM_JsonModelRoundTrip)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond)
 /// Cost of one registry counter increment (the obs hot-path primitive): a
 /// thread-local relaxed load+store, no lock, no RMW.
 void BM_MetricsCounterAdd(benchmark::State& state) {
-  auto& counter = obs::MetricsRegistry::instance().counter("bench.micro.counter");
+  auto& counter = obs::MetricsRegistry::instance().counter(obs::names::kBenchMicroCounter);
   for (auto _ : state) {
     counter.add(1);
   }
@@ -223,8 +224,8 @@ BENCHMARK(BM_MetricsCounterAdd);
 /// (tracer fully elided), so this measures the zero-overhead claim directly.
 void BM_TracingDisabledSpan(benchmark::State& state) {
   for (auto _ : state) {
-    obs::Span span("bench.micro.span", {{"k", 1}});
-    obs::trace_event("bench.micro.event", {{"k", 2}});
+    obs::Span span(obs::names::kBenchMicroSpan, {{"k", 1}});
+    obs::trace_event(obs::names::kBenchMicroEvent, {{"k", 2}});
     benchmark::DoNotOptimize(obs::tracing_active());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));

@@ -8,6 +8,7 @@
 #include "analysis/feasibility.hpp"
 #include "analysis/tightness.hpp"
 #include "obs/metrics.hpp"
+#include "obs/names.hpp"
 
 namespace tsce::analysis {
 
@@ -30,11 +31,11 @@ struct SessionMetrics {
 
   static SessionMetrics& get() {
     auto& reg = obs::MetricsRegistry::instance();
-    static SessionMetrics m{reg.counter("session.reject.utilization"),
-                            reg.counter("session.reject.throughput"),
-                            reg.counter("session.reject.latency"),
-                            reg.counter("session.uncommit.batches"),
-                            reg.counter("session.uncommit.strings")};
+    static SessionMetrics m{reg.counter(obs::names::kSessionRejectUtilization),
+                            reg.counter(obs::names::kSessionRejectThroughput),
+                            reg.counter(obs::names::kSessionRejectLatency),
+                            reg.counter(obs::names::kSessionUncommitBatches),
+                            reg.counter(obs::names::kSessionUncommitStrings)};
     return m;
   }
 };

@@ -5,6 +5,7 @@
 
 #include "core/decode.hpp"
 #include "genitor/genitor.hpp"
+#include "obs/names.hpp"
 #include "obs/trace.hpp"
 
 namespace tsce::core {
@@ -85,7 +86,7 @@ AllocatorResult ClassBasedAllocator::allocate(const SystemModel& model,
       }
     }
     if (members.empty()) continue;
-    obs::Span span("search.class",
+    obs::Span span(obs::names::kSearchClass,
                    {{"phase", "ClassBased"},
                     {"class", std::uint64_t{class_index++}},
                     {"members", std::uint64_t{members.size()}}});
@@ -109,7 +110,7 @@ AllocatorResult ClassBasedAllocator::allocate(const SystemModel& model,
         auto ga_result = ga.run(
             trial_rng, {},
             [&](std::size_t iteration, const analysis::Fitness& elite) {
-              obs::trace_event("search.improve",
+              obs::trace_event(obs::names::kSearchImprove,
                                {{"phase", "ClassBased"},
                                 {"trial", std::uint64_t{trace_class}},
                                 {"iteration", std::uint64_t{iteration}},

@@ -5,6 +5,7 @@
 
 #include "core/imr.hpp"
 #include "obs/metrics.hpp"
+#include "obs/names.hpp"
 
 namespace tsce::core {
 
@@ -23,10 +24,10 @@ struct DecodeMetrics {
 
   static DecodeMetrics& get() {
     static DecodeMetrics m{
-        obs::MetricsRegistry::instance().counter("decode.calls"),
-        obs::MetricsRegistry::instance().counter("decode.commits_attempted"),
-        obs::MetricsRegistry::instance().counter("decode.strings_reused"),
-        obs::MetricsRegistry::instance().histogram("decode.prefix_reuse_len")};
+        obs::MetricsRegistry::instance().counter(obs::names::kDecodeCalls),
+        obs::MetricsRegistry::instance().counter(obs::names::kDecodeCommitsAttempted),
+        obs::MetricsRegistry::instance().counter(obs::names::kDecodeStringsReused),
+        obs::MetricsRegistry::instance().histogram(obs::names::kDecodePrefixReuseLen)};
     return m;
   }
 };

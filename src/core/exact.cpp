@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/decode.hpp"
+#include "obs/names.hpp"
 #include "obs/trace.hpp"
 
 namespace tsce::core {
@@ -45,7 +46,7 @@ class Enumerator {
       best_allocation_ = ctx_.allocation();
       best_order_.assign(ctx_.committed().begin(), ctx_.committed().end());
       have_best_ = true;
-      obs::trace_event("search.improve",
+      obs::trace_event(obs::names::kSearchImprove,
                        {{"phase", "Exact"},
                         {"iteration", std::uint64_t{evaluations_}},
                         {"worth", best_fitness_.total_worth},
@@ -108,7 +109,7 @@ AllocatorResult ExactPermutationSearch::allocate(const SystemModel& model,
         std::to_string(model.num_strings()) + " strings > max " +
         std::to_string(options_.max_strings) + ")");
   }
-  obs::Span span("search.exact", {{"phase", "Exact"}});
+  obs::Span span(obs::names::kSearchExact, {{"phase", "Exact"}});
   Enumerator enumerator(model, options_.max_evaluations);
   enumerator.run();
   span.add("evaluations", static_cast<double>(enumerator.evaluations()));

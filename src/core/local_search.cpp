@@ -6,6 +6,7 @@
 
 #include "core/decode.hpp"
 #include "core/evaluator.hpp"
+#include "obs/names.hpp"
 #include "obs/trace.hpp"
 
 namespace tsce::core {
@@ -59,12 +60,12 @@ AllocatorResult HillClimb::allocate(const SystemModel& model, util::Rng& rng) co
   std::size_t evaluations = 0;
   DecodeContext replay_ctx(model);
 
-  if (options_.threads <= 1) {
-    // Serial engine: one context across all restarts, the caller's rng driving
-    // both the restart shuffles and the neighbor picks (the legacy stream),
-    // and a global evaluation budget.
+  if (options_.threads == 0) {
+    // Legacy serial engine: one context across all restarts, the caller's rng
+    // driving both the restart shuffles and the neighbor picks, and a global
+    // evaluation budget.
     for (std::size_t restart = 0; restart < restarts; ++restart) {
-      obs::Span span("search.restart",
+      obs::Span span(obs::names::kSearchRestart,
                      {{"phase", "HillClimb"}, {"restart", std::uint64_t{restart}}});
       std::vector<StringId> current = identity_order(model);
       rng.shuffle(current);
@@ -77,7 +78,7 @@ AllocatorResult HillClimb::allocate(const SystemModel& model, util::Rng& rng) co
         best_fitness = optimum.fitness;
         best_order = std::move(current);
         have_best = true;
-        obs::trace_event("search.improve",
+        obs::trace_event(obs::names::kSearchImprove,
                          {{"phase", "HillClimb"},
                           {"trial", std::uint64_t{restart}},
                           {"worth", best_fitness.total_worth},
@@ -88,10 +89,10 @@ AllocatorResult HillClimb::allocate(const SystemModel& model, util::Rng& rng) co
       }
     }
   } else {
-    // Parallel engine: restarts are independent, so each gets its own worker
-    // context, an index-derived rng stream, and an equal slice of the budget;
-    // results are deterministic at any thread count.  Ties across restarts go
-    // to the lowest restart index.
+    // Deterministic engine (threads >= 1): restarts are independent, so each
+    // gets its own worker context, an index-derived rng stream, and an equal
+    // slice of the budget; the result is byte-identical at any thread count.
+    // Ties across restarts go to the lowest restart index.
     const std::uint64_t base_seed = rng();
     const std::size_t slice =
         options_.max_evaluations == 0
@@ -105,7 +106,7 @@ AllocatorResult HillClimb::allocate(const SystemModel& model, util::Rng& rng) co
     std::vector<Restart> outcomes(restarts);
     BatchEvaluator evaluator(model, options_.threads);
     evaluator.for_each(restarts, [&](std::size_t r, DecodeContext& ctx) {
-      obs::Span span("search.restart",
+      obs::Span span(obs::names::kSearchRestart,
                      {{"phase", "HillClimb"}, {"restart", std::uint64_t{r}}});
       util::Rng restart_rng = util::Rng::stream(base_seed, r);
       std::vector<StringId> current = identity_order(model);
@@ -125,7 +126,7 @@ AllocatorResult HillClimb::allocate(const SystemModel& model, util::Rng& rng) co
         best_fitness = outcomes[r].fitness;
         best_order = outcomes[r].order;
         have_best = true;
-        obs::trace_event("search.improve",
+        obs::trace_event(obs::names::kSearchImprove,
                          {{"phase", "HillClimb"},
                           {"trial", std::uint64_t{r}},
                           {"worth", best_fitness.total_worth},
@@ -163,7 +164,7 @@ AllocatorResult SimulatedAnnealing::allocate(const SystemModel& model,
   std::vector<StringId> best_order = current;
   std::size_t evaluations = 1;
 
-  obs::Span span("search.anneal", {{"phase", "Annealing"}});
+  obs::Span span(obs::names::kSearchAnneal, {{"phase", "Annealing"}});
   double temperature = options_.initial_temperature > 0.0
                            ? options_.initial_temperature
                            : 0.1 * std::max(1, model.total_worth_available());
@@ -183,7 +184,7 @@ AllocatorResult SimulatedAnnealing::allocate(const SystemModel& model,
       if (best_fitness < current_decoded.fitness) {
         best_fitness = current_decoded.fitness;
         best_order = current;
-        obs::trace_event("search.improve",
+        obs::trace_event(obs::names::kSearchImprove,
                          {{"phase", "Annealing"},
                           {"iteration", std::uint64_t{iter}},
                           {"temperature", temperature},

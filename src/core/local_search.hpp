@@ -18,14 +18,16 @@ struct HillClimbOptions {
   /// Neighbor evaluations per climb before giving up on an improvement.
   std::size_t max_neighbors_per_step = 64;
   /// Total decode-evaluation budget across all restarts (0 = unlimited).
-  /// With threads > 1 the budget is split evenly across restarts so parallel
-  /// runs stay deterministic.
+  /// The deterministic engine (threads >= 1) splits the budget evenly across
+  /// restarts so results do not depend on the execution schedule.
   std::size_t max_evaluations = 0;
-  /// Worker threads for running restarts concurrently; 1 = serial (drives
-  /// restarts off the caller's rng stream, the legacy behavior), > 1 gives
-  /// each restart an index-derived rng stream so results are reproducible at
-  /// any thread count (0 = hardware concurrency).
-  std::size_t threads = 1;
+  /// Engine selector.  0 (default) is the legacy serial engine: restarts are
+  /// driven off the caller's rng stream and max_evaluations is one global
+  /// budget.  Any value >= 1 selects the deterministic engine: each restart
+  /// derives its rng stream from its index (util::Rng::stream) and gets an
+  /// equal budget slice, so the result is byte-identical at 1, 2, or N
+  /// threads (1 runs inline with no pool).
+  std::size_t threads = 0;
 };
 
 /// First-improvement hill climbing over string orderings with the swap

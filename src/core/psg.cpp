@@ -5,6 +5,7 @@
 
 #include "core/decode.hpp"
 #include "core/ordered.hpp"
+#include "obs/names.hpp"
 #include "obs/trace.hpp"
 
 namespace tsce::core {
@@ -81,14 +82,14 @@ AllocatorResult Psg::allocate(const SystemModel& model, util::Rng& rng) const {
   const std::string phase = name();
   for (std::size_t trial = 0; trial < std::max<std::size_t>(1, options_.trials);
        ++trial) {
-    obs::Span span("search.trial",
+    obs::Span span(obs::names::kSearchTrial,
                    {{"phase", phase}, {"trial", std::uint64_t{trial}}});
     util::Rng trial_rng = rng.spawn();
     genitor::Genitor<PermutationProblem> ga(problem, options_.ga);
     auto ga_result =
         ga.run(trial_rng, seed_orders,
                [&](std::size_t iteration, const analysis::Fitness& elite) {
-                 obs::trace_event("search.improve",
+                 obs::trace_event(obs::names::kSearchImprove,
                                   {{"phase", phase},
                                    {"trial", std::uint64_t{trial}},
                                    {"iteration", std::uint64_t{iteration}},

@@ -33,8 +33,8 @@ namespace tsce::genitor {
 [[nodiscard]] inline std::size_t biased_rank(std::size_t n, double bias,
                                              double u) noexcept {
   const double b = bias;
-  const double x =
-      n * (b - std::sqrt(b * b - 4.0 * (b - 1.0) * u)) / (2.0 * (b - 1.0));
+  const double x = static_cast<double>(n) *
+                   (b - std::sqrt(b * b - 4.0 * (b - 1.0) * u)) / (2.0 * (b - 1.0));
   auto rank = static_cast<std::size_t>(x);
   return rank >= n ? n - 1 : rank;
 }

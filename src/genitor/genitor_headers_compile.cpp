@@ -1,0 +1,38 @@
+/// \file genitor_headers_compile.cpp
+/// Compiles the tsce_genitor INTERFACE library's headers once under the full
+/// tsce_warnings / tsce_extra_warnings flag set.  Header-only modules are
+/// never a translation unit of their own target, so without this TU their
+/// code would only ever be compiled with whatever flags their *consumers*
+/// use — warnings regressions in genitor.hpp would go unnoticed until a
+/// stricter downstream build tripped over them.
+
+#include "genitor/genitor.hpp"
+
+namespace {
+
+/// Minimal Problem instantiation so the Genitor template (not just the
+/// header's non-template code) is type-checked in this TU.
+struct NullProblem {
+  using Chromosome = std::vector<int>;
+  using Fitness = int;
+
+  [[nodiscard]] Fitness evaluate(const Chromosome& c) const {
+    return static_cast<int>(c.size());
+  }
+  [[nodiscard]] std::pair<Chromosome, Chromosome> crossover(
+      const Chromosome& a, const Chromosome& b, tsce::util::Rng&) const {
+    return {a, b};
+  }
+  [[nodiscard]] Chromosome mutate(const Chromosome& c, tsce::util::Rng&) const {
+    return c;
+  }
+  [[nodiscard]] Chromosome random_chromosome(tsce::util::Rng&) const { return {}; }
+};
+
+static_assert(tsce::genitor::Problem<NullProblem>);
+
+}  // namespace
+
+// Instantiate the framework so its member functions (not just the header's
+// free functions) are compiled and warning-checked here.
+template class tsce::genitor::Genitor<NullProblem>;

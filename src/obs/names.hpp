@@ -1,0 +1,49 @@
+/// \file names.hpp
+/// Single registry of every metric and trace-span/event name literal.
+///
+/// All dotted-path name literals passed to MetricsRegistry::counter/gauge/
+/// histogram, obs::Span, and obs::trace_event live here as constexpr
+/// string_views.  Call sites in src/ reference these constants; call sites in
+/// bench/ and tools/ may keep inline literals, but tools/tsce_lint verifies
+/// every such literal is declared in this file — so the full telemetry
+/// vocabulary is greppable in one place and a typo ("decode.cals") fails the
+/// lint instead of silently creating a second time series.
+///
+/// Naming convention: `<module>.<noun>[.<qualifier>]`, lower-case, dots as
+/// separators.  Span/event names double as trace_report group keys.
+
+#pragma once
+
+#include <string_view>
+
+namespace tsce::obs::names {
+
+// --- decode engine counters (folded by DecodeContext on destruction) -------
+inline constexpr std::string_view kDecodeCalls = "decode.calls";
+inline constexpr std::string_view kDecodeCommitsAttempted = "decode.commits_attempted";
+inline constexpr std::string_view kDecodeStringsReused = "decode.strings_reused";
+inline constexpr std::string_view kDecodePrefixReuseLen = "decode.prefix_reuse_len";
+
+// --- allocation-session constraint classification (eq. (1)) ----------------
+inline constexpr std::string_view kSessionRejectUtilization = "session.reject.utilization";
+inline constexpr std::string_view kSessionRejectThroughput = "session.reject.throughput";
+inline constexpr std::string_view kSessionRejectLatency = "session.reject.latency";
+inline constexpr std::string_view kSessionUncommitBatches = "session.uncommit.batches";
+inline constexpr std::string_view kSessionUncommitStrings = "session.uncommit.strings";
+
+// --- search spans and convergence events -----------------------------------
+inline constexpr std::string_view kSearchTrial = "search.trial";
+inline constexpr std::string_view kSearchRestart = "search.restart";
+inline constexpr std::string_view kSearchAnneal = "search.anneal";
+inline constexpr std::string_view kSearchExact = "search.exact";
+inline constexpr std::string_view kSearchClass = "search.class";
+inline constexpr std::string_view kSearchImprove = "search.improve";
+
+// --- bench harness spans ----------------------------------------------------
+inline constexpr std::string_view kBenchAlloc = "bench.alloc";
+inline constexpr std::string_view kBenchUb = "bench.ub";
+inline constexpr std::string_view kBenchMicroCounter = "bench.micro.counter";
+inline constexpr std::string_view kBenchMicroSpan = "bench.micro.span";
+inline constexpr std::string_view kBenchMicroEvent = "bench.micro.event";
+
+}  // namespace tsce::obs::names

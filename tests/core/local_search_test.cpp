@@ -62,8 +62,9 @@ TEST(HillClimb, RespectsEvaluationBudget) {
 }
 
 TEST(HillClimb, ParallelRestartsDeterministicAcrossThreadCounts) {
-  // With threads > 1 every restart derives its rng stream from its index, so
-  // the result must be identical at any worker count (and across reruns).
+  // With threads >= 1 every restart derives its rng stream from its index, so
+  // the result must be identical at any worker count (and across reruns) —
+  // including threads = 1, the inline no-pool execution of the same engine.
   const SystemModel m = contended(15);
   HillClimbOptions options;
   options.restarts = 4;
@@ -74,6 +75,7 @@ TEST(HillClimb, ParallelRestartsDeterministicAcrossThreadCounts) {
     util::Rng rng(16);
     return HillClimb(o).allocate(m, rng);
   };
+  const auto one = run(1);
   const auto two = run(2);
   const auto three = run(3);
   const auto two_again = run(2);
@@ -81,6 +83,9 @@ TEST(HillClimb, ParallelRestartsDeterministicAcrossThreadCounts) {
   EXPECT_EQ(two.fitness.slackness, three.fitness.slackness);
   EXPECT_EQ(two.order, three.order);
   EXPECT_EQ(two.evaluations, three.evaluations);
+  EXPECT_EQ(one.order, two.order);
+  EXPECT_EQ(one.fitness.slackness, two.fitness.slackness);
+  EXPECT_EQ(one.evaluations, two.evaluations);
   EXPECT_EQ(two.order, two_again.order);
   EXPECT_EQ(two.evaluations, two_again.evaluations);
   EXPECT_TRUE(analysis::check_feasibility(m, two.allocation).feasible());

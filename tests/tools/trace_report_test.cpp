@@ -1,0 +1,124 @@
+/// \file trace_report_test.cpp
+/// End-to-end regression tests for the trace_report CLI: runs the real binary
+/// (path injected as TSCE_TRACE_REPORT_BIN) against the golden JSONL fixture
+/// and asserts on its combined output and exit code.  The fixture contains
+/// spans for two phases, improvement events (including a same-worth/better-
+/// slackness tie-break), two malformed lines, and one foreign event type.
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace {
+
+struct RunResult {
+  std::string output;  // stdout and stderr interleaved
+  int exit_code = -1;
+};
+
+RunResult run(const std::string& args) {
+  const std::string cmd =
+      std::string(TSCE_TRACE_REPORT_BIN) + " " + args + " 2>&1";
+  RunResult result;
+  std::FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    ADD_FAILURE() << "popen failed for: " << cmd;
+    return result;
+  }
+  char buf[512];
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) result.output += buf;
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string fixture() {
+  return std::string(TSCE_TOOLS_FIXTURE_DIR) + "/golden_trace.jsonl";
+}
+
+TEST(TraceReport, RendersPerPhaseTablesFromGoldenTrace) {
+  const RunResult r = run(fixture());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  // Header provenance line from the run_info record.
+  EXPECT_NE(r.output.find("run: git abc123def456, Release build, seed 42, 2 threads"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("scenario=highly_loaded"), std::string::npos);
+  // Span groups keyed "name [phase]", in first-seen order.
+  EXPECT_NE(r.output.find("Per-phase span time:"), std::string::npos);
+  const std::size_t trial_at = r.output.find("search.trial [PSG]");
+  const std::size_t restart_at = r.output.find("search.restart [HillClimb]");
+  EXPECT_NE(trial_at, std::string::npos);
+  EXPECT_NE(restart_at, std::string::npos);
+  EXPECT_LT(trial_at, restart_at);
+  // Convergence folds search.improve events per phase; the third PSG event
+  // has equal worth but higher slackness, so it must win the tie-break.
+  EXPECT_NE(r.output.find("Fitness convergence"), std::string::npos);
+  EXPECT_NE(r.output.find("150"), std::string::npos);
+  EXPECT_NE(r.output.find("0.5000"), std::string::npos);
+  // Exactly the two broken lines are counted; the foreign event type is not.
+  EXPECT_NE(r.output.find("skipped 2 malformed lines"), std::string::npos);
+}
+
+TEST(TraceReport, CsvModeEmitsMachineReadableRows) {
+  const RunResult r = run(fixture() + " --csv");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("phase,spans,total s,mean ms,max ms"), std::string::npos)
+      << r.output;
+  // 0.120 + 0.080 over two spans: total 0.200 s, mean 100 ms, max 120 ms.
+  EXPECT_NE(r.output.find("search.trial [PSG],2,0.200,100.000,120.000"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(
+      r.output.find("phase,improvements,first worth,best worth,best slack,"
+                    "t(first) s,t(best) s"),
+      std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("PSG,3,120,150,0.5000,0.015,0.130"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("HillClimb,1,90,90,0.1250,0.050,0.050"),
+            std::string::npos)
+      << r.output;
+  // CSV mode must not emit the human table headings.
+  EXPECT_EQ(r.output.find("Per-phase span time:"), std::string::npos);
+}
+
+TEST(TraceReport, FullModeListsEveryImprovementEvent) {
+  const RunResult r = run(fixture() + " --full");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("Improvement events:"), std::string::npos) << r.output;
+  // Four improvement rows, in file order: iteration 40 appears only there.
+  EXPECT_NE(r.output.find("40"), std::string::npos);
+}
+
+TEST(TraceReport, AllMalformedInputFailsWithDiagnostic) {
+  const std::string path = testing::TempDir() + "tsce_trace_garbage.jsonl";
+  {
+    std::ofstream out(path);
+    out << "not json at all\n{\"t\":\"header\"}\n\n";
+  }
+  const RunResult r = run(path);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("no span or improvement records"), std::string::npos)
+      << r.output;
+  std::remove(path.c_str());
+}
+
+TEST(TraceReport, MissingFileFails) {
+  const RunResult r = run("/nonexistent/trace.jsonl");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("cannot open"), std::string::npos) << r.output;
+}
+
+TEST(TraceReport, RejectsWrongArgumentCount) {
+  const RunResult no_args = run("");
+  EXPECT_EQ(no_args.exit_code, 1);
+  EXPECT_NE(no_args.output.find("expected exactly one trace file"),
+            std::string::npos)
+      << no_args.output;
+}
+
+}  // namespace

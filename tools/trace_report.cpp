@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/names.hpp"
 #include "util/flags.hpp"
 #include "util/json.hpp"
 #include "util/stats.hpp"
@@ -143,7 +144,7 @@ int main(int argc, char** argv) {
       if (inserted) span_order.push_back(key);
       it->second.dur_s.add(field_num(record, "dur"));
     } else if (type == "event" &&
-               record.at("name").as_string() == "search.improve") {
+               record.at("name").as_string() == tsce::obs::names::kSearchImprove) {
       Improvement imp;
       imp.ts = field_num(record, "ts");
       imp.phase = field_str(fields, "phase");

@@ -1,0 +1,227 @@
+/// \file tsce_lint.cpp
+/// Project-specific lint rules that clang-tidy cannot express.  Token/regex
+/// based on purpose — no libclang dependency, so it runs anywhere the code
+/// builds and costs milliseconds as a tier-1 ctest case.
+///
+/// Usage: tsce_lint [--root <repo-root>]
+///
+/// Rules (suppress one occurrence with a trailing
+/// `// tsce-lint: allow(<rule>)` comment):
+///   deterministic-rng    src|tools|bench|examples must not use std::rand,
+///                        srand, std::random_device, or std::time seeds; all
+///                        randomness flows through util::Rng so runs replay
+///                        byte-identically from a seed.
+///   invalid-id-sentinel  src must not compare or assign bare -1 to
+///                        MachineId/StringId/AppIndex values; use
+///                        model::kInvalidId / model::kUnassigned.
+///   no-iostream-hot      src/core, src/analysis, src/model must not include
+///                        <iostream> (static init cost + accidental sync
+///                        stdio in the decode hot path); use <cstdio>.
+///   metric-name-registry metric and trace names must come from the
+///                        src/obs/names.hpp registry, never string literals
+///                        at the call site (counter/gauge/histogram/Span/
+///                        trace_event) — keeps trace_report and dashboards in
+///                        one namespace.  tests/ are exempt.
+///   pragma-once          every header uses `#pragma once`; classic
+///                        #ifndef/#define guards are rejected.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Violation {
+  std::string file;
+  std::size_t line;  // 0 = whole-file rule
+  std::string rule;
+  std::string message;
+};
+
+struct LintContext {
+  fs::path root;
+  std::vector<Violation> violations;
+
+  void report(const fs::path& file, std::size_t line, std::string rule,
+              std::string message) {
+    violations.push_back({fs::relative(file, root).generic_string(), line,
+                          std::move(rule), std::move(message)});
+  }
+};
+
+/// True when \p rel (repo-relative, generic separators) starts with \p prefix.
+bool in_dir(const std::string& rel, std::string_view prefix) {
+  return rel.size() > prefix.size() && rel.compare(0, prefix.size(), prefix) == 0 &&
+         rel[prefix.size()] == '/';
+}
+
+/// Strips string/char-literal contents (keeping the delimiters) and comments
+/// from one line, tracking block-comment state across lines.  Keeps matching
+/// honest: rule patterns never fire inside strings or comments, while call
+/// shapes like `counter("` survive as `counter("`.
+std::string strip_noise(const std::string& line, bool& in_block_comment) {
+  std::string out;
+  out.reserve(line.size());
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (in_block_comment) {
+      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+        in_block_comment = false;
+        ++i;
+      }
+      continue;
+    }
+    const char c = line[i];
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+      in_block_comment = true;
+      ++i;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      out.push_back(c);
+      const char quote = c;
+      ++i;
+      while (i < line.size() && line[i] != quote) {
+        if (line[i] == '\\') ++i;  // skip the escaped character
+        ++i;
+      }
+      if (i < line.size()) out.push_back(quote);  // closing delimiter
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+bool suppressed(const std::string& raw_line, std::string_view rule) {
+  const std::size_t at = raw_line.find("tsce-lint: allow(");
+  if (at == std::string::npos) return false;
+  const std::size_t open = raw_line.find('(', at);
+  const std::size_t close = raw_line.find(')', open);
+  if (close == std::string::npos) return false;
+  return raw_line.compare(open + 1, close - open - 1, rule) == 0;
+}
+
+const std::regex kBannedRng(
+    R"(std\s*::\s*rand\b|\bsrand\s*\(|random_device|std\s*::\s*time\s*\(|\btime\s*\(\s*(nullptr|NULL|0)\s*\))");
+const std::regex kIdTypes(R"(\b(MachineId|StringId|AppIndex)\b)");
+const std::regex kBareMinusOne(R"((^|[^\w.])-1\b)");
+const std::regex kIostream(R"(#\s*include\s*<iostream>)");
+const std::regex kLiteralMetricName(
+    R"(\b(counter|gauge|histogram|Span|trace_event)\s*\(\s*")");
+const std::regex kIfndefGuard(R"(#\s*ifndef\s+\w*_(H|HPP|H_|HPP_)\s*$)");
+const std::regex kPragmaOnce(R"(#\s*pragma\s+once\b)");
+
+void lint_file(LintContext& ctx, const fs::path& file) {
+  const std::string rel = fs::relative(file, ctx.root).generic_string();
+  const bool is_header = file.extension() == ".hpp";
+  const bool rng_scope = !in_dir(rel, "tests");
+  const bool id_scope = in_dir(rel, "src");
+  const bool iostream_scope = in_dir(rel, "src/core") ||
+                              in_dir(rel, "src/analysis") || in_dir(rel, "src/model");
+  const bool name_scope = !in_dir(rel, "tests") && rel != "src/obs/names.hpp";
+
+  std::ifstream in(file);
+  if (!in) {
+    ctx.report(file, 0, "io", "cannot open file");
+    return;
+  }
+
+  std::string raw;
+  bool in_block_comment = false;
+  bool saw_pragma_once = false;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::string code = strip_noise(raw, in_block_comment);
+    if (code.empty()) continue;
+
+    if (std::regex_search(code, kPragmaOnce)) saw_pragma_once = true;
+    if (is_header && std::regex_search(code, kIfndefGuard) &&
+        !suppressed(raw, "pragma-once")) {
+      ctx.report(file, line_no, "pragma-once",
+                 "classic #ifndef include guard; use #pragma once");
+    }
+    if (rng_scope && std::regex_search(code, kBannedRng) &&
+        !suppressed(raw, "deterministic-rng")) {
+      ctx.report(file, line_no, "deterministic-rng",
+                 "non-deterministic randomness source; derive from util::Rng "
+                 "(Rng::stream for parallel work)");
+    }
+    if (id_scope && std::regex_search(code, kIdTypes) &&
+        std::regex_search(code, kBareMinusOne) &&
+        code.find("kInvalidId") == std::string::npos &&
+        !suppressed(raw, "invalid-id-sentinel")) {
+      ctx.report(file, line_no, "invalid-id-sentinel",
+                 "bare -1 used with an id type; use model::kInvalidId / "
+                 "model::kUnassigned");
+    }
+    if (iostream_scope && std::regex_search(code, kIostream) &&
+        !suppressed(raw, "no-iostream-hot")) {
+      ctx.report(file, line_no, "no-iostream-hot",
+                 "<iostream> in a hot-path module; use <cstdio>");
+    }
+    if (name_scope && std::regex_search(code, kLiteralMetricName) &&
+        !suppressed(raw, "metric-name-registry")) {
+      ctx.report(file, line_no, "metric-name-registry",
+                 "metric/trace name passed as a string literal; add a "
+                 "constant to src/obs/names.hpp and reference it");
+    }
+  }
+
+  if (is_header && !saw_pragma_once) {
+    ctx.report(file, 0, "pragma-once", "header is missing #pragma once");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: tsce_lint [--root <repo-root>]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "tsce_lint: unknown argument '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  root = fs::absolute(root);
+
+  LintContext ctx{root, {}};
+  std::size_t files = 0;
+  for (const char* dir : {"src", "tools", "bench", "examples", "tests"}) {
+    const fs::path base = root / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const fs::path ext = entry.path().extension();
+      if (ext != ".cpp" && ext != ".hpp") continue;
+      ++files;
+      lint_file(ctx, entry.path());
+    }
+  }
+
+  for (const Violation& v : ctx.violations) {
+    if (v.line == 0) {
+      std::fprintf(stderr, "%s: [%s] %s\n", v.file.c_str(), v.rule.c_str(),
+                   v.message.c_str());
+    } else {
+      std::fprintf(stderr, "%s:%zu: [%s] %s\n", v.file.c_str(), v.line,
+                   v.rule.c_str(), v.message.c_str());
+    }
+  }
+  std::printf("tsce_lint: %zu files checked, %zu violation%s\n", files,
+              ctx.violations.size(), ctx.violations.size() == 1 ? "" : "s");
+  return ctx.violations.empty() ? 0 : 1;
+}
