@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <thread>
+
 #include "analysis/estimates.hpp"
 #include "dag/allocator.hpp"
 #include "dag/generator.hpp"
@@ -13,6 +15,7 @@
 #include "core/decode.hpp"
 #include "core/evaluator.hpp"
 #include "core/imr.hpp"
+#include "core/local_search.hpp"
 #include "lp/upper_bound.hpp"
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
@@ -151,6 +154,62 @@ void BM_BatchEvaluate(benchmark::State& state) {
                           static_cast<std::int64_t>(orders.size()));
 }
 BENCHMARK(BM_BatchEvaluate)->Arg(1)->Arg(2);
+
+/// Full annealing run at a fixed decode budget; Arg = AnnealingOptions::
+/// threads (0 = legacy serial chain, >= 1 = parallel tempering with 4
+/// replicas).  Same total Metropolis steps in every variant, so the wall
+/// clock differences isolate engine overhead (at 1 core) or speedup (at N).
+void BM_AnnealTempering(benchmark::State& state) {
+  const auto m = make_instance(6, 48);
+  core::AnnealingOptions options;
+  options.iterations = 4000;
+  options.replicas = 4;
+  options.exchange_interval = 64;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  const core::SimulatedAnnealing search(options);
+  std::size_t evaluations = 0;
+  int worth = 0;
+  for (auto _ : state) {
+    util::Rng rng(31);
+    const auto result = search.allocate(m, rng);
+    evaluations += result.evaluations;
+    worth = result.fitness.total_worth;
+    benchmark::DoNotOptimize(result.fitness);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(evaluations));
+  state.counters["worth"] = static_cast<double>(worth);
+}
+BENCHMARK(BM_AnnealTempering)->Arg(0)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+/// Thread churn with no metrics activity: the baseline spawn/join cost that
+/// BM_ThreadChurnShardRetirement is compared against.
+void BM_ThreadChurnBaseline(benchmark::State& state) {
+  for (auto _ : state) {
+    std::thread worker([] {});
+    worker.join();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ThreadChurnBaseline);
+
+/// Thread churn where each short-lived thread touches one registry counter,
+/// so its shard is folded-and-removed under the registry mutex on thread
+/// exit.  The delta over BM_ThreadChurnBaseline is the full shard-retirement
+/// cost (ROADMAP: decide whether the mutex needs replacing with a lock-free
+/// list — see DESIGN.md for the recorded verdict).
+void BM_ThreadChurnShardRetirement(benchmark::State& state) {
+  for (auto _ : state) {
+    std::thread worker([] {
+      obs::MetricsRegistry::instance()
+          .counter(obs::names::kBenchMicroCounter)
+          .add(1);
+    });
+    worker.join();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ThreadChurnShardRetirement);
 
 void BM_EstimateAll(benchmark::State& state) {
   const auto m = make_instance(6, static_cast<std::size_t>(state.range(0)));

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <array>
+#include <span>
 
 #include "core/decode.hpp"
+#include "core/evaluator.hpp"
 #include "genitor/genitor.hpp"
 #include "obs/names.hpp"
 #include "obs/trace.hpp"
@@ -20,19 +22,35 @@ namespace {
 /// the frozen base order followed by the class ordering.  Every candidate
 /// shares the frozen base as a prefix, so the context-based decode reuses it
 /// across the whole search instead of re-deploying it per evaluation.
+/// Satisfies genitor::BatchProblem: evaluate_batch() fans candidate sets
+/// (the initial population) out across the BatchEvaluator's workers, with
+/// byte-identical results at any eval_threads count.
 class ClassOrderProblem {
  public:
   using Chromosome = std::vector<StringId>;
   using Fitness = analysis::Fitness;
 
   ClassOrderProblem(const SystemModel& model, const std::vector<StringId>& base,
-                    std::vector<StringId> members)
-      : base_(&base), members_(std::move(members)), ctx_(model) {}
+                    std::vector<StringId> members, std::size_t eval_threads)
+      : base_(&base), members_(std::move(members)),
+        evaluator_(model, eval_threads) {}
 
   [[nodiscard]] Fitness evaluate(const Chromosome& order) const {
     full_.assign(base_->begin(), base_->end());
     full_.insert(full_.end(), order.begin(), order.end());
-    return decode_order_into(ctx_, full_).fitness;
+    return decode_order_into(evaluator_.context(0), full_).fitness;
+  }
+
+  [[nodiscard]] std::vector<Fitness> evaluate_batch(
+      std::span<const Chromosome> batch) const {
+    std::vector<Chromosome> full_orders(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      full_orders[i].reserve(base_->size() + batch[i].size());
+      full_orders[i].assign(base_->begin(), base_->end());
+      full_orders[i].insert(full_orders[i].end(), batch[i].begin(),
+                            batch[i].end());
+    }
+    return evaluator_.evaluate_fitness(full_orders);
   }
 
   [[nodiscard]] std::pair<Chromosome, Chromosome> crossover(const Chromosome& a,
@@ -64,7 +82,7 @@ class ClassOrderProblem {
  private:
   const std::vector<StringId>* base_;
   std::vector<StringId> members_;
-  mutable DecodeContext ctx_;
+  mutable BatchEvaluator evaluator_;
   mutable std::vector<StringId> full_;
 };
 
@@ -96,7 +114,8 @@ AllocatorResult ClassBasedAllocator::allocate(const SystemModel& model,
       best_class_order = members;
       ++evaluations;
     } else {
-      const ClassOrderProblem problem(model, committed, members);
+      const ClassOrderProblem problem(model, committed, members,
+                                      options_.eval_threads);
       genitor::Config config = options_.ga;
       config.population_size = std::min<std::size_t>(
           config.population_size, std::max<std::size_t>(4, members.size() * 4));

@@ -27,6 +27,11 @@ struct ClassBasedOptions {
                      .max_iterations = 200,
                      .stagnation_limit = 100};
   std::size_t trials = 1;
+  /// Worker threads for batched candidate evaluation inside each per-class
+  /// GENITOR search (the initial population fan-out), mirroring
+  /// PsgOptions::eval_threads.  1 (default) runs inline with no pool; results
+  /// are byte-identical at any thread count (BatchEvaluator contract).
+  std::size_t eval_threads = 1;
 };
 
 class ClassBasedAllocator final : public Allocator {

@@ -1,8 +1,11 @@
 #include "core/exact.hpp"
 
+#include <cstdint>
 #include <stdexcept>
+#include <vector>
 
 #include "core/decode.hpp"
+#include "core/evaluator.hpp"
 #include "obs/names.hpp"
 #include "obs/trace.hpp"
 
@@ -16,18 +19,42 @@ namespace {
 
 /// Depth-first enumeration state on top of the incremental decode engine:
 /// DecodeContext supplies push/pop string commits, so each tree edge costs
-/// one IMR mapping plus the suffix-local feasibility re-analysis.
+/// one IMR mapping plus the suffix-local feasibility re-analysis.  The
+/// context is borrowed (not owned) so the parallel engine can run one
+/// enumerator per top-level branch on a worker's long-lived context.
 class Enumerator {
  public:
-  Enumerator(const SystemModel& model, std::size_t max_evaluations)
-      : model_(model), ctx_(model), max_evaluations_(max_evaluations),
+  Enumerator(const SystemModel& model, DecodeContext& ctx,
+             std::size_t max_evaluations)
+      : model_(model), ctx_(ctx), max_evaluations_(max_evaluations),
         used_(model.num_strings(), false) {
     remaining_worth_ = model.total_worth_available();
   }
 
+  /// Full-tree enumeration from the empty prefix (the serial engine).
   void run() {
     consider(ctx_.fitness());
     descend();
+  }
+
+  /// Enumerates only the orderings that start with string \p k — one
+  /// top-level branch of the tree, self-contained so branches can run as
+  /// independent tasks.  The root commit is charged like the serial engine's
+  /// depth-0 loop body; a failing root commit reduces the branch to the
+  /// empty prefix (every completion of it decodes to the empty allocation).
+  void run_branch(StringId k) {
+    ++evaluations_;
+    const int worth_k = model_.strings[static_cast<std::size_t>(k)].worth_factor();
+    if (ctx_.try_push(k)) {
+      used_[static_cast<std::size_t>(k)] = true;
+      remaining_worth_ -= worth_k;
+      descend();
+      remaining_worth_ += worth_k;
+      used_[static_cast<std::size_t>(k)] = false;
+      ctx_.pop();
+    } else {
+      consider(ctx_.fitness());
+    }
   }
 
   [[nodiscard]] const model::Allocation& best_allocation() const noexcept {
@@ -37,6 +64,7 @@ class Enumerator {
   [[nodiscard]] const std::vector<StringId>& best_order() const noexcept {
     return best_order_;
   }
+  [[nodiscard]] bool have_best() const noexcept { return have_best_; }
   [[nodiscard]] std::size_t evaluations() const noexcept { return evaluations_; }
 
  private:
@@ -87,7 +115,7 @@ class Enumerator {
   }
 
   const SystemModel& model_;
-  DecodeContext ctx_;
+  DecodeContext& ctx_;
   std::size_t max_evaluations_;
   std::size_t evaluations_ = 0;
   std::vector<bool> used_;
@@ -109,16 +137,79 @@ AllocatorResult ExactPermutationSearch::allocate(const SystemModel& model,
         std::to_string(model.num_strings()) + " strings > max " +
         std::to_string(options_.max_strings) + ")");
   }
-  obs::Span span(obs::names::kSearchExact, {{"phase", "Exact"}});
-  Enumerator enumerator(model, options_.max_evaluations);
-  enumerator.run();
-  span.add("evaluations", static_cast<double>(enumerator.evaluations()));
-  span.add("worth", static_cast<double>(enumerator.best_fitness().total_worth));
+  obs::Span span(obs::names::kSearchExact,
+                 {{"phase", "Exact"},
+                  {"threads", std::uint64_t{options_.threads}}});
   AllocatorResult result;
-  result.allocation = enumerator.best_allocation();
-  result.fitness = enumerator.best_fitness();
-  result.order = enumerator.best_order();
-  result.evaluations = enumerator.evaluations();
+
+  if (options_.threads == 0) {
+    // Legacy serial engine: one global enumeration sharing one bound and one
+    // evaluation budget across the whole tree.
+    DecodeContext ctx(model);
+    Enumerator enumerator(model, ctx, options_.max_evaluations);
+    enumerator.run();
+    span.add("evaluations", static_cast<double>(enumerator.evaluations()));
+    span.add("worth", static_cast<double>(enumerator.best_fitness().total_worth));
+    result.allocation = enumerator.best_allocation();
+    result.fitness = enumerator.best_fitness();
+    result.order = enumerator.best_order();
+    result.evaluations = enumerator.evaluations();
+    return result;
+  }
+
+  // Deterministic parallel engine (threads >= 1): the top level of the tree
+  // is split into one task per first string, each enumerated independently
+  // with its own bound and an equal slice of the evaluation budget, so no
+  // task's pruning depends on another task's timing.  The fold walks
+  // branches in index order (strictly-better wins), which makes the result
+  // byte-identical at any worker count.  Per-branch bounds prune less than
+  // the serial engine's global bound, the price of schedule independence.
+  const std::size_t q = model.num_strings();
+  struct Branch {
+    Fitness fitness{};
+    model::Allocation allocation;
+    std::vector<StringId> order;
+    std::size_t evaluations = 0;
+    bool have = false;
+  };
+  std::vector<Branch> branches(q);
+  const std::size_t slice = std::max<std::size_t>(
+      1, options_.max_evaluations / std::max<std::size_t>(1, q));
+  BatchEvaluator evaluator(model, options_.threads);
+  evaluator.for_each(q, [&](std::size_t k, DecodeContext& ctx) {
+    obs::Span branch_span(obs::names::kSearchExactBranch,
+                          {{"phase", "Exact"}, {"branch", std::uint64_t{k}}});
+    ctx.rewind_to(0);
+    Enumerator enumerator(model, ctx, slice);
+    enumerator.run_branch(static_cast<StringId>(k));
+    branches[k].fitness = enumerator.best_fitness();
+    branches[k].allocation = enumerator.best_allocation();
+    branches[k].order = enumerator.best_order();
+    branches[k].evaluations = enumerator.evaluations();
+    branches[k].have = enumerator.have_best();
+    branch_span.add("evaluations", static_cast<double>(enumerator.evaluations()));
+    branch_span.add("worth",
+                    static_cast<double>(enumerator.best_fitness().total_worth));
+  });
+
+  // Seed the reduction with the empty prefix (the serial engine's root
+  // consideration), then fold branches in index order.
+  DecodeResult root = decode_order(model, {});
+  result.allocation = std::move(root.allocation);
+  result.fitness = root.fitness;
+  result.order.clear();
+  std::size_t evaluations = 0;
+  for (std::size_t k = 0; k < q; ++k) {
+    evaluations += branches[k].evaluations;
+    if (branches[k].have && result.fitness < branches[k].fitness) {
+      result.fitness = branches[k].fitness;
+      result.allocation = std::move(branches[k].allocation);
+      result.order = std::move(branches[k].order);
+    }
+  }
+  result.evaluations = evaluations;
+  span.add("evaluations", static_cast<double>(evaluations));
+  span.add("worth", static_cast<double>(result.fitness.total_worth));
   return result;
 }
 

@@ -45,16 +45,39 @@ class HillClimb final : public Allocator {
 };
 
 struct AnnealingOptions {
+  /// Total Metropolis steps.  The serial engine runs them as one chain; the
+  /// tempering engine (threads >= 1) splits them evenly across the replicas,
+  /// so the decode-evaluation budget is the same at any replica count.
   std::size_t iterations = 2000;
   /// Initial temperature in worth units; 0 picks 10% of available worth.
   double initial_temperature = 0.0;
   /// Geometric cooling rate per iteration.
   double cooling = 0.998;
+  /// Tempering engine only: replicas on the geometric temperature ladder
+  /// (replica r starts at initial_temperature * ladder_ratio^r).  0 and 1
+  /// both run a single chain (no exchanges).
+  std::size_t replicas = 4;
+  /// Tempering engine only: Metropolis steps per replica between exchange
+  /// barriers.  0 disables exchanges (independent chains, best-of fold).
+  std::size_t exchange_interval = 64;
+  /// Tempering engine only: temperature ratio between adjacent replicas.
+  double ladder_ratio = 1.7;
+  /// Engine selector, mirroring HillClimbOptions::threads.  0 (default) is
+  /// the legacy serial single-chain engine driven off the caller's rng.  Any
+  /// value >= 1 selects the deterministic parallel tempering engine: replica
+  /// r derives its rng stream from its index (util::Rng::stream) and owns a
+  /// prefix-reuse DecodeContext; replicas step in fixed-size sweeps, exchange
+  /// at deterministic barriers from a dedicated exchange stream, and the fold
+  /// is by replica index — so the result is byte-identical at 1, 2, or N
+  /// threads (1 runs inline with no pool; workers cap at the replica count).
+  std::size_t threads = 0;
 };
 
 /// Simulated annealing over string orderings.  The acceptance energy is the
 /// lexicographic fitness flattened to worth + slackness (slackness in [0,1]
-/// can never outweigh a 1-unit worth difference).
+/// can never outweigh a 1-unit worth difference).  With threads >= 1 the
+/// engine is deterministic parallel tempering (see AnnealingOptions::threads
+/// and DESIGN.md §10).
 class SimulatedAnnealing final : public Allocator {
  public:
   explicit SimulatedAnnealing(AnnealingOptions options = {}) : options_(options) {}

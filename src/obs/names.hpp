@@ -36,8 +36,20 @@ inline constexpr std::string_view kSearchTrial = "search.trial";
 inline constexpr std::string_view kSearchRestart = "search.restart";
 inline constexpr std::string_view kSearchAnneal = "search.anneal";
 inline constexpr std::string_view kSearchExact = "search.exact";
+inline constexpr std::string_view kSearchExactBranch = "search.exact.branch";
 inline constexpr std::string_view kSearchClass = "search.class";
 inline constexpr std::string_view kSearchImprove = "search.improve";
+
+// --- parallel tempering (annealing engine with threads >= 1) ---------------
+// Spans: one per sweep (driver side) and one per replica step (worker side).
+// Events: one per exchange attempt at a sweep barrier.  Counters tally
+// sweeps, exchange attempts, and accepted swaps process-wide.
+inline constexpr std::string_view kSearchTemperSweep = "search.temper.sweep";
+inline constexpr std::string_view kSearchTemperReplica = "search.temper.replica";
+inline constexpr std::string_view kSearchTemperExchange = "search.temper.exchange";
+inline constexpr std::string_view kTemperSweeps = "search.temper.sweeps";
+inline constexpr std::string_view kTemperExchanges = "search.temper.exchanges";
+inline constexpr std::string_view kTemperSwaps = "search.temper.swaps";
 
 // --- bench harness spans ----------------------------------------------------
 inline constexpr std::string_view kBenchAlloc = "bench.alloc";

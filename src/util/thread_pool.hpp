@@ -103,6 +103,29 @@ class ThreadPool {
     for (auto& f : futures) f.get();
   }
 
+  /// Runs fn(i) for i in [0, count) pulling indices from a shared atomic
+  /// cursor with at most one task per worker — O(workers) futures instead of
+  /// O(count), so barrier-stepped loops (the tempering engine's sweeps, the
+  /// exact search's branch split) can call it repeatedly without flooding the
+  /// queue.  fn must tolerate any index-to-worker schedule; blocks until all
+  /// indices are done and rethrows the first work-item exception.
+  template <typename F>
+  void for_each_index(std::size_t count, F&& fn) {
+    std::atomic<std::size_t> cursor{0};
+    const std::size_t tasks = std::min(workers_.size(), count);
+    std::vector<std::future<void>> futures;
+    futures.reserve(tasks);
+    for (std::size_t w = 0; w < tasks; ++w) {
+      futures.push_back(submit([&fn, &cursor, count]() {
+        for (std::size_t i = cursor.fetch_add(1); i < count;
+             i = cursor.fetch_add(1)) {
+          fn(i);
+        }
+      }));
+    }
+    for (auto& f : futures) f.get();
+  }
+
  private:
   struct Item {
     std::function<void()> fn;

@@ -84,5 +84,33 @@ TEST(ClassBased, EmptyClassesAreSkipped) {
   EXPECT_EQ(result.fitness.total_worth, 10);
 }
 
+TEST(ClassBased, BatchedEvaluationDeterministicAcrossThreadCounts) {
+  // The per-class GENITOR search fans its initial populations out across the
+  // BatchEvaluator's workers; results must be byte-identical at any
+  // eval_threads count (and match the inline default).
+  util::Rng rng(8);
+  auto config =
+      workload::GeneratorConfig::for_scenario(workload::Scenario::kHighlyLoaded);
+  config.num_machines = 3;
+  config.num_strings = 12;
+  const SystemModel m = generate(config, rng);
+  auto run = [&](std::size_t threads) {
+    ClassBasedOptions options;
+    options.ga.population_size = 16;
+    options.ga.max_iterations = 60;
+    options.ga.stagnation_limit = 30;
+    options.eval_threads = threads;
+    util::Rng search_rng(9);
+    return ClassBasedAllocator(options).allocate(m, search_rng);
+  };
+  const auto one = run(1);
+  const auto four = run(4);
+  EXPECT_EQ(one.order, four.order);
+  EXPECT_EQ(one.fitness.total_worth, four.fitness.total_worth);
+  EXPECT_EQ(one.fitness.slackness, four.fitness.slackness);
+  EXPECT_EQ(one.evaluations, four.evaluations);
+  EXPECT_TRUE(analysis::check_feasibility(m, one.allocation).feasible());
+}
+
 }  // namespace
 }  // namespace tsce::core

@@ -107,6 +107,58 @@ TEST(ExactSearch, EvaluationCapReturnsBestSoFar) {
   EXPECT_TRUE(analysis::check_feasibility(m, result.allocation).feasible());
 }
 
+TEST(ExactSearch, BranchSplitFindsSerialOptimum) {
+  // Without a binding budget, per-branch bounds prune only strictly-worse
+  // subtrees, so the parallel engine's optimum fitness equals the serial
+  // engine's (the representative order may differ).
+  for (std::uint64_t seed : {2u, 6u, 11u}) {
+    const SystemModel m = tiny(seed, 2, 6);
+    util::Rng r1(1);
+    const auto serial = ExactPermutationSearch{}.allocate(m, r1);
+    ExactSearchOptions options;
+    options.threads = 2;
+    util::Rng r2(1);
+    const auto split = ExactPermutationSearch(options).allocate(m, r2);
+    EXPECT_EQ(split.fitness.total_worth, serial.fitness.total_worth) << seed;
+    EXPECT_NEAR(split.fitness.slackness, serial.fitness.slackness, 1e-12) << seed;
+    EXPECT_TRUE(analysis::check_feasibility(m, split.allocation).feasible());
+  }
+}
+
+TEST(ExactSearch, BranchSplitDeterministicAcrossThreadCounts) {
+  const SystemModel m = tiny(7, 2, 7);
+  auto run = [&](std::size_t threads) {
+    ExactSearchOptions options;
+    options.threads = threads;
+    options.max_evaluations = 400;  // binding budget: slices must still agree
+    util::Rng rng(1);
+    return ExactPermutationSearch(options).allocate(m, rng);
+  };
+  const auto one = run(1);
+  const auto two = run(2);
+  const auto eight = run(8);
+  EXPECT_EQ(one.fitness.total_worth, two.fitness.total_worth);
+  EXPECT_EQ(one.fitness.slackness, two.fitness.slackness);
+  EXPECT_EQ(one.order, two.order);
+  EXPECT_EQ(one.evaluations, two.evaluations);
+  EXPECT_EQ(two.order, eight.order);
+  EXPECT_EQ(two.evaluations, eight.evaluations);
+}
+
+TEST(ExactSearch, BranchSplitRespectsSlicedBudget) {
+  // Each of the Q top-level branches gets max_evaluations / Q decodes, so the
+  // total can never exceed the budget by more than the per-branch in-flight
+  // evaluation.
+  const SystemModel m = tiny(8, 2, 7);
+  ExactSearchOptions options;
+  options.threads = 2;
+  options.max_evaluations = 70;
+  util::Rng rng(1);
+  const auto result = ExactPermutationSearch(options).allocate(m, rng);
+  EXPECT_LE(result.evaluations, 70u + m.num_strings());
+  EXPECT_TRUE(analysis::check_feasibility(m, result.allocation).feasible());
+}
+
 TEST(ExactSearch, SingleStringTrivial) {
   const SystemModel m = tiny(4, 2, 1);
   util::Rng rng(1);

@@ -157,5 +157,128 @@ TEST(SimulatedAnnealing, ColdAnnealingIsGreedy) {
   EXPECT_FALSE(long_result.fitness < short_result.fitness);
 }
 
+TEST(SimulatedAnnealing, LegacyEngineUnchangedByTemperingKnobs) {
+  // threads == 0 selects the legacy serial chain; the tempering-only knobs
+  // (replicas, exchange_interval, ladder_ratio) must not perturb it, so a
+  // fixed seed replays byte-identically whatever they are set to.
+  const SystemModel m = contended(19);
+  auto run = [&](AnnealingOptions options) {
+    options.iterations = 250;
+    options.threads = 0;
+    util::Rng rng(20);
+    return SimulatedAnnealing(options).allocate(m, rng);
+  };
+  const auto baseline = run({});
+  AnnealingOptions weird;
+  weird.replicas = 9;
+  weird.exchange_interval = 1;
+  weird.ladder_ratio = 5.0;
+  const auto knobbed = run(weird);
+  EXPECT_EQ(baseline.order, knobbed.order);
+  EXPECT_EQ(baseline.fitness.total_worth, knobbed.fitness.total_worth);
+  EXPECT_EQ(baseline.fitness.slackness, knobbed.fitness.slackness);
+  EXPECT_EQ(baseline.evaluations, knobbed.evaluations);
+}
+
+TEST(SimulatedAnnealing, TemperingDeterministicAcrossThreadCounts) {
+  const SystemModel m = contended(21);
+  auto run = [&](std::size_t threads) {
+    AnnealingOptions options;
+    options.iterations = 400;
+    options.replicas = 3;
+    options.exchange_interval = 32;
+    options.threads = threads;
+    util::Rng rng(22);
+    return SimulatedAnnealing(options).allocate(m, rng);
+  };
+  const auto one = run(1);
+  const auto two = run(2);
+  const auto eight = run(8);  // threads > replicas: workers cap at 3
+  const auto two_again = run(2);
+  EXPECT_EQ(one.order, two.order);
+  EXPECT_EQ(one.fitness.total_worth, two.fitness.total_worth);
+  EXPECT_EQ(one.fitness.slackness, two.fitness.slackness);
+  EXPECT_EQ(one.evaluations, two.evaluations);
+  EXPECT_EQ(two.order, eight.order);
+  EXPECT_EQ(two.evaluations, eight.evaluations);
+  EXPECT_EQ(two.order, two_again.order);
+  EXPECT_EQ(two.fitness.slackness, two_again.fitness.slackness);
+  EXPECT_TRUE(analysis::check_feasibility(m, two.allocation).feasible());
+}
+
+TEST(SimulatedAnnealing, TemperingBudgetMatchesSerialEngine) {
+  // The tempering engine splits `iterations` across the replicas and each
+  // replica charges one decode for its start order, so the total evaluation
+  // count is iterations + replicas — the serial engine's iterations + 1
+  // generalized to N chains.  Holds whether or not replicas divides evenly.
+  const SystemModel m = contended(23);
+  AnnealingOptions options;
+  options.iterations = 305;
+  options.replicas = 4;
+  options.threads = 1;
+  util::Rng rng(24);
+  const auto result = SimulatedAnnealing(options).allocate(m, rng);
+  EXPECT_EQ(result.evaluations, 305u + 4u);
+}
+
+TEST(SimulatedAnnealing, DegenerateReplicaCounts) {
+  // replicas = 0 is clamped to one chain, so it must agree byte-for-byte
+  // with replicas = 1 (both: a single chain, no exchanges possible).
+  const SystemModel m = contended(25);
+  auto run = [&](std::size_t replicas) {
+    AnnealingOptions options;
+    options.iterations = 200;
+    options.replicas = replicas;
+    options.threads = 1;
+    util::Rng rng(26);
+    return SimulatedAnnealing(options).allocate(m, rng);
+  };
+  const auto zero = run(0);
+  const auto one = run(1);
+  EXPECT_EQ(zero.order, one.order);
+  EXPECT_EQ(zero.fitness.total_worth, one.fitness.total_worth);
+  EXPECT_EQ(zero.fitness.slackness, one.fitness.slackness);
+  EXPECT_EQ(zero.evaluations, one.evaluations);
+  EXPECT_TRUE(analysis::check_feasibility(m, one.allocation).feasible());
+}
+
+TEST(SimulatedAnnealing, ExchangeIntervalZeroRunsIndependentChains) {
+  // exchange_interval = 0 disables the barriers: the replicas become
+  // independent cooled chains folded best-of.  Still deterministic across
+  // thread counts, still feasible.
+  const SystemModel m = contended(27);
+  auto run = [&](std::size_t threads) {
+    AnnealingOptions options;
+    options.iterations = 300;
+    options.replicas = 3;
+    options.exchange_interval = 0;
+    options.threads = threads;
+    util::Rng rng(28);
+    return SimulatedAnnealing(options).allocate(m, rng);
+  };
+  const auto one = run(1);
+  const auto four = run(4);
+  EXPECT_EQ(one.order, four.order);
+  EXPECT_EQ(one.fitness.total_worth, four.fitness.total_worth);
+  EXPECT_EQ(one.fitness.slackness, four.fitness.slackness);
+  EXPECT_EQ(one.evaluations, four.evaluations);
+  EXPECT_TRUE(analysis::check_feasibility(m, one.allocation).feasible());
+}
+
+TEST(SimulatedAnnealing, TemperingTracksBestNotCurrent) {
+  // The reported order must replay to the reported fitness (same invariant
+  // the serial engine keeps, now across replica exchanges).
+  const SystemModel m = contended(29);
+  AnnealingOptions options;
+  options.iterations = 400;
+  options.initial_temperature = 50.0;
+  options.threads = 2;
+  util::Rng rng(30);
+  const auto result = SimulatedAnnealing(options).allocate(m, rng);
+  const auto replay = decode_order(m, result.order);
+  EXPECT_EQ(replay.fitness.total_worth, result.fitness.total_worth);
+  EXPECT_DOUBLE_EQ(replay.fitness.slackness, result.fitness.slackness);
+}
+
 }  // namespace
 }  // namespace tsce::core

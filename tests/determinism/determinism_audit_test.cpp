@@ -8,9 +8,11 @@
 /// rendered as their exact bit patterns (std::bit_cast), so "close enough"
 /// floating-point drift cannot hide schedule dependence.
 ///
-/// Models are deliberately small (3 machines / 12 strings, reduced GA
-/// budgets): under ThreadSanitizer each decode is ~10x slower, and the audit
-/// sweeps 3 scenarios x 3 thread counts x 3 search strategies.
+/// Models are deliberately small (3 machines / 12 strings, reduced GA and
+/// enumeration budgets): under ThreadSanitizer each decode is ~10x slower,
+/// and the audit sweeps 3 scenarios x 3 thread counts x 6 search strategies
+/// (GENITOR trace, PSG, hill climb, tempering, exact branch split,
+/// class-based).
 
 #include <gtest/gtest.h>
 
@@ -20,6 +22,8 @@
 #include <string>
 
 #include "analysis/metrics.hpp"
+#include "core/class_based.hpp"
+#include "core/exact.hpp"
 #include "core/local_search.hpp"
 #include "core/psg.hpp"
 #include "genitor/genitor.hpp"
@@ -106,11 +110,33 @@ std::string hill_climb_result(const SystemModel& model, std::size_t threads) {
   return result_key(core::HillClimb(options).allocate(model, rng));
 }
 
-std::string annealing_result(const SystemModel& model) {
+std::string annealing_result(const SystemModel& model, std::size_t threads) {
   core::AnnealingOptions options;
   options.iterations = 300;
+  options.replicas = 4;
+  options.exchange_interval = 16;
+  options.threads = threads;
   util::Rng rng(23);
   return result_key(core::SimulatedAnnealing(options).allocate(model, rng));
+}
+
+std::string exact_result(const SystemModel& model, std::size_t threads) {
+  core::ExactSearchOptions options;
+  options.max_strings = 12;     // audit models carry 12 strings
+  options.max_evaluations = 2500;  // budget-truncated: keeps TSan runs fast
+  options.threads = threads;
+  util::Rng rng(29);
+  return result_key(core::ExactPermutationSearch(options).allocate(model, rng));
+}
+
+std::string class_based_result(const SystemModel& model, std::size_t threads) {
+  core::ClassBasedOptions options;
+  options.ga.population_size = 16;
+  options.ga.max_iterations = 60;
+  options.ga.stagnation_limit = 30;
+  options.eval_threads = threads;
+  util::Rng rng(31);
+  return result_key(core::ClassBasedAllocator(options).allocate(model, rng));
 }
 
 TEST(DeterminismAudit, GenitorEliteTraceIdenticalAcrossThreadCounts) {
@@ -150,14 +176,50 @@ TEST(DeterminismAudit, HillClimbResultIdenticalAcrossThreadCounts) {
   }
 }
 
-TEST(DeterminismAudit, AnnealingReplaysByteIdentically) {
-  // Annealing is a serial strategy (no threads knob): the audit asserts that
-  // a rerun from the same seed replays the identical trajectory even while
-  // the other tests' thread pools have come and gone in this process.
+TEST(DeterminismAudit, SerialAnnealingReplaysByteIdentically) {
+  // The legacy serial chain (threads == 0): a rerun from the same seed must
+  // replay the identical trajectory even while the other tests' thread pools
+  // have come and gone in this process.
   for (const Scenario scenario : kScenarios) {
     const SystemModel model = audit_model(scenario);
-    EXPECT_EQ(annealing_result(model), annealing_result(model))
+    EXPECT_EQ(annealing_result(model, 0), annealing_result(model, 0))
         << "scenario " << static_cast<int>(scenario);
+  }
+}
+
+TEST(DeterminismAudit, TemperingResultIdenticalAcrossThreadCounts) {
+  for (const Scenario scenario : kScenarios) {
+    const SystemModel model = audit_model(scenario);
+    const std::string baseline = annealing_result(model, kThreadCounts[0]);
+    for (std::size_t i = 1; i < std::size(kThreadCounts); ++i) {
+      EXPECT_EQ(baseline, annealing_result(model, kThreadCounts[i]))
+          << "scenario " << static_cast<int>(scenario) << " at "
+          << kThreadCounts[i] << " threads";
+    }
+  }
+}
+
+TEST(DeterminismAudit, ExactBranchSplitIdenticalAcrossThreadCounts) {
+  for (const Scenario scenario : kScenarios) {
+    const SystemModel model = audit_model(scenario);
+    const std::string baseline = exact_result(model, kThreadCounts[0]);
+    for (std::size_t i = 1; i < std::size(kThreadCounts); ++i) {
+      EXPECT_EQ(baseline, exact_result(model, kThreadCounts[i]))
+          << "scenario " << static_cast<int>(scenario) << " at "
+          << kThreadCounts[i] << " threads";
+    }
+  }
+}
+
+TEST(DeterminismAudit, ClassBasedResultIdenticalAcrossThreadCounts) {
+  for (const Scenario scenario : kScenarios) {
+    const SystemModel model = audit_model(scenario);
+    const std::string baseline = class_based_result(model, kThreadCounts[0]);
+    for (std::size_t i = 1; i < std::size(kThreadCounts); ++i) {
+      EXPECT_EQ(baseline, class_based_result(model, kThreadCounts[i]))
+          << "scenario " << static_cast<int>(scenario) << " at "
+          << kThreadCounts[i] << " threads";
+    }
   }
 }
 

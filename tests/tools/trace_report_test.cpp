@@ -121,4 +121,48 @@ TEST(TraceReport, RejectsWrongArgumentCount) {
       << no_args.output;
 }
 
+TEST(TraceReport, ConvergenceModeEmitsCurveRows) {
+  const RunResult r = run("--convergence " + fixture());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("git_sha,scenario,phase,t_s,worth,slackness"),
+            std::string::npos)
+      << r.output;
+  // One row per improvement event, keyed by the header's commit + scenario.
+  EXPECT_NE(
+      r.output.find("abc123def456,highly_loaded,PSG,0.015000,120,0.250000"),
+      std::string::npos)
+      << r.output;
+  EXPECT_NE(
+      r.output.find("abc123def456,highly_loaded,PSG,0.130000,150,0.500000"),
+      std::string::npos)
+      << r.output;
+  EXPECT_NE(
+      r.output.find("abc123def456,highly_loaded,HillClimb,0.050000,90,0.125000"),
+      std::string::npos)
+      << r.output;
+  // Span records and foreign events contribute no rows; the human table
+  // headings never appear.
+  EXPECT_EQ(r.output.find("Per-phase span time:"), std::string::npos);
+  EXPECT_NE(r.output.find("skipped 2 malformed lines"), std::string::npos);
+}
+
+TEST(TraceReport, ConvergenceModeFoldsMultipleScenarioFiles) {
+  const std::string scenario2 =
+      std::string(TSCE_TOOLS_FIXTURE_DIR) + "/golden_trace_scenario2.jsonl";
+  const RunResult r = run("--convergence " + fixture() + " " + scenario2);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("highly_loaded,PSG"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find(
+                "abc123def456,qos_limited,Annealing,0.070000,110,0.750000"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(TraceReport, ConvergenceModeRequiresAtLeastOneFile) {
+  const RunResult r = run("--convergence");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("at least one trace file"), std::string::npos)
+      << r.output;
+}
+
 }  // namespace

@@ -50,6 +50,48 @@ TEST(ThreadPool, ParallelForZeroCountIsNoop) {
   EXPECT_FALSE(called);
 }
 
+TEST(ThreadPool, ForEachIndexCoversEveryIndex) {
+  ThreadPool pool(3);
+  std::vector<int> hits(100, 0);
+  pool.for_each_index(hits.size(), [&](std::size_t i) { hits[i] += 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ForEachIndexHandlesFewerItemsThanWorkers) {
+  ThreadPool pool(4);
+  std::vector<int> hits(2, 0);
+  pool.for_each_index(hits.size(), [&](std::size_t i) { hits[i] += 1; });
+  EXPECT_EQ(hits[0], 1);
+  EXPECT_EQ(hits[1], 1);
+}
+
+TEST(ThreadPool, ForEachIndexZeroCountIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.for_each_index(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ForEachIndexRepeatedBarrierSteps) {
+  // The tempering engine calls it once per sweep: every call must fully
+  // drain before the next begins, with only O(workers) queued tasks.
+  ThreadPool pool(2);
+  std::vector<int> hits(16, 0);
+  for (int sweep = 0; sweep < 50; ++sweep) {
+    pool.for_each_index(hits.size(), [&](std::size_t i) { hits[i] += 1; });
+  }
+  for (int h : hits) EXPECT_EQ(h, 50);
+}
+
+TEST(ThreadPool, ForEachIndexPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.for_each_index(8,
+                                   [](std::size_t i) {
+                                     if (i == 3) throw std::logic_error("bad");
+                                   }),
+               std::logic_error);
+}
+
 TEST(ThreadPool, ExceptionsPropagate) {
   ThreadPool pool(2);
   auto future = pool.submit([]() -> int { throw std::runtime_error("boom"); });

@@ -3,6 +3,7 @@
 /// and fitness-convergence tables.
 ///
 /// Usage: trace_report <trace.jsonl> [--csv] [--full]
+///        trace_report --convergence <trace.jsonl>...
 ///
 /// Span records are grouped by "name [phase]" (the phase field is the
 /// allocator name by convention, so one span kind like "search.trial" yields
@@ -10,6 +11,13 @@
 /// per-phase convergence summary: improvement count, first/best fitness, and
 /// the time at which the best was reached; --full additionally lists every
 /// improvement event in order.
+///
+/// --convergence is the regression-dashboard mode: it accepts one trace file
+/// per scenario and emits one CSV row per search.improve event
+/// (git_sha,scenario,phase,t_s,worth,slackness) — the per-scenario
+/// worth-vs-time curves, keyed by commit so successive CI runs can be
+/// overlaid or diffed.  git_sha and scenario come from each file's
+/// run-provenance header (obs::RunInfo).
 
 #include <cstdio>
 #include <fstream>
@@ -83,18 +91,100 @@ void print_run_info(const Json& info) {
   }
 }
 
+/// Dashboard mode: streams every search.improve event from each trace file
+/// as one CSV row keyed by the header's commit and scenario.  Returns the
+/// process exit code.
+int run_convergence(const std::vector<std::string>& paths) {
+  std::printf("git_sha,scenario,phase,t_s,worth,slackness\n");
+  std::size_t rows = 0;
+  std::size_t malformed = 0;
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "trace_report: cannot open '%s'\n", path.c_str());
+      return 1;
+    }
+    std::string git_sha = "?";
+    std::string scenario = "?";
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      Json record;
+      try {
+        record = Json::parse(line);
+      } catch (const std::exception&) {
+        ++malformed;
+        continue;
+      }
+      if (!record.is_object() || !record.contains("t")) {
+        ++malformed;
+        continue;
+      }
+      const std::string& type = record.at("t").as_string();
+      if (type == "header") {
+        if (record.contains("run_info")) {
+          const Json& info = record.at("run_info");
+          if (info.contains("git_sha")) git_sha = info.at("git_sha").as_string();
+          if (info.contains("params") && info.at("params").is_object() &&
+              info.at("params").contains("scenario")) {
+            scenario = info.at("params").at("scenario").as_string();
+          }
+        }
+        continue;
+      }
+      if (type != "event" ||
+          record.at("name").as_string() != tsce::obs::names::kSearchImprove) {
+        continue;
+      }
+      const Json fields = record.contains("f") ? record.at("f") : Json::object();
+      std::printf("%s,%s,%s,%.6f,%.0f,%.6f\n", git_sha.c_str(),
+                  scenario.c_str(), field_str(fields, "phase").c_str(),
+                  field_num(record, "ts"), field_num(fields, "worth"),
+                  field_num(fields, "slackness"));
+      ++rows;
+    }
+  }
+  if (rows == 0) {
+    std::fprintf(stderr,
+                 "trace_report: no improvement records found (%zu malformed "
+                 "lines)\n",
+                 malformed);
+    return 1;
+  }
+  if (malformed > 0) {
+    std::fprintf(stderr, "trace_report: skipped %zu malformed lines\n",
+                 malformed);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool csv = false;
   bool full = false;
+  bool convergence_mode = false;
   tsce::util::Flags flags(
       "trace_report: fold a tsce trace JSONL into per-phase span-time and\n"
       "fitness-convergence tables.\n"
-      "usage: trace_report <trace.jsonl> [--csv] [--full]");
+      "usage: trace_report <trace.jsonl> [--csv] [--full]\n"
+      "       trace_report --convergence <trace.jsonl>...");
   flags.add("csv", &csv, "emit CSV instead of aligned tables");
   flags.add("full", &full, "also list every improvement event");
+  flags.add("convergence", &convergence_mode,
+            "dashboard mode: one CSV row per improvement event "
+            "(git_sha,scenario,phase,t_s,worth,slackness); accepts multiple "
+            "trace files, one per scenario");
   if (!flags.parse(argc, argv)) return 1;
+  if (convergence_mode) {
+    if (flags.positional().empty()) {
+      std::fprintf(stderr,
+                   "trace_report: --convergence expects at least one trace "
+                   "file\n");
+      return 1;
+    }
+    return run_convergence(flags.positional());
+  }
   if (flags.positional().size() != 1) {
     std::fprintf(stderr, "trace_report: expected exactly one trace file\n");
     return 1;
