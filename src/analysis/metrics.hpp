@@ -5,7 +5,9 @@
 
 #pragma once
 
+#include <bit>
 #include <compare>
+#include <cstdint>
 
 #include "model/allocation.hpp"
 #include "model/system_model.hpp"
@@ -24,8 +26,13 @@ struct Fitness {
     }
     return a.slackness <=> b.slackness;
   }
+  /// Equality is bit-exact on the slackness double (the determinism
+  /// auditor's convention): two fitnesses are "the same result" only when a
+  /// replay would serialize identically, so -0.0 != +0.0 here on purpose.
   friend constexpr bool operator==(const Fitness& a, const Fitness& b) noexcept {
-    return a.total_worth == b.total_worth && a.slackness == b.slackness;
+    return a.total_worth == b.total_worth &&
+           std::bit_cast<std::uint64_t>(a.slackness) ==
+               std::bit_cast<std::uint64_t>(b.slackness);
   }
 };
 

@@ -20,6 +20,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -100,7 +101,7 @@ class ThreadPool {
     for (std::size_t i = 0; i < count; ++i) {
       futures.push_back(submit([&fn, i]() { fn(i); }));
     }
-    for (auto& f : futures) f.get();
+    drain(futures);
   }
 
   /// Runs fn(i) for i in [0, count) pulling indices from a shared atomic
@@ -123,10 +124,26 @@ class ThreadPool {
         }
       }));
     }
-    for (auto& f : futures) f.get();
+    drain(futures);
   }
 
  private:
+  /// Waits on every future before rethrowing the first stored exception.
+  /// Rethrowing from the first failed get() would abandon tasks that are
+  /// still running against stack captures of the caller's frame
+  /// (use-after-scope once the caller unwinds).
+  static void drain(std::vector<std::future<void>>& futures) {
+    std::exception_ptr first;
+    for (auto& f : futures) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+    }
+    if (first) std::rethrow_exception(first);
+  }
+
   struct Item {
     std::function<void()> fn;
     std::chrono::steady_clock::time_point enqueued{};

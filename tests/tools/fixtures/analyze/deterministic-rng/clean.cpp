@@ -1,0 +1,12 @@
+// Fixture: seeded util::Rng is the sanctioned randomness source.  The word
+// "random_device" inside this comment and the string below must not fire —
+// the analyzer lexes comments and literals into their own tokens.
+#include <cstdint>
+
+namespace tsce::util {
+class Rng;
+}
+
+std::uint64_t draw(tsce::util::Rng& rng);
+
+const char* kDocs = "std::random_device is banned; see deterministic-rng";

@@ -1,0 +1,5 @@
+// Fixture: the same violation carrying a justification suppression.
+#include <cstdlib>
+
+// Seeding an opaque third-party API; replay covered by the golden test.
+int noisy_choice(int n) { return std::rand() % n; }  // tsce-lint: allow(deterministic-rng)

@@ -1,0 +1,5 @@
+// Fixture: std::rand is banned outside tests/ — randomness flows through
+// util::Rng so runs replay byte-identically from a seed.
+#include <cstdlib>
+
+int noisy_choice(int n) { return std::rand() % n; }

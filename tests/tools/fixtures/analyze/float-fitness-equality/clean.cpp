@@ -1,0 +1,21 @@
+// Fixture: the sanctioned bit_cast pattern, plus comparisons the rule must
+// not confuse with fitness doubles (ints, orderings, unrelated doubles).
+#include <bit>
+#include <cstdint>
+
+struct Fitness {
+  int total_worth = 0;
+  double slackness = 0.0;
+};
+
+bool same_result(const Fitness& a, const Fitness& b) {
+  return a.total_worth == b.total_worth &&
+         std::bit_cast<std::uint64_t>(a.slackness) ==
+             std::bit_cast<std::uint64_t>(b.slackness);
+}
+
+bool ordered(const Fitness& a, const Fitness& b) {
+  return a.slackness < b.slackness;  // ordering is fine; only ==/!= are flagged
+}
+
+bool converged(double epsilon, double delta) { return delta == epsilon; }

@@ -1,0 +1,10 @@
+// Fixture: suppressed value comparison (e.g. a tolerance-free UI dedupe
+// where bit identity is genuinely not wanted).
+struct Fitness {
+  int total_worth = 0;
+  double slackness = 0.0;
+};
+
+bool same_result(const Fitness& a, const Fitness& b) {
+  return a.slackness == b.slackness;  // tsce-lint: allow(float-fitness-equality)
+}

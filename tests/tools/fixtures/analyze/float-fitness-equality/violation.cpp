@@ -1,0 +1,11 @@
+// Fixture: raw ==/!= on a slackness double.  Fitness comparisons must be
+// bit-exact (the determinism auditor serializes std::bit_cast patterns);
+// value equality admits -0.0 == +0.0 and hides replay divergence.
+struct Fitness {
+  int total_worth = 0;
+  double slackness = 0.0;
+};
+
+bool same_result(const Fitness& a, const Fitness& b) {
+  return a.total_worth == b.total_worth && a.slackness == b.slackness;
+}

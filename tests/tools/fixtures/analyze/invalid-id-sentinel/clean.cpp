@@ -1,0 +1,11 @@
+// Fixture: the sentinel constant keeps -1 out of call sites; arithmetic
+// minus-one (`size - 1`) must not fire either.
+using MachineId = int;
+
+namespace model {
+inline constexpr MachineId kInvalidId = -1;  // definition site is exempt
+}
+
+bool unassigned(MachineId j) { return j == model::kInvalidId; }
+
+int last_index(int size) { return size - 1; }

@@ -1,0 +1,5 @@
+// Fixture: suppressed occurrence (e.g. a wire-format boundary that really
+// does speak -1).
+using MachineId = int;
+
+bool unassigned(MachineId j) { return j == -1; }  // tsce-lint: allow(invalid-id-sentinel)

@@ -1,0 +1,5 @@
+// Fixture: bare -1 compared against an id type; model::kInvalidId exists so
+// the sentinel has one spelling everywhere.
+using MachineId = int;
+
+bool unassigned(MachineId j) { return j == -1; }

@@ -1,0 +1,16 @@
+// Fixture: the fix — close the lock scope before handing work to the pool.
+// A lambda merely *defined* under the lock (deferred work) is fine too.
+#include <mutex>
+
+struct ThreadPool {
+  template <typename F>
+  void submit(F&& fn);
+};
+
+void flush(ThreadPool& pool, std::mutex& mu, int& shared) {
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    shared += 1;
+  }
+  pool.submit([] { return 1; });
+}

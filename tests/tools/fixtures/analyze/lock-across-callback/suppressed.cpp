@@ -1,0 +1,14 @@
+// Fixture: suppressed occurrence (the pool is private to the holder, so the
+// re-entrancy the rule guards against cannot happen).
+#include <mutex>
+
+struct ThreadPool {
+  template <typename F>
+  void submit(F&& fn);
+};
+
+void flush(ThreadPool& pool, std::mutex& mu, int& shared) {
+  std::lock_guard<std::mutex> lock(mu);  // tsce-lint: allow(lock-across-callback)
+  shared += 1;
+  pool.submit([] { return 1; });
+}

@@ -1,0 +1,15 @@
+// Fixture: a lock_guard scope that encloses a ThreadPool::submit — the pool
+// worker can dead-lock back on the same mutex, and the queue serializes
+// behind the lock.
+#include <mutex>
+
+struct ThreadPool {
+  template <typename F>
+  void submit(F&& fn);
+};
+
+void flush(ThreadPool& pool, std::mutex& mu, int& shared) {
+  std::lock_guard<std::mutex> lock(mu);
+  shared += 1;
+  pool.submit([] { return 1; });
+}

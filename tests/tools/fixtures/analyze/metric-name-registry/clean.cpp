@@ -1,0 +1,16 @@
+// Fixture: names referenced from the registry constant, never spelled
+// inline.
+struct Counter {
+  void add(long long n);
+};
+struct Registry {
+  Counter& counter(const char* name);
+};
+
+namespace names {
+inline constexpr const char* kDecodeCalls = "decode.calls";
+}
+
+void record(Registry& registry) {
+  registry.counter(names::kDecodeCalls).add(1);
+}

@@ -1,0 +1,11 @@
+// Fixture: suppressed literal (e.g. a one-off migration shim).
+struct Counter {
+  void add(long long n);
+};
+struct Registry {
+  Counter& counter(const char* name);
+};
+
+void record(Registry& registry) {
+  registry.counter("decode.calls").add(1);  // tsce-lint: allow(metric-name-registry)
+}

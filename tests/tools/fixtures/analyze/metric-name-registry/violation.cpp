@@ -1,0 +1,11 @@
+// Fixture: metric name as a string literal at the call site — names must
+// come from the src/obs/names.hpp registry so trace_report and dashboards
+// share one namespace.
+struct Counter {
+  void add(long long n);
+};
+struct Registry {
+  Counter& counter(const char* name);
+};
+
+void record(Registry& registry) { registry.counter("decode.calls").add(1); }

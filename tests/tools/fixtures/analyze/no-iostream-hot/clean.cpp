@@ -1,0 +1,7 @@
+// Fixture: <cstdio> is the sanctioned output path in hot modules; the
+// "<iostream>" spelling in this comment and the string must not fire.
+#include <cstdio>
+
+const char* kWhy = "#include <iostream> is banned here";
+
+void report(int worth) { std::printf("%d\n", worth); }

@@ -1,0 +1,4 @@
+// Fixture: suppressed include (e.g. a debug-only TU).
+#include <iostream>  // tsce-lint: allow(no-iostream-hot)
+
+void report(int worth) { std::cout << worth << '\n'; }

@@ -1,0 +1,5 @@
+// Fixture: <iostream> in a hot-path module (static init cost + accidental
+// sync stdio in the decode path).
+#include <iostream>
+
+void report(int worth) { std::cout << worth << '\n'; }

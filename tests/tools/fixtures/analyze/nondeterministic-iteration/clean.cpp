@@ -1,0 +1,22 @@
+// Fixture: the deterministic idiom — snapshot the keys, sort, iterate the
+// sorted copy.  The collection loop appends in hash order, but the analyzer
+// sees the std::sort that canonicalizes `names` afterwards and stays quiet.
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::vector<int> deployed_worths(
+    const std::unordered_map<std::string, int>& worth_by_name) {
+  std::vector<std::string> names;
+  names.reserve(worth_by_name.size());
+  for (const auto& [name, worth] : worth_by_name) {
+    names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  std::vector<int> out;
+  for (const std::string& name : names) {
+    out.push_back(worth_by_name.at(name));
+  }
+  return out;
+}

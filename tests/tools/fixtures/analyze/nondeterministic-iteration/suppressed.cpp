@@ -1,0 +1,15 @@
+// Fixture: suppression on its own comment line above the loop (the
+// justification-comment form).
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::vector<int> deployed_worths(
+    const std::unordered_map<std::string, int>& worth_by_name) {
+  std::vector<int> out;
+  // Caller sorts before use; order does not escape.  tsce-lint: allow(nondeterministic-iteration)
+  for (const auto& [name, worth] : worth_by_name) {
+    out.push_back(worth);
+  }
+  return out;
+}

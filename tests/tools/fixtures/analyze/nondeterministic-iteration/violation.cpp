@@ -1,0 +1,16 @@
+// Fixture: range-for over an unordered_map appending to a returned vector —
+// the emitted order depends on the hash table's bucket layout, which varies
+// across libstdc++ versions and seeds, so downstream byte-identical replay
+// breaks.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::vector<int> deployed_worths(
+    const std::unordered_map<std::string, int>& worth_by_name) {
+  std::vector<int> out;
+  for (const auto& [name, worth] : worth_by_name) {
+    out.push_back(worth);
+  }
+  return out;
+}

@@ -1,0 +1,4 @@
+// Fixture: #pragma once, no classic guard.
+#pragma once
+
+int answer();

@@ -1,0 +1,9 @@
+// Fixture: a header that must keep a classic guard for an external consumer
+// carries #pragma once for us plus a suppressed #ifndef.
+#pragma once
+#ifndef TSCE_FIXTURE_SUPPRESSED_HPP  // tsce-lint: allow(pragma-once)
+#define TSCE_FIXTURE_SUPPRESSED_HPP
+
+int answer();
+
+#endif

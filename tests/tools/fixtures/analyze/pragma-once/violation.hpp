@@ -1,0 +1,8 @@
+// Fixture: classic include guard and no #pragma once — two findings (the
+// guard line and the whole-file miss).
+#ifndef TSCE_FIXTURE_VIOLATION_HPP
+#define TSCE_FIXTURE_VIOLATION_HPP
+
+int answer();
+
+#endif

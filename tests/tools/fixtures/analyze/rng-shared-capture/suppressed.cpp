@@ -1,0 +1,23 @@
+// Fixture: suppressed capture (single-worker pool, so the shared draw order
+// is the submission order).
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace util {
+struct Rng {
+  std::uint64_t operator()();
+  static Rng stream(std::uint64_t seed, std::uint64_t index);
+};
+}  // namespace util
+
+struct ThreadPool {
+  template <typename F>
+  void parallel_for(std::size_t count, F&& fn);
+};
+
+void shuffle_all(ThreadPool& pool, util::Rng& rng, std::vector<int>& xs) {
+  pool.parallel_for(xs.size(), [&rng, &xs](std::size_t i) {  // tsce-lint: allow(rng-shared-capture)
+    xs[i] = static_cast<int>(rng());
+  });
+}

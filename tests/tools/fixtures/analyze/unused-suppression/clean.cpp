@@ -1,0 +1,5 @@
+// Fixture: a suppression that earns its keep — it absorbs a real
+// deterministic-rng finding, so neither rule fires.
+#include <cstdlib>
+
+int noisy_choice(int n) { return std::rand() % n; }  // tsce-lint: allow(deterministic-rng)

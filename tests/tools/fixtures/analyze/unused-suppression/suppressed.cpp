@@ -1,0 +1,6 @@
+// Fixture: a deliberately-ahead-of-its-time suppression kept through a
+// refactor, itself suppressed.
+#include <cstdint>
+
+// tsce-lint: allow(deterministic-rng)  tsce-lint: allow(unused-suppression)
+std::uint64_t draw_seeded();

@@ -1,0 +1,7 @@
+// Fixture: a suppression whose finding was fixed long ago (stale), plus one
+// naming a rule that does not exist (typo).
+#include <cstdint>
+
+std::uint64_t draw_seeded();  // tsce-lint: allow(deterministic-rng)
+
+int identity(int x) { return x; }  // tsce-lint: allow(determinstic-rng)

@@ -165,4 +165,121 @@ TEST(TraceReport, ConvergenceModeRequiresAtLeastOneFile) {
       << r.output;
 }
 
+// --- convergence-diff ------------------------------------------------------
+
+std::string write_csv(const std::string& name, const std::string& rows) {
+  const std::string path = testing::TempDir() + name;
+  std::ofstream out(path);
+  out << "git_sha,scenario,phase,t_s,worth,slackness\n" << rows;
+  return path;
+}
+
+TEST(TraceReport, ConvergenceDiffIdenticalCurvesIsClean) {
+  const std::string rows =
+      "abc,highly_loaded,PSG,0.010000,100,0.100000\n"
+      "abc,highly_loaded,PSG,0.050000,140,0.200000\n";
+  const std::string old_csv = write_csv("diff_same_old.csv", rows);
+  const std::string new_csv = write_csv("diff_same_new.csv", rows);
+  const RunResult r =
+      run("--convergence-diff " + old_csv + " " + new_csv);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("no convergence regressions"), std::string::npos)
+      << r.output;
+  std::remove(old_csv.c_str());
+  std::remove(new_csv.c_str());
+}
+
+TEST(TraceReport, ConvergenceDiffFlagsWorthAtTimeRegression) {
+  // The candidate reaches the same final worth but later: at t=0.05 the
+  // baseline had 140 while the candidate still sits at 100.
+  const std::string old_csv = write_csv(
+      "diff_reg_old.csv",
+      "abc,highly_loaded,PSG,0.010000,100,0.100000\n"
+      "abc,highly_loaded,PSG,0.050000,140,0.200000\n");
+  const std::string new_csv = write_csv(
+      "diff_reg_new.csv",
+      "def,highly_loaded,PSG,0.010000,100,0.100000\n"
+      "def,highly_loaded,PSG,0.090000,140,0.200000\n");
+  const RunResult r =
+      run("--convergence-diff " + old_csv + " " + new_csv);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("scenario,phase,t_s,old_worth,new_worth,delta"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("highly_loaded,PSG,0.050000,140,100,40.000000"),
+            std::string::npos)
+      << r.output;
+  // At t=0.09 both have 140 — no row for that time point.
+  EXPECT_EQ(r.output.find("0.090000"), std::string::npos) << r.output;
+  std::remove(old_csv.c_str());
+  std::remove(new_csv.c_str());
+}
+
+TEST(TraceReport, ConvergenceDiffToleranceAbsorbsSmallDips) {
+  const std::string old_csv = write_csv(
+      "diff_tol_old.csv", "abc,qos_limited,Annealing,0.020000,110,0.500000\n");
+  const std::string new_csv = write_csv(
+      "diff_tol_new.csv", "def,qos_limited,Annealing,0.020000,105,0.500000\n");
+  const RunResult strict =
+      run("--convergence-diff " + old_csv + " " + new_csv);
+  EXPECT_EQ(strict.exit_code, 1) << strict.output;
+  EXPECT_NE(strict.output.find("qos_limited,Annealing,0.020000,110,105,5.000000"),
+            std::string::npos)
+      << strict.output;
+  const RunResult tolerant = run("--convergence-diff " + old_csv + " " +
+                                 new_csv + " --tolerance 5");
+  EXPECT_EQ(tolerant.exit_code, 0) << tolerant.output;
+  std::remove(old_csv.c_str());
+  std::remove(new_csv.c_str());
+}
+
+TEST(TraceReport, ConvergenceDiffMissingCurveIsARegression) {
+  const std::string old_csv = write_csv(
+      "diff_miss_old.csv",
+      "abc,highly_loaded,PSG,0.010000,100,0.100000\n"
+      "abc,qos_limited,PSG,0.020000,90,0.300000\n");
+  const std::string new_csv = write_csv(
+      "diff_miss_new.csv", "def,highly_loaded,PSG,0.010000,100,0.100000\n");
+  const RunResult r =
+      run("--convergence-diff " + old_csv + " " + new_csv);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("qos_limited,PSG,0.020000,90,0,90.000000"),
+            std::string::npos)
+      << r.output;
+  std::remove(old_csv.c_str());
+  std::remove(new_csv.c_str());
+}
+
+TEST(TraceReport, ConvergenceDiffNewExtraCurveIsFine) {
+  const std::string old_csv = write_csv(
+      "diff_extra_old.csv", "abc,highly_loaded,PSG,0.010000,100,0.100000\n");
+  const std::string new_csv = write_csv(
+      "diff_extra_new.csv",
+      "def,highly_loaded,PSG,0.010000,100,0.100000\n"
+      "def,lightly_loaded,PSG,0.010000,80,0.900000\n");
+  const RunResult r =
+      run("--convergence-diff " + old_csv + " " + new_csv);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  std::remove(old_csv.c_str());
+  std::remove(new_csv.c_str());
+}
+
+TEST(TraceReport, ConvergenceDiffRequiresExactlyTwoFiles) {
+  const RunResult r = run("--convergence-diff one.csv");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("exactly two"), std::string::npos) << r.output;
+}
+
+TEST(TraceReport, ConvergenceDiffMalformedCsvFails) {
+  const std::string old_csv =
+      write_csv("diff_bad_old.csv", "not,enough,columns\n");
+  const std::string new_csv = write_csv("diff_bad_new.csv", "");
+  const RunResult r =
+      run("--convergence-diff " + old_csv + " " + new_csv);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("malformed row"), std::string::npos) << r.output;
+  std::remove(old_csv.c_str());
+  std::remove(new_csv.c_str());
+}
+
 }  // namespace

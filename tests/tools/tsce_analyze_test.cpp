@@ -1,0 +1,174 @@
+/// \file tsce_analyze_test.cpp
+/// Golden-fixture regression tests for the tsce_analyze static analyzer: runs
+/// the real binary (path injected as TSCE_ANALYZE_BIN) against the per-rule
+/// fixture triples under fixtures/analyze/<rule>/ — one violating, one
+/// suppressed, one clean file each — plus a SARIF 2.1.0 output smoke test
+/// parsed with util::Json.
+///
+/// Fixtures are analyzed via `--file <path> --as <repo-relative-path>` so the
+/// directory-scoped rules (src-only, hot-path-only, headers-only) fire as they
+/// would in the repo walk, without the fixtures living inside src/.
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace {
+
+struct RunResult {
+  std::string output;  // stdout and stderr interleaved
+  int exit_code = -1;
+};
+
+RunResult run(const std::string& args) {
+  const std::string cmd = std::string(TSCE_ANALYZE_BIN) + " " + args + " 2>&1";
+  RunResult result;
+  std::FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    ADD_FAILURE() << "popen failed for: " << cmd;
+    return result;
+  }
+  char buf[512];
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) result.output += buf;
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+/// One rule's fixture directory and the repo-relative path its files are
+/// analyzed as (picked so the rule's directory scope applies).
+struct RuleFixture {
+  const char* rule;
+  const char* as_rel;  // without extension
+  const char* ext;
+};
+
+constexpr RuleFixture kRules[] = {
+    {"deterministic-rng", "src/core/fixture", ".cpp"},
+    {"invalid-id-sentinel", "src/model/fixture", ".cpp"},
+    {"no-iostream-hot", "src/analysis/fixture", ".cpp"},
+    {"metric-name-registry", "src/obs/fixture", ".cpp"},
+    {"pragma-once", "src/model/fixture", ".hpp"},
+    {"nondeterministic-iteration", "src/workload/fixture", ".cpp"},
+    {"float-fitness-equality", "src/core/fixture", ".cpp"},
+    {"lock-across-callback", "src/core/fixture", ".cpp"},
+    {"rng-shared-capture", "src/core/fixture", ".cpp"},
+    {"unused-suppression", "src/core/fixture", ".cpp"},
+};
+
+std::string fixture_args(const RuleFixture& rf, const char* kind) {
+  return std::string("--file ") + TSCE_ANALYZE_FIXTURE_DIR + "/" + rf.rule +
+         "/" + kind + rf.ext + " --as " + rf.as_rel + rf.ext;
+}
+
+TEST(TsceAnalyze, ViolationFixturesFireTheirRule) {
+  for (const RuleFixture& rf : kRules) {
+    const RunResult r = run(fixture_args(rf, "violation"));
+    EXPECT_EQ(r.exit_code, 1) << rf.rule << ": " << r.output;
+    EXPECT_NE(r.output.find(std::string("[") + rf.rule + "]"),
+              std::string::npos)
+        << rf.rule << ": " << r.output;
+  }
+}
+
+TEST(TsceAnalyze, SuppressedFixturesAreClean) {
+  for (const RuleFixture& rf : kRules) {
+    const RunResult r = run(fixture_args(rf, "suppressed"));
+    EXPECT_EQ(r.exit_code, 0) << rf.rule << ": " << r.output;
+    EXPECT_NE(r.output.find("0 findings"), std::string::npos)
+        << rf.rule << ": " << r.output;
+  }
+}
+
+TEST(TsceAnalyze, CleanFixturesAreClean) {
+  for (const RuleFixture& rf : kRules) {
+    const RunResult r = run(fixture_args(rf, "clean"));
+    EXPECT_EQ(r.exit_code, 0) << rf.rule << ": " << r.output;
+  }
+}
+
+TEST(TsceAnalyze, SuppressionCommentAboveCoversTheNextCodeLine) {
+  // An allow() on a comment-only line covers the next code line, so long
+  // findings can carry their justification above them; the finding must be
+  // absorbed and the suppression must not read as stale.
+  const std::string path = testing::TempDir() + "tsce_analyze_above.cpp";
+  {
+    std::ofstream out(path);
+    out << "#include <cstdlib>\n"
+           "// tsce-lint: allow(deterministic-rng)\n"
+           "int noisy() { return std::rand(); }\n";
+  }
+  const RunResult r = run("--file " + path + " --as src/core/fixture.cpp");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output.find("unused-suppression"), std::string::npos) << r.output;
+  std::remove(path.c_str());
+}
+
+TEST(TsceAnalyze, SarifOutputIsValidAndCarriesTheFinding) {
+  const std::string sarif_path = testing::TempDir() + "tsce_analyze_smoke.sarif";
+  const RunResult r =
+      run(fixture_args(kRules[0], "violation") + " --sarif " + sarif_path);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+
+  std::ifstream in(sarif_path, std::ios::binary);
+  ASSERT_TRUE(in.is_open()) << "missing " << sarif_path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const tsce::util::Json doc = tsce::util::Json::parse(buf.str());
+
+  EXPECT_EQ(doc.at("version").as_string(), "2.1.0");
+  EXPECT_NE(doc.at("$schema").as_string().find("sarif-schema-2.1.0"),
+            std::string::npos);
+  const auto& runs = doc.at("runs").as_array();
+  ASSERT_EQ(runs.size(), 1u);
+  const auto& driver = runs[0].at("tool").at("driver");
+  EXPECT_EQ(driver.at("name").as_string(), "tsce_analyze");
+  EXPECT_EQ(driver.at("rules").as_array().size(), 10u);
+
+  const auto& results = runs[0].at("results").as_array();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].at("ruleId").as_string(), "deterministic-rng");
+  EXPECT_EQ(results[0].at("level").as_string(), "error");
+  const auto& loc = results[0].at("locations").as_array().at(0);
+  const auto& physical = loc.at("physicalLocation");
+  EXPECT_EQ(physical.at("artifactLocation").at("uri").as_string(),
+            "src/core/fixture.cpp");
+  EXPECT_EQ(physical.at("artifactLocation").at("uriBaseId").as_string(),
+            "SRCROOT");
+  EXPECT_GT(physical.at("region").at("startLine").as_number(), 0.0);
+  std::remove(sarif_path.c_str());
+}
+
+TEST(TsceAnalyze, SarifOutputOnCleanInputHasEmptyResults) {
+  const std::string sarif_path = testing::TempDir() + "tsce_analyze_clean.sarif";
+  const RunResult r =
+      run(fixture_args(kRules[0], "clean") + " --sarif " + sarif_path);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  std::ifstream in(sarif_path, std::ios::binary);
+  ASSERT_TRUE(in.is_open());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const tsce::util::Json doc = tsce::util::Json::parse(buf.str());
+  EXPECT_TRUE(doc.at("runs").as_array().at(0).at("results").as_array().empty());
+  std::remove(sarif_path.c_str());
+}
+
+TEST(TsceAnalyze, MissingFileFails) {
+  const RunResult r = run("--file /nonexistent/code.cpp");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("cannot open"), std::string::npos) << r.output;
+}
+
+TEST(TsceAnalyze, UnknownArgumentIsAUsageError) {
+  const RunResult r = run("--frobnicate");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown argument"), std::string::npos) << r.output;
+}
+
+}  // namespace

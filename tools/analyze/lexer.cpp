@@ -1,0 +1,265 @@
+#include "analyze/lexer.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace tsce::analyze {
+
+namespace {
+
+bool ident_start(char c) noexcept {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Multi-character punctuation, longest first within each leading character.
+constexpr std::array<std::string_view, 36> kMultiPunct = {
+    "<<=", ">>=", "...", "->*", "<=>",                    // three chars
+    "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==",  // two chars
+    "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=", "^=", ".*", "##",
+    // single chars that matter are handled by the fallback below; the rest
+    // of the table exists so longest-match stays a simple linear scan.
+    "<", ">", "=", "!", "&", "|", "+", "-", ".",
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view src) {
+  std::vector<Token> out;
+  std::size_t line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  auto peek = [&](std::size_t k) -> char { return i + k < n ? src[i + k] : '\0'; };
+  auto count_lines = [&](std::string_view text) {
+    for (char c : text) {
+      if (c == '\n') ++line;
+    }
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    // Whitespace.
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: only when '#' is the first non-space character
+    // on its line; swallow backslash continuations into one token.
+    if (c == '#') {
+      std::size_t bol = i;
+      while (bol > 0 && src[bol - 1] != '\n') --bol;
+      bool first_on_line = true;
+      for (std::size_t k = bol; k < i; ++k) {
+        if (std::isspace(static_cast<unsigned char>(src[k])) == 0) {
+          first_on_line = false;
+          break;
+        }
+      }
+      if (first_on_line) {
+        const std::size_t start = i;
+        const std::size_t start_line = line;
+        while (i < n) {
+          if (src[i] == '\n') {
+            // Continuation if the previous non-CR character is a backslash.
+            std::size_t back = i;
+            while (back > start && (src[back - 1] == '\r')) --back;
+            if (back > start && src[back - 1] == '\\') {
+              ++line;
+              ++i;
+              continue;
+            }
+            break;
+          }
+          ++i;
+        }
+        out.push_back({TokenKind::kPreproc,
+                       std::string(src.substr(start, i - start)), start_line});
+        continue;
+      }
+      out.push_back({TokenKind::kPunct, "#", line});
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && peek(1) == '/') {
+      const std::size_t start = i;
+      while (i < n && src[i] != '\n') ++i;
+      out.push_back({TokenKind::kComment, std::string(src.substr(start, i - start)),
+                     line});
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      const std::size_t start = i;
+      const std::size_t start_line = line;
+      i += 2;
+      while (i < n && !(src[i] == '*' && peek(1) == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i = i < n ? i + 2 : n;
+      out.push_back({TokenKind::kComment, std::string(src.substr(start, i - start)),
+                     start_line});
+      continue;
+    }
+    // Raw string literal (with optional encoding prefix).
+    {
+      std::size_t p = i;
+      if (src.substr(p, 2) == "u8") p += 2;
+      else if (p < n && (src[p] == 'u' || src[p] == 'U' || src[p] == 'L')) p += 1;
+      if (p < n && src[p] == 'R' && p + 1 < n && src[p + 1] == '"') {
+        const std::size_t start = i;
+        const std::size_t start_line = line;
+        std::size_t d = p + 2;  // delimiter start
+        std::size_t de = d;
+        while (de < n && src[de] != '(') ++de;
+        const std::string closer =
+            ")" + std::string(src.substr(d, de - d)) + "\"";
+        std::size_t end = src.find(closer, de);
+        end = end == std::string_view::npos ? n : end + closer.size();
+        count_lines(src.substr(start, end - start));
+        out.push_back({TokenKind::kString,
+                       std::string(src.substr(start, end - start)), start_line});
+        i = end;
+        continue;
+      }
+    }
+    // String / char literal (skipping escapes).
+    if (c == '"' || c == '\'') {
+      const std::size_t start = i;
+      const std::size_t start_line = line;
+      const char quote = c;
+      ++i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) ++i;
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i = i < n ? i + 1 : n;
+      out.push_back({quote == '"' ? TokenKind::kString : TokenKind::kChar,
+                     std::string(src.substr(start, i - start)), start_line});
+      continue;
+    }
+    // Identifier / keyword.
+    if (ident_start(c)) {
+      const std::size_t start = i;
+      while (i < n && ident_char(src[i])) ++i;
+      out.push_back({TokenKind::kIdentifier,
+                     std::string(src.substr(start, i - start)), line});
+      continue;
+    }
+    // Number: leading digit, or '.' followed by a digit.  Consume the
+    // pp-number shape (alnum, quotes as digit separators, exponent signs).
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))) != 0)) {
+      const std::size_t start = i;
+      ++i;
+      while (i < n) {
+        const char d = src[i];
+        if (ident_char(d) || d == '.' || d == '\'') {
+          ++i;
+        } else if ((d == '+' || d == '-') && i > start &&
+                   (src[i - 1] == 'e' || src[i - 1] == 'E' || src[i - 1] == 'p' ||
+                    src[i - 1] == 'P')) {
+          ++i;
+        } else {
+          break;
+        }
+      }
+      out.push_back({TokenKind::kNumber, std::string(src.substr(start, i - start)),
+                     line});
+      continue;
+    }
+    // Punctuation, longest match.
+    std::string_view matched;
+    for (std::string_view p : kMultiPunct) {
+      if (src.substr(i, p.size()) == p) {
+        matched = p;
+        break;
+      }
+    }
+    if (matched.empty()) matched = src.substr(i, 1);
+    out.push_back({TokenKind::kPunct, std::string(matched), line});
+    i += matched.size();
+  }
+
+  out.push_back({TokenKind::kEof, "", line});
+  return out;
+}
+
+std::size_t TokenStream::next_code(std::size_t i) const noexcept {
+  for (std::size_t k = i + 1; k < tokens_.size(); ++k) {
+    const TokenKind kind = tokens_[k].kind;
+    if (kind != TokenKind::kComment && kind != TokenKind::kPreproc) return k;
+  }
+  return tokens_.size();
+}
+
+std::size_t TokenStream::prev_code(std::size_t i) const noexcept {
+  for (std::size_t k = i; k-- > 0;) {
+    const TokenKind kind = tokens_[k].kind;
+    if (kind != TokenKind::kComment && kind != TokenKind::kPreproc) return k;
+  }
+  return tokens_.size();
+}
+
+std::size_t TokenStream::match_forward(std::size_t i) const noexcept {
+  if (i >= tokens_.size()) return tokens_.size();
+  const std::string& open = tokens_[i].text;
+  std::string close;
+  if (open == "(") close = ")";
+  else if (open == "[") close = "]";
+  else if (open == "{") close = "}";
+  else if (open == "<") close = ">";
+  else return tokens_.size();
+  int depth = 0;
+  for (std::size_t k = i; k < tokens_.size(); ++k) {
+    const Token& t = tokens_[k];
+    if (t.kind != TokenKind::kPunct) continue;
+    if (open == "<" && (t.text == ";" || t.text == "{" || t.text == "}")) {
+      return tokens_.size();  // not a template argument list after all
+    }
+    if (t.text == open) ++depth;
+    else if (t.text == close && --depth == 0) return k;
+    else if (open == "<" && t.text == ">>" && depth > 0) {
+      depth -= 2;
+      if (depth <= 0) return k;
+    }
+  }
+  return tokens_.size();
+}
+
+std::size_t TokenStream::match_backward(std::size_t i) const noexcept {
+  if (i >= tokens_.size()) return tokens_.size();
+  const std::string& close = tokens_[i].text;
+  std::string open;
+  if (close == ")") open = "(";
+  else if (close == "]") open = "[";
+  else if (close == "}") open = "{";
+  else if (close == ">") open = "<";
+  else return tokens_.size();
+  int depth = 0;
+  for (std::size_t k = i + 1; k-- > 0;) {
+    const Token& t = tokens_[k];
+    if (t.kind != TokenKind::kPunct) continue;
+    if (close == ">" && (t.text == ";" || t.text == "{" || t.text == "}")) {
+      return tokens_.size();  // not a template argument list after all
+    }
+    if (t.text == close) ++depth;
+    else if (t.text == open && --depth == 0) return k;
+    else if (close == ">" && t.text == "<<" && depth > 0) {
+      return tokens_.size();  // stream insertion, not nested template args
+    }
+  }
+  return tokens_.size();
+}
+
+}  // namespace tsce::analyze

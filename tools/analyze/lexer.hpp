@@ -1,0 +1,82 @@
+/// \file lexer.hpp
+/// C++ token stream for tsce_analyze.  Self-contained (no libclang): enough
+/// of the lexical grammar to make rule matching honest — string/char
+/// literals, raw strings, line/block comments, preprocessor directives with
+/// continuations, multi-character operators, and line numbers per token.
+/// Comments are kept as tokens so the suppression scanner and the
+/// unused-suppression rule see them; rule matchers skip them via
+/// TokenStream::next_code / prev_code.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tsce::analyze {
+
+enum class TokenKind {
+  kIdentifier,  ///< identifiers and keywords (rules match on spelling)
+  kNumber,      ///< integer / floating literal, suffixes included
+  kString,      ///< "..." or R"tag(...)tag" — text is the full literal
+  kChar,        ///< '...'
+  kPunct,       ///< operators and punctuation, longest-match (e.g. "==", "->")
+  kComment,     ///< // or /* */ — text includes the delimiters
+  kPreproc,     ///< one full # directive, backslash continuations folded in
+  kEof,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;
+  std::size_t line = 0;  ///< 1-based line of the token's first character
+
+  [[nodiscard]] bool is(TokenKind k, std::string_view spelling) const noexcept {
+    return kind == k && text == spelling;
+  }
+  [[nodiscard]] bool ident(std::string_view spelling) const noexcept {
+    return is(TokenKind::kIdentifier, spelling);
+  }
+  [[nodiscard]] bool punct(std::string_view spelling) const noexcept {
+    return is(TokenKind::kPunct, spelling);
+  }
+};
+
+/// Lexes \p source in one pass.  Unterminated literals/comments are tolerated
+/// (the token simply runs to end of input): the analyzer must never crash on
+/// the code it audits.
+[[nodiscard]] std::vector<Token> lex(std::string_view source);
+
+/// Cursor-free helpers over a lexed buffer.  Indices returned by the skip
+/// helpers are clamped to the buffer (the final kEof token), so callers can
+/// chain them without bounds checks.
+class TokenStream {
+ public:
+  explicit TokenStream(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  [[nodiscard]] const std::vector<Token>& tokens() const noexcept { return tokens_; }
+  [[nodiscard]] std::size_t size() const noexcept { return tokens_.size(); }
+  [[nodiscard]] const Token& at(std::size_t i) const noexcept {
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+
+  /// Index of the next/previous non-comment, non-preprocessor token strictly
+  /// after/before \p i; size() (EOF) when none.
+  [[nodiscard]] std::size_t next_code(std::size_t i) const noexcept;
+  [[nodiscard]] std::size_t prev_code(std::size_t i) const noexcept;
+
+  /// Given \p i at an opening bracket token ("(", "[", "{", or "<"), returns
+  /// the index of its balanced closing token; size() when unbalanced.  For
+  /// "<" the scan bails out on tokens that cannot appear inside a template
+  /// argument list (";", "{", "}"), so comparison operators do not send it
+  /// off a cliff.
+  [[nodiscard]] std::size_t match_forward(std::size_t i) const noexcept;
+  /// Reverse of match_forward: \p i at ")", "]", "}", or ">" (template args).
+  [[nodiscard]] std::size_t match_backward(std::size_t i) const noexcept;
+
+ private:
+  std::vector<Token> tokens_;
+};
+
+}  // namespace tsce::analyze

@@ -1,0 +1,48 @@
+/// \file rules.hpp
+/// Rule metadata and the per-file analysis entry point for tsce_analyze.
+///
+/// Ten rules: the five token rules inherited from the original regex-based
+/// tsce_lint (deterministic-rng, invalid-id-sentinel, no-iostream-hot,
+/// metric-name-registry, pragma-once), now matched on the token stream so
+/// strings and comments can never false-positive, plus five semantics-aware
+/// rules built on the scope parser (nondeterministic-iteration,
+/// float-fitness-equality, lock-across-callback, rng-shared-capture,
+/// unused-suppression).
+///
+/// Suppression: `// tsce-lint: allow(<rule>)` on the offending line, or on a
+/// comment-only line directly above it.  Every suppression must match a
+/// finding — stale ones are themselves findings (unused-suppression).
+
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tsce::analyze {
+
+struct Finding {
+  std::string file;  ///< repo-relative path
+  std::size_t line;  ///< 1-based; 0 = whole-file finding
+  std::string rule;
+  std::string message;
+};
+
+struct RuleInfo {
+  std::string_view id;
+  std::string_view summary;  ///< one-liner for --help and SARIF shortDescription
+};
+
+/// Registry of every rule id the analyzer can emit (drives SARIF
+/// tool.driver.rules and the unknown-suppression diagnostic).
+[[nodiscard]] const std::array<RuleInfo, 10>& rule_registry() noexcept;
+
+/// Analyzes one translation unit.  \p rel_path selects the directory-scoped
+/// rules (e.g. no-iostream-hot only fires under src/core|analysis|model) and
+/// is stamped into each finding; \p source is the file's full text.
+[[nodiscard]] std::vector<Finding> analyze_source(const std::string& rel_path,
+                                                  std::string_view source);
+
+}  // namespace tsce::analyze

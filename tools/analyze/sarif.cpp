@@ -1,0 +1,78 @@
+#include "analyze/sarif.hpp"
+
+#include "util/json.hpp"
+
+namespace tsce::analyze {
+
+using tsce::util::Json;
+
+std::string to_sarif(const std::vector<Finding>& findings,
+                     const std::string& tool_version) {
+  Json rules = Json::array();
+  for (const RuleInfo& info : rule_registry()) {
+    Json rule = Json::object();
+    rule.set("id", std::string(info.id));
+    Json text = Json::object();
+    text.set("text", std::string(info.summary));
+    rule.set("shortDescription", std::move(text));
+    rules.push_back(std::move(rule));
+  }
+
+  Json driver = Json::object();
+  driver.set("name", "tsce_analyze");
+  driver.set("version", tool_version);
+  driver.set("informationUri",
+             "https://github.com/tsce/tsce-alloc/blob/main/DESIGN.md");
+  driver.set("rules", std::move(rules));
+  Json tool = Json::object();
+  tool.set("driver", std::move(driver));
+
+  Json results = Json::array();
+  for (const Finding& f : findings) {
+    Json message = Json::object();
+    message.set("text", f.message);
+
+    Json artifact = Json::object();
+    artifact.set("uri", f.file);
+    artifact.set("uriBaseId", "SRCROOT");
+    Json physical = Json::object();
+    physical.set("artifactLocation", std::move(artifact));
+    if (f.line != 0) {
+      Json region = Json::object();
+      region.set("startLine", f.line);
+      physical.set("region", std::move(region));
+    }
+    Json location = Json::object();
+    location.set("physicalLocation", std::move(physical));
+    Json locations = Json::array();
+    locations.push_back(std::move(location));
+
+    Json result = Json::object();
+    result.set("ruleId", f.rule);
+    result.set("level", "error");
+    result.set("message", std::move(message));
+    result.set("locations", std::move(locations));
+    results.push_back(std::move(result));
+  }
+
+  Json run = Json::object();
+  run.set("tool", std::move(tool));
+  Json base = Json::object();
+  Json base_uri = Json::object();
+  base_uri.set("uri", "file:///");
+  base.set("SRCROOT", std::move(base_uri));
+  run.set("originalUriBaseIds", std::move(base));
+  run.set("results", std::move(results));
+  Json runs = Json::array();
+  runs.push_back(std::move(run));
+
+  Json doc = Json::object();
+  doc.set("$schema",
+          "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+          "Schemata/sarif-schema-2.1.0.json");
+  doc.set("version", "2.1.0");
+  doc.set("runs", std::move(runs));
+  return doc.dump(2);
+}
+
+}  // namespace tsce::analyze

@@ -1,0 +1,20 @@
+/// \file sarif.hpp
+/// SARIF 2.1.0 document builder for tsce_analyze findings, so the CI lint
+/// job can upload machine-readable results and code hosts can annotate PRs.
+/// Built on util::Json (in-repo, no third-party dependency).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analyze/rules.hpp"
+
+namespace tsce::analyze {
+
+/// Serializes \p findings as a SARIF 2.1.0 run.  Whole-file findings
+/// (line 0) carry no region; every result references SRCROOT-relative URIs.
+[[nodiscard]] std::string to_sarif(const std::vector<Finding>& findings,
+                                   const std::string& tool_version);
+
+}  // namespace tsce::analyze

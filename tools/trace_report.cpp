@@ -4,6 +4,7 @@
 ///
 /// Usage: trace_report <trace.jsonl> [--csv] [--full]
 ///        trace_report --convergence <trace.jsonl>...
+///        trace_report --convergence-diff <old.csv> <new.csv> [--tolerance w]
 ///
 /// Span records are grouped by "name [phase]" (the phase field is the
 /// allocator name by convention, so one span kind like "search.trial" yields
@@ -18,11 +19,22 @@
 /// worth-vs-time curves, keyed by commit so successive CI runs can be
 /// overlaid or diffed.  git_sha and scenario come from each file's
 /// run-provenance header (obs::RunInfo).
+///
+/// --convergence-diff closes the loop: it takes two --convergence CSVs (the
+/// baseline run and the candidate run), treats each (scenario, phase) series
+/// as a worth-at-time step function, and compares the two functions at every
+/// time point either run improved.  A point where the old run had reached
+/// more than --tolerance worth above the new run is a convergence regression:
+/// one CSV row (scenario,phase,t_s,old_worth,new_worth,delta) per such point,
+/// exit 1 when any exist.  Curves only in the baseline are regressions
+/// (coverage lost); curves only in the candidate are fine.
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/names.hpp"
@@ -158,24 +170,173 @@ int run_convergence(const std::vector<std::string>& paths) {
   return 0;
 }
 
+/// One worth-vs-time curve from a --convergence CSV, sorted by time.
+struct Curve {
+  std::vector<std::pair<double, double>> points;  // (t_s, worth)
+
+  /// Step-function value at time \p t: the worth of the last improvement at
+  /// or before \p t, or 0 before the first one (no solution reached yet).
+  [[nodiscard]] double at(double t) const {
+    double worth = 0.0;
+    for (const auto& [ts, w] : points) {
+      if (ts > t) break;
+      worth = w;
+    }
+    return worth;
+  }
+};
+
+/// Parses a --convergence CSV (git_sha,scenario,phase,t_s,worth,slackness)
+/// into per-(scenario, phase) curves.  Returns false on open/parse failure.
+bool read_convergence_csv(const std::string& path,
+                          std::map<std::pair<std::string, std::string>, Curve>& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "trace_report: cannot open '%s'\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (first) {
+      first = false;
+      if (line.rfind("git_sha,", 0) == 0) continue;  // header row
+    }
+    std::vector<std::string> cols;
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t comma = line.find(',', start);
+      cols.push_back(line.substr(start, comma - start));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    if (cols.size() != 6) {
+      std::fprintf(stderr, "trace_report: malformed row in '%s': %s\n",
+                   path.c_str(), line.c_str());
+      return false;
+    }
+    try {
+      Curve& curve = out[{cols[1], cols[2]}];
+      curve.points.emplace_back(std::stod(cols[3]), std::stod(cols[4]));
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "trace_report: malformed row in '%s': %s\n",
+                   path.c_str(), line.c_str());
+      return false;
+    }
+  }
+  for (auto& [key, curve] : out) {
+    std::sort(curve.points.begin(), curve.points.end());
+  }
+  return true;
+}
+
+/// Diff mode: flags every time point where the baseline's worth-at-time step
+/// function exceeds the candidate's by more than \p tolerance.  Returns the
+/// process exit code (1 when any regression point exists).
+int run_convergence_diff(const std::string& old_path,
+                         const std::string& new_path, double tolerance) {
+  std::map<std::pair<std::string, std::string>, Curve> old_curves;
+  std::map<std::pair<std::string, std::string>, Curve> new_curves;
+  if (!read_convergence_csv(old_path, old_curves) ||
+      !read_convergence_csv(new_path, new_curves)) {
+    return 1;
+  }
+  if (old_curves.empty()) {
+    std::fprintf(stderr, "trace_report: no curves in baseline '%s'\n",
+                 old_path.c_str());
+    return 1;
+  }
+  std::printf("scenario,phase,t_s,old_worth,new_worth,delta\n");
+  std::size_t regressions = 0;
+  std::size_t curves_compared = 0;
+  for (const auto& [key, old_curve] : old_curves) {
+    const auto new_it = new_curves.find(key);
+    if (new_it == new_curves.end()) {
+      // A curve the candidate never produced: every baseline point regresses.
+      for (const auto& [ts, worth] : old_curve.points) {
+        if (worth > tolerance) {
+          std::printf("%s,%s,%.6f,%.0f,0,%.6f\n", key.first.c_str(),
+                      key.second.c_str(), ts, worth, worth);
+          ++regressions;
+        }
+      }
+      continue;
+    }
+    ++curves_compared;
+    const Curve& new_curve = new_it->second;
+    // Union of both curves' time points: the step functions only change
+    // there, so checking these covers every time.
+    std::vector<double> times;
+    times.reserve(old_curve.points.size() + new_curve.points.size());
+    for (const auto& [ts, worth] : old_curve.points) times.push_back(ts);
+    for (const auto& [ts, worth] : new_curve.points) times.push_back(ts);
+    std::sort(times.begin(), times.end());
+    times.erase(std::unique(times.begin(), times.end()), times.end());
+    for (double t : times) {
+      const double old_worth = old_curve.at(t);
+      const double new_worth = new_curve.at(t);
+      const double delta = old_worth - new_worth;
+      if (delta > tolerance) {
+        std::printf("%s,%s,%.6f,%.0f,%.0f,%.6f\n", key.first.c_str(),
+                    key.second.c_str(), t, old_worth, new_worth, delta);
+        ++regressions;
+      }
+    }
+  }
+  if (regressions == 0) {
+    std::fprintf(stderr,
+                 "trace_report: no convergence regressions (%zu curves, "
+                 "tolerance %.6f)\n",
+                 curves_compared, tolerance);
+    return 0;
+  }
+  std::fprintf(stderr,
+               "trace_report: %zu convergence regression point%s (tolerance "
+               "%.6f)\n",
+               regressions, regressions == 1 ? "" : "s", tolerance);
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool csv = false;
   bool full = false;
   bool convergence_mode = false;
+  bool convergence_diff = false;
+  double tolerance = 0.0;
   tsce::util::Flags flags(
       "trace_report: fold a tsce trace JSONL into per-phase span-time and\n"
       "fitness-convergence tables.\n"
       "usage: trace_report <trace.jsonl> [--csv] [--full]\n"
-      "       trace_report --convergence <trace.jsonl>...");
+      "       trace_report --convergence <trace.jsonl>...\n"
+      "       trace_report --convergence-diff <old.csv> <new.csv> "
+      "[--tolerance w]");
   flags.add("csv", &csv, "emit CSV instead of aligned tables");
   flags.add("full", &full, "also list every improvement event");
   flags.add("convergence", &convergence_mode,
             "dashboard mode: one CSV row per improvement event "
             "(git_sha,scenario,phase,t_s,worth,slackness); accepts multiple "
             "trace files, one per scenario");
+  flags.add("convergence-diff", &convergence_diff,
+            "regression mode: compare two --convergence CSVs as worth-at-time "
+            "step functions; exit 1 where the baseline beats the candidate by "
+            "more than --tolerance");
+  flags.add("tolerance", &tolerance,
+            "worth slack allowed before --convergence-diff flags a "
+            "regression (default 0)");
   if (!flags.parse(argc, argv)) return 1;
+  if (convergence_diff) {
+    if (flags.positional().size() != 2) {
+      std::fprintf(stderr,
+                   "trace_report: --convergence-diff expects exactly two "
+                   "CSV files (old, new)\n");
+      return 1;
+    }
+    return run_convergence_diff(flags.positional()[0], flags.positional()[1],
+                                tolerance);
+  }
   if (convergence_mode) {
     if (flags.positional().empty()) {
       std::fprintf(stderr,

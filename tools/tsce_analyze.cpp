@@ -1,0 +1,148 @@
+/// \file tsce_analyze.cpp
+/// AST-grade determinism & concurrency analyzer for the tsce codebase —
+/// the successor to the regex-based tsce_lint.  A real C++ lexer plus a
+/// lightweight declaration/scope parser (analyze/lexer.hpp, analyze/
+/// scopes.hpp; deliberately no libclang so the tool builds and runs anywhere
+/// the code does, in milliseconds) drives ten rule visitors: the five
+/// inherited token rules and five semantics-aware determinism rules.  See
+/// analyze/rules.cpp for the rule catalog and DESIGN.md §11 for the
+/// architecture.
+///
+/// Usage:
+///   tsce_analyze [--root <repo-root>] [--sarif <out.sarif>]
+///   tsce_analyze --file <path> [--as <repo-relative-path>] [--sarif <out>]
+///
+/// The default mode walks src/, tools/, bench/, examples/, and tests/
+/// (skipping fixtures/ directories) for .cpp/.hpp files.  --file analyzes a
+/// single file — used by the golden-fixture tests — and --as sets the
+/// repo-relative path it is analyzed as, which selects the directory-scoped
+/// rules.  Findings print to stderr in file:line: [rule] message form; with
+/// --sarif a SARIF 2.1.0 document is also written.  Exit: 0 clean, 1
+/// findings, 2 usage error.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analyze/rules.hpp"
+#include "analyze/sarif.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::string_view kVersion = "1.0.0";
+
+bool read_file(const fs::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+int usage(int code) {
+  std::printf(
+      "usage: tsce_analyze [--root <repo-root>] [--sarif <out.sarif>]\n"
+      "       tsce_analyze --file <path> [--as <rel-path>] [--sarif <out>]\n"
+      "\nrules:\n");
+  for (const tsce::analyze::RuleInfo& r : tsce::analyze::rule_registry()) {
+    std::printf("  %-26s %.*s\n", std::string(r.id).c_str(),
+                static_cast<int>(r.summary.size()), r.summary.data());
+  }
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  std::string single_file;
+  std::string as_path;
+  std::string sarif_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--file" && i + 1 < argc) {
+      single_file = argv[++i];
+    } else if (arg == "--as" && i + 1 < argc) {
+      as_path = argv[++i];
+    } else if (arg == "--sarif" && i + 1 < argc) {
+      sarif_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(0);
+    } else {
+      std::fprintf(stderr, "tsce_analyze: unknown argument '%s'\n", argv[i]);
+      return usage(2);
+    }
+  }
+
+  std::vector<tsce::analyze::Finding> findings;
+  std::size_t files = 0;
+
+  if (!single_file.empty()) {
+    std::string source;
+    if (!read_file(single_file, source)) {
+      std::fprintf(stderr, "tsce_analyze: cannot open '%s'\n",
+                   single_file.c_str());
+      return 2;
+    }
+    const std::string rel = as_path.empty() ? single_file : as_path;
+    findings = tsce::analyze::analyze_source(rel, source);
+    files = 1;
+  } else {
+    root = fs::absolute(root);
+    for (const char* dir : {"src", "tools", "bench", "examples", "tests"}) {
+      const fs::path base = root / dir;
+      if (!fs::exists(base)) continue;
+      for (const auto& entry : fs::recursive_directory_iterator(base)) {
+        if (!entry.is_regular_file()) continue;
+        const fs::path ext = entry.path().extension();
+        if (ext != ".cpp" && ext != ".hpp") continue;
+        const std::string rel =
+            fs::relative(entry.path(), root).generic_string();
+        // Golden rule fixtures are intentionally-violating inputs, not code.
+        if (rel.find("/fixtures/") != std::string::npos) continue;
+        ++files;
+        std::string source;
+        if (!read_file(entry.path(), source)) {
+          findings.push_back({rel, 0, "io", "cannot open file"});
+          continue;
+        }
+        auto file_findings = tsce::analyze::analyze_source(rel, source);
+        findings.insert(findings.end(),
+                        std::make_move_iterator(file_findings.begin()),
+                        std::make_move_iterator(file_findings.end()));
+      }
+    }
+  }
+
+  for (const tsce::analyze::Finding& f : findings) {
+    if (f.line == 0) {
+      std::fprintf(stderr, "%s: [%s] %s\n", f.file.c_str(), f.rule.c_str(),
+                   f.message.c_str());
+    } else {
+      std::fprintf(stderr, "%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
+                   f.rule.c_str(), f.message.c_str());
+    }
+  }
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "tsce_analyze: cannot write '%s'\n",
+                   sarif_path.c_str());
+      return 2;
+    }
+    out << tsce::analyze::to_sarif(findings, std::string(kVersion));
+  }
+  std::printf("tsce_analyze: %zu file%s checked, %zu finding%s\n", files,
+              files == 1 ? "" : "s", findings.size(),
+              findings.size() == 1 ? "" : "s");
+  return findings.empty() ? 0 : 1;
+}
