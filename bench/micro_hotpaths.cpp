@@ -138,6 +138,30 @@ void BM_DecodeFromScratch(benchmark::State& state) {
 }
 BENCHMARK(BM_DecodeFromScratch)->Arg(32)->Arg(64)->Arg(128);
 
+/// Cost of fanning a decoded prototype out to a replica via
+/// clone_state_from (the tempering / BatchEvaluator stamping primitive):
+/// O(state bytes) memcpys, allocation-free once the replica's buffers are
+/// sized.  Arg = number of strings decoded into the prototype.
+void BM_SnapshotClone(benchmark::State& state) {
+  const auto m = make_instance(6, static_cast<std::size_t>(state.range(0)));
+  auto order = core::identity_order(m);
+  util::Rng shuffle_rng(5);
+  shuffle_rng.shuffle(order);
+  core::DecodeContext prototype(m);
+  benchmark::DoNotOptimize(core::decode_order_into(prototype, order));
+  core::DecodeContext replica(m);
+  replica.clone_state_from(prototype);  // warm: size the replica's buffers
+  for (auto _ : state) {
+    replica.clone_state_from(prototype);
+    benchmark::DoNotOptimize(replica.depth());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(prototype.state_bytes()));
+  state.counters["depth"] = static_cast<double>(prototype.depth());
+}
+BENCHMARK(BM_SnapshotClone)->Arg(32)->Arg(64)->Arg(128);
+
 /// Population-sized batch evaluation through BatchEvaluator (the GENITOR
 /// initial-population path); Arg = worker threads.
 void BM_BatchEvaluate(benchmark::State& state) {

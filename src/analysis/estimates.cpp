@@ -5,6 +5,7 @@
 
 #include "analysis/priority.hpp"
 #include "analysis/tightness.hpp"
+#include "util/hot.hpp"
 
 namespace tsce::analysis {
 
@@ -23,10 +24,10 @@ double TimeEstimates::latency(StringId k) const noexcept {
   return total;
 }
 
-double estimate_comp_time(const SystemModel& model, const Allocation& alloc,
-                          const UtilizationState& util,
-                          const std::vector<double>& t_of, StringId k,
-                          AppIndex i) noexcept {
+TSCE_HOT double estimate_comp_time(const SystemModel& model, const Allocation& alloc,
+                                   const UtilizationState& util,
+                                   std::span<const double> t_of, StringId k,
+                                   AppIndex i) noexcept {
   const auto& s = model.strings[static_cast<std::size_t>(k)];
   const MachineId j = alloc.machine_of(k, i);
   const auto ju = static_cast<std::size_t>(j);
@@ -46,10 +47,10 @@ double estimate_comp_time(const SystemModel& model, const Allocation& alloc,
   return t;
 }
 
-double estimate_tran_time(const SystemModel& model, const Allocation& alloc,
-                          const UtilizationState& util,
-                          const std::vector<double>& t_of, StringId k,
-                          AppIndex i) noexcept {
+TSCE_HOT double estimate_tran_time(const SystemModel& model, const Allocation& alloc,
+                                   const UtilizationState& util,
+                                   std::span<const double> t_of, StringId k,
+                                   AppIndex i) noexcept {
   const auto& s = model.strings[static_cast<std::size_t>(k)];
   const MachineId j1 = alloc.machine_of(k, i);
   const MachineId j2 = alloc.machine_of(k, i + 1);

@@ -8,6 +8,7 @@
 
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "analysis/priority.hpp"
@@ -38,14 +39,14 @@ struct TimeEstimates {
 [[nodiscard]] double estimate_comp_time(const model::SystemModel& model,
                                         const model::Allocation& alloc,
                                         const UtilizationState& util,
-                                        const std::vector<double>& t_of,
+                                        std::span<const double> t_of,
                                         model::StringId k, model::AppIndex i) noexcept;
 
 /// Estimated transfer time of the output of deployed app (k,i), i < n_k - 1.
 [[nodiscard]] double estimate_tran_time(const model::SystemModel& model,
                                         const model::Allocation& alloc,
                                         const UtilizationState& util,
-                                        const std::vector<double>& t_of,
+                                        std::span<const double> t_of,
                                         model::StringId k, model::AppIndex i) noexcept;
 
 /// Computes estimates for every deployed string of \p alloc from scratch,

@@ -10,10 +10,20 @@
 /// (higher-priority estimates are unchanged by construction of eqs. 5-6).
 /// A failed commit rolls back completely, leaving the previous feasible
 /// intermediate mapping intact (the MWF/TF termination rule).
+///
+/// Estimate storage is SoA (DESIGN.md §12): one flat double array for all
+/// eq. (5) computation estimates and one for all eq. (6) transfer estimates,
+/// indexed by prefix sums over string lengths — no per-string vectors, so the
+/// steady-state commit/rollback path never allocates.  The whole session
+/// state snapshots into a SessionSnapshot and restores back with a handful of
+/// memcpys, bit-exactly; the prefix-reuse decode rewinds through this instead
+/// of replaying removals, and replica-based engines clone sessions the same
+/// way.
 
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -23,6 +33,7 @@
 #include "model/allocation.hpp"
 #include "model/system_model.hpp"
 #include "model/types.hpp"
+#include "util/arena.hpp"
 
 namespace tsce::analysis {
 
@@ -31,6 +42,18 @@ namespace tsce::analysis {
 /// latency overrun.  Rejection counts per kind are exported through
 /// obs::MetricsRegistry ("session.reject.*").
 enum class ConstraintViolation { kNone, kThroughput, kLatency };
+
+/// Bit-exact byte image of an AllocationSession.  All members are flat
+/// arrays, so snapshot/restore/copy are memcpys; in steady state (buffers
+/// already at working size) the round trip is allocation-free.  A snapshot
+/// may only be restored into a session built from the same SystemModel.
+struct SessionSnapshot {
+  model::Allocation alloc;
+  util::ArenaSnapshot util;
+  std::vector<double> t_of;
+  std::vector<double> comp;
+  std::vector<double> tran;
+};
 
 class AllocationSession {
  public:
@@ -63,6 +86,16 @@ class AllocationSession {
   /// Forgets all commitments.
   void reset();
 
+  /// Copies the full session state into \p out (buffers reused — no
+  /// allocation once \p out has reached working size).  restore_from() is the
+  /// exact inverse: the restored session is bit-identical to the session at
+  /// snapshot time, including resident-list order, so it is interchangeable
+  /// with a session that replayed the same commit history.
+  void snapshot_into(SessionSnapshot& out) const;
+  void restore_from(const SessionSnapshot& snap);
+  /// Bytes a snapshot/clone copies (utilization arena + flat session arrays).
+  [[nodiscard]] std::size_t state_bytes() const noexcept;
+
   [[nodiscard]] const model::SystemModel& system() const noexcept { return *model_; }
   [[nodiscard]] const model::Allocation& allocation() const noexcept { return alloc_; }
   [[nodiscard]] const UtilizationState& util() const noexcept { return util_; }
@@ -74,18 +107,21 @@ class AllocationSession {
   /// Classifies string \p z against eq. (1) under the current estimates.
   [[nodiscard]] ConstraintViolation constraint_violation(model::StringId z) const noexcept;
 
-  /// Estimated computation times of deployed string k (empty otherwise).
-  [[nodiscard]] const std::vector<double>& comp_estimates(model::StringId k) const noexcept {
-    return comp_[static_cast<std::size_t>(k)];
+  /// Estimated computation times of deployed string k (stale values for
+  /// undeployed strings — callers must check deployed() first, as ever).
+  [[nodiscard]] std::span<const double> comp_estimates(model::StringId k) const noexcept {
+    const auto ku = static_cast<std::size_t>(k);
+    return {comp_.data() + app_off_[ku], app_off_[ku + 1] - app_off_[ku]};
   }
-  [[nodiscard]] const std::vector<double>& tran_estimates(model::StringId k) const noexcept {
-    return tran_[static_cast<std::size_t>(k)];
+  [[nodiscard]] std::span<const double> tran_estimates(model::StringId k) const noexcept {
+    const auto ku = static_cast<std::size_t>(k);
+    return {tran_.data() + tran_off_[ku], tran_off_[ku + 1] - tran_off_[ku]};
   }
 
  private:
-  /// Re-estimates every resident app/transfer on resources touched by string
-  /// k plus string k itself, then checks eq. (1) for each affected string;
-  /// returns the first violation found (kNone when all pass).
+  /// Estimates string k from scratch and delta-updates residents k preempts
+  /// (journaling old slot values), then checks eq. (1) for each affected
+  /// string; returns the first violation found (kNone when all pass).
   [[nodiscard]] ConstraintViolation stage_two_after_add(model::StringId k);
   void refresh_estimates_of(model::StringId k);
   /// Shim over constraint_violation for boolean call sites.
@@ -97,13 +133,19 @@ class AllocationSession {
   PriorityRule rule_;
   model::Allocation alloc_;
   UtilizationState util_;
-  std::vector<double> t_of_;                 ///< tightness per deployed string (NaN otherwise)
-  std::vector<std::vector<double>> comp_;    ///< cached eq. (5) estimates
-  std::vector<std::vector<double>> tran_;    ///< cached eq. (6) estimates
+  std::vector<double> t_of_;            ///< tightness per deployed string (NaN otherwise)
+  std::vector<std::uint32_t> app_off_;  ///< prefix sums of string lengths, size Q+1
+  std::vector<std::uint32_t> tran_off_; ///< prefix sums of (length - 1), size Q+1
+  std::vector<double> comp_;            ///< flat eq. (5) estimates, app_off_-indexed
+  std::vector<double> tran_;            ///< flat eq. (6) estimates, tran_off_-indexed
   // Scratch reused across commits to avoid churn.
   std::vector<model::MachineId> touched_machines_;
   std::vector<std::pair<model::MachineId, model::MachineId>> touched_routes_;
   std::vector<model::StringId> affected_strings_;
+  /// Pre-commit values of estimate slots delta-updated by stage two, so a
+  /// rejected commit restores them bit-exactly (float subtraction would not).
+  std::vector<std::pair<std::uint32_t, double>> comp_journal_;
+  std::vector<std::pair<std::uint32_t, double>> tran_journal_;
 };
 
 }  // namespace tsce::analysis

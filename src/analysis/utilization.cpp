@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/hot.hpp"
+
 namespace tsce::analysis {
 
 using model::Allocation;
@@ -11,12 +13,20 @@ using model::MachineId;
 using model::StringId;
 using model::SystemModel;
 
-UtilizationState::UtilizationState(const SystemModel& model)
-    : model_(&model),
-      machine_util_(model.num_machines(), 0.0),
-      route_util_(model.num_machines() * model.num_machines(), 0.0),
-      machine_apps_(model.num_machines()),
-      route_transfers_(model.num_machines() * model.num_machines()) {}
+UtilizationState::UtilizationState(const SystemModel& model) : model_(&model) {
+  const std::size_t m = model.num_machines();
+  // Header first (fixed offsets), pool slabs grow past it at the tip.  Sizing
+  // the arena for the header plus one pool entry per application keeps slab
+  // growth off the common path without reserving for the worst case.
+  std::size_t apps = 0;
+  for (const auto& s : model.strings) apps += s.size();
+  arena_ = util::Arena((m + m * m + apps) * sizeof(double));
+  machine_util_ = arena_.alloc<double>(m);
+  route_util_ = arena_.alloc<double>(m * m);
+  slabs_ = arena_.alloc<Slab>(m + m * m);
+  touched_machines_.reserve(m);
+  touched_routes_.reserve(m * m);
+}
 
 UtilizationState UtilizationState::from_allocation(const SystemModel& model,
                                                    const Allocation& alloc) {
@@ -25,6 +35,17 @@ UtilizationState UtilizationState::from_allocation(const SystemModel& model,
     if (alloc.deployed(static_cast<StringId>(k))) {
       state.add_string(alloc, static_cast<StringId>(k));
     }
+  }
+  return state;
+}
+
+UtilizationState UtilizationState::from_allocation(
+    const SystemModel& model, const Allocation& alloc,
+    std::span<const StringId> deploy_order) {
+  UtilizationState state(model);
+  for (const StringId k : deploy_order) {
+    assert(alloc.deployed(k));
+    state.add_string(alloc, k);
   }
   return state;
 }
@@ -48,26 +69,54 @@ double UtilizationState::route_delta(StringId k, AppIndex i, MachineId j1,
   return mbps_needed / model_->network.bandwidth_mbps(j1, j2);
 }
 
-void UtilizationState::add_string(const Allocation& alloc, StringId k) {
+TSCE_HOT void UtilizationState::slab_push(std::size_t resource, AppRef ref) {
+  // Copy the slab descriptor out first: growing the pool may move the arena's
+  // backing buffer, which would invalidate a reference into it.
+  Slab s = arena_.view(slabs_)[resource];
+  if (s.size == s.cap) {
+    const std::uint32_t new_cap = s.cap == 0 ? 4 : s.cap * 2;
+    const util::ArenaSpan<AppRef> moved =
+        arena_.grow(util::ArenaSpan<AppRef>{s.begin, s.cap}, new_cap);
+    s.begin = moved.offset;
+    s.cap = new_cap;
+  }
+  arena_.view(util::ArenaSpan<AppRef>{s.begin, s.cap})[s.size] = ref;
+  ++s.size;
+  arena_.view(slabs_)[resource] = s;
+}
+
+TSCE_HOT void UtilizationState::slab_erase(std::size_t resource, AppRef ref) {
+  Slab s = arena_.view(slabs_)[resource];
+  const std::span<AppRef> residents =
+      arena_.view(util::ArenaSpan<AppRef>{s.begin, s.size});
+  const auto it = std::find(residents.begin(), residents.end(), ref);
+  assert(it != residents.end());
+  std::move(it + 1, residents.end(), it);  // preserve order, like vector::erase
+  --s.size;
+  arena_.view(slabs_)[resource] = s;
+}
+
+TSCE_HOT void UtilizationState::add_string(const Allocation& alloc, StringId k) {
   const auto& s = model_->strings[static_cast<std::size_t>(k)];
   const auto n = static_cast<AppIndex>(s.size());
   for (AppIndex i = 0; i < n; ++i) {
     const MachineId j = alloc.machine_of(k, i);
     assert(j != model::kUnassigned);
-    machine_util_[static_cast<std::size_t>(j)] += machine_delta(k, i, j);
-    machine_apps_[static_cast<std::size_t>(j)].push_back({k, i});
+    arena_.view(machine_util_)[static_cast<std::size_t>(j)] +=
+        machine_delta(k, i, j);
+    slab_push(static_cast<std::size_t>(j), {k, i});
     if (i + 1 < n) {
       const MachineId j2 = alloc.machine_of(k, i + 1);
       if (j != j2) {
         const std::size_t r = route_index(j, j2);
-        route_util_[r] += route_delta(k, i, j, j2);
-        route_transfers_[r].push_back({k, i});
+        arena_.view(route_util_)[r] += route_delta(k, i, j, j2);
+        slab_push(num_machines() + r, {k, i});
       }
     }
   }
 }
 
-void UtilizationState::remove_string(const Allocation& alloc, StringId k) {
+TSCE_HOT void UtilizationState::remove_string(const Allocation& alloc, StringId k) {
   // Removal erases the string's entries from the resident lists and then
   // recomputes every touched utilization as a fresh left-to-right sum over
   // the survivors.  Subtracting the deltas instead would leave floating-point
@@ -83,22 +132,21 @@ void UtilizationState::remove_string(const Allocation& alloc, StringId k) {
   resum_touched();
 }
 
-void UtilizationState::remove_strings(const Allocation& alloc,
-                                      std::span<const StringId> ks) {
+TSCE_HOT void UtilizationState::remove_strings(const Allocation& alloc,
+                                               std::span<const StringId> ks) {
   touched_machines_.clear();
   touched_routes_.clear();
   for (const StringId k : ks) erase_string(alloc, k);
   resum_touched();
 }
 
-void UtilizationState::erase_string(const Allocation& alloc, StringId k) {
+TSCE_HOT void UtilizationState::erase_string(const Allocation& alloc, StringId k) {
   const auto& s = model_->strings[static_cast<std::size_t>(k)];
   const auto n = static_cast<AppIndex>(s.size());
   for (AppIndex i = 0; i < n; ++i) {
     const MachineId j = alloc.machine_of(k, i);
     assert(j != model::kUnassigned);
-    auto& residents = machine_apps_[static_cast<std::size_t>(j)];
-    residents.erase(std::find(residents.begin(), residents.end(), AppRef{k, i}));
+    slab_erase(static_cast<std::size_t>(j), {k, i});
     if (std::find(touched_machines_.begin(), touched_machines_.end(), j) ==
         touched_machines_.end()) {
       touched_machines_.push_back(j);
@@ -107,8 +155,7 @@ void UtilizationState::erase_string(const Allocation& alloc, StringId k) {
       const MachineId j2 = alloc.machine_of(k, i + 1);
       if (j != j2) {
         const std::size_t r = route_index(j, j2);
-        auto& transfers = route_transfers_[r];
-        transfers.erase(std::find(transfers.begin(), transfers.end(), AppRef{k, i}));
+        slab_erase(num_machines() + r, {k, i});
         if (std::find(touched_routes_.begin(), touched_routes_.end(), r) ==
             touched_routes_.end()) {
           touched_routes_.push_back(r);
@@ -118,42 +165,49 @@ void UtilizationState::erase_string(const Allocation& alloc, StringId k) {
   }
 }
 
-void UtilizationState::resum_touched() {
+TSCE_HOT void UtilizationState::resum_touched() {
+  // Fresh left-to-right sums over the flat resident slabs; with the pool in
+  // one contiguous block these scans are cache-linear per resource.
+  const std::span<double> machine_util = arena_.view(machine_util_);
   for (const MachineId j : touched_machines_) {
     double u = 0.0;
-    for (const AppRef& ref : machine_apps_[static_cast<std::size_t>(j)]) {
+    for (const AppRef& ref : slab_span(static_cast<std::size_t>(j))) {
       u += machine_delta(ref.k, ref.i, j);
     }
-    machine_util_[static_cast<std::size_t>(j)] = u;
+    machine_util[static_cast<std::size_t>(j)] = u;
   }
-  const auto m = static_cast<MachineId>(machine_util_.size());
+  const auto m = static_cast<MachineId>(num_machines());
+  const std::span<double> route_util = arena_.view(route_util_);
   for (const std::size_t r : touched_routes_) {
     const auto j1 = static_cast<MachineId>(r / static_cast<std::size_t>(m));
     const auto j2 = static_cast<MachineId>(r % static_cast<std::size_t>(m));
     double u = 0.0;
-    for (const AppRef& ref : route_transfers_[r]) {
+    for (const AppRef& ref : slab_span(num_machines() + r)) {
       u += route_delta(ref.k, ref.i, j1, j2);
     }
-    route_util_[r] = u;
+    route_util[r] = u;
   }
 }
 
 double UtilizationState::max_machine_util() const noexcept {
   double best = 0.0;
-  for (double u : machine_util_) best = std::max(best, u);
+  for (double u : arena_.view(machine_util_)) best = std::max(best, u);
   return best;
 }
 
 double UtilizationState::max_route_util() const noexcept {
   double best = 0.0;
-  for (double u : route_util_) best = std::max(best, u);
+  for (double u : arena_.view(route_util_)) best = std::max(best, u);
   return best;
 }
 
-double UtilizationState::slackness() const noexcept {
+TSCE_HOT double UtilizationState::slackness() const noexcept {
+  // machine_util_ and route_util_ are adjacent in the arena, so these two
+  // scans stream one contiguous block of M + M*M doubles (auto-vectorized:
+  // plain min-reduction over flat arrays).
   double min_slack = 1.0;
-  for (double u : machine_util_) min_slack = std::min(min_slack, 1.0 - u);
-  for (double u : route_util_) min_slack = std::min(min_slack, 1.0 - u);
+  for (double u : arena_.view(machine_util_)) min_slack = std::min(min_slack, 1.0 - u);
+  for (double u : arena_.view(route_util_)) min_slack = std::min(min_slack, 1.0 - u);
   return min_slack;
 }
 

@@ -6,16 +6,26 @@
 /// sequential heuristics (IMR inside MWF/TF/PSG decode) rely on.  It also
 /// tracks which applications/transfers reside on each resource, which the
 /// stage-two time estimation reuses.
+///
+/// Memory layout (DESIGN.md §12): the whole state is one contiguous
+/// util::Arena block — flat utilization arrays, a slab table of per-resource
+/// (offset, size, capacity) triples, and a CSR-style pool of resident AppRef
+/// slabs that grow in place amortized.  Because every internal reference is
+/// an arena offset, snapshot()/restore() are single memcpys of the used
+/// prefix and are bit-exact; remove_string/remove_strings keep the original
+/// re-summation semantics for callers that rewind without a snapshot.
 
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "model/allocation.hpp"
 #include "model/system_model.hpp"
 #include "model/types.hpp"
+#include "util/arena.hpp"
 
 namespace tsce::analysis {
 
@@ -31,9 +41,20 @@ class UtilizationState {
   UtilizationState() = default;
   explicit UtilizationState(const model::SystemModel& model);
 
-  /// Builds state for all deployed strings of \p alloc.
+  /// Builds state for all deployed strings of \p alloc, added in increasing
+  /// string-id order.  Every utilization is a left fold over its resident
+  /// list, so the result is bit-identical to any history whose surviving
+  /// deployment order is 0,1,2,... — histories with a different surviving
+  /// order agree only up to float re-association (use the overload below to
+  /// compare those bitwise).
   static UtilizationState from_allocation(const model::SystemModel& model,
                                           const model::Allocation& alloc);
+  /// As above, but deploys in the given order: the from-scratch rebuild that
+  /// is bit-identical to an incrementally maintained state whose surviving
+  /// strings were added (or last re-added) in \p deploy_order.
+  static UtilizationState from_allocation(
+      const model::SystemModel& model, const model::Allocation& alloc,
+      std::span<const model::StringId> deploy_order);
 
   /// Adds every application/transfer of string k using its assignment in
   /// \p alloc (string must be fully mapped).
@@ -54,11 +75,11 @@ class UtilizationState {
 
   /// U_machine[j], eq. (2).
   [[nodiscard]] double machine_util(model::MachineId j) const noexcept {
-    return machine_util_[static_cast<std::size_t>(j)];
+    return arena_.view(machine_util_)[static_cast<std::size_t>(j)];
   }
   /// U_route[j1,j2], eq. (3).  Intra-machine routes are always 0.
   [[nodiscard]] double route_util(model::MachineId j1, model::MachineId j2) const noexcept {
-    return route_util_[route_index(j1, j2)];
+    return arena_.view(route_util_)[route_index(j1, j2)];
   }
 
   /// Utilization contribution of app i of string k when placed on machine j.
@@ -89,19 +110,50 @@ class UtilizationState {
   /// System slackness, eq. (7): min residual capacity over machines & routes.
   [[nodiscard]] double slackness() const noexcept;
 
-  /// Applications currently resident on machine j (unordered).
-  [[nodiscard]] const std::vector<AppRef>& apps_on(model::MachineId j) const noexcept {
-    return machine_apps_[static_cast<std::size_t>(j)];
+  /// Applications currently resident on machine j (unordered).  The span is
+  /// invalidated by the next mutation of this state.
+  [[nodiscard]] std::span<const AppRef> apps_on(model::MachineId j) const noexcept {
+    return slab_span(static_cast<std::size_t>(j));
   }
   /// Transfers resident on route j1->j2; AppRef names the *sending* app.
-  [[nodiscard]] const std::vector<AppRef>& transfers_on(model::MachineId j1,
-                                                        model::MachineId j2) const noexcept {
-    return route_transfers_[route_index(j1, j2)];
+  [[nodiscard]] std::span<const AppRef> transfers_on(model::MachineId j1,
+                                                     model::MachineId j2) const noexcept {
+    return slab_span(num_machines() + route_index(j1, j2));
   }
 
-  [[nodiscard]] std::size_t num_machines() const noexcept { return machine_util_.size(); }
+  [[nodiscard]] std::size_t num_machines() const noexcept { return machine_util_.count; }
+
+  /// Snapshot protocol: the state is one arena block, so a snapshot is one
+  /// memcpy of the used prefix and restore is the inverse memcpy — bit-exact,
+  /// O(bytes), no per-string work.  A snapshot may be restored into any
+  /// UtilizationState built from the same SystemModel.
+  void snapshot_into(util::ArenaSnapshot& out) const { arena_.snapshot_into(out); }
+  void restore_from(const util::ArenaSnapshot& snap) { arena_.restore_from(snap); }
+  /// Size of the contiguous state block (what snapshot/clone copy).
+  [[nodiscard]] std::size_t state_bytes() const noexcept { return arena_.used(); }
 
  private:
+  /// Per-resource resident slab: a CSR-style (offset, size, capacity) triple
+  /// into the arena's AppRef pool.  Lives inside the arena itself so the
+  /// snapshot memcpy captures it.
+  struct Slab {
+    std::uint32_t begin = 0;  ///< byte offset of the slab's first AppRef
+    std::uint32_t size = 0;
+    std::uint32_t cap = 0;
+  };
+
+  /// Unified resource index: machines are [0, M), routes are M + route_index.
+  [[nodiscard]] std::span<const AppRef> slab_span(std::size_t resource) const noexcept {
+    const Slab& s = arena_.view(slabs_)[resource];
+    return arena_.view(util::ArenaSpan<AppRef>{s.begin, s.size});
+  }
+  /// Appends \p ref to a resident slab, growing it amortized (in place when
+  /// the slab sits at the arena tip).
+  void slab_push(std::size_t resource, AppRef ref);
+  /// Removes the first occurrence of \p ref, shifting survivors left (same
+  /// order semantics as the original vector erase).
+  void slab_erase(std::size_t resource, AppRef ref);
+
   /// Erases k's entries from the resident lists, accumulating the touched
   /// resources into the scratch vectors (callers clear them first).
   void erase_string(const model::Allocation& alloc, model::StringId k);
@@ -109,14 +161,16 @@ class UtilizationState {
   void resum_touched();
 
   [[nodiscard]] std::size_t route_index(model::MachineId j1, model::MachineId j2) const noexcept {
-    return static_cast<std::size_t>(j1) * machine_util_.size() +
-           static_cast<std::size_t>(j2);
+    return static_cast<std::size_t>(j1) * num_machines() + static_cast<std::size_t>(j2);
   }
+
   const model::SystemModel* model_ = nullptr;
-  std::vector<double> machine_util_;
-  std::vector<double> route_util_;  // M x M row-major; diagonal stays 0
-  std::vector<std::vector<AppRef>> machine_apps_;
-  std::vector<std::vector<AppRef>> route_transfers_;
+  util::Arena arena_;
+  // Fixed header views (offsets never change after construction; the slab
+  // pool grows past them at the tip).
+  util::ArenaSpan<double> machine_util_;
+  util::ArenaSpan<double> route_util_;  // M x M row-major; diagonal stays 0
+  util::ArenaSpan<Slab> slabs_;         // M machine slabs, then M*M route slabs
   // Scratch for remove_string (resources whose sums need recomputation).
   std::vector<model::MachineId> touched_machines_;
   std::vector<std::size_t> touched_routes_;

@@ -6,6 +6,7 @@
 #include "core/imr.hpp"
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
+#include "util/hot.hpp"
 
 namespace tsce::core {
 
@@ -36,6 +37,8 @@ struct DecodeMetrics {
 
 DecodeContext::DecodeContext(const SystemModel& model) : session_(model) {
   committed_.reserve(model.num_strings());
+  checkpoints_.resize(model.num_strings() + 1);
+  session_.snapshot_into(checkpoints_[0]);
 }
 
 DecodeContext::~DecodeContext() {
@@ -46,28 +49,44 @@ DecodeContext::~DecodeContext() {
   m.strings_reused.add(reused_);
 }
 
-bool DecodeContext::try_push(StringId k) {
+TSCE_HOT bool DecodeContext::try_push(StringId k) {
   ++commits_attempted_;
   imr_map_string_into(session_.system(), session_.util(), k, imr_scratch_,
                       assignment_scratch_);
   if (!session_.try_commit(k, assignment_scratch_)) return false;
   committed_.push_back(k);
+  // Checkpoint the new depth so any later rewind past this point is a
+  // restore.  Snapshot buffers are depth-slot-stable, so this is memcpys
+  // only once the first full decode has sized them.
+  session_.snapshot_into(checkpoints_[committed_.size()]);
   return true;
 }
 
-void DecodeContext::pop() {
+TSCE_HOT void DecodeContext::pop() {
   assert(!committed_.empty());
-  session_.uncommit(committed_.back());
+  session_.restore_from(checkpoints_[committed_.size() - 1]);
   committed_.pop_back();
 }
 
-void DecodeContext::rewind_to(std::size_t prefix_len) {
+TSCE_HOT void DecodeContext::rewind_to(std::size_t prefix_len) {
   assert(prefix_len <= committed_.size());
   if (prefix_len >= committed_.size()) return;
-  // Batched removal: one touched-resource re-summation and one estimate
-  // refresh for the whole suffix (bit-identical to popping one at a time).
-  session_.uncommit_all(std::span(committed_).subspan(prefix_len));
+  // Checkpoint restore: O(state bytes) regardless of how long the dropped
+  // suffix is.  Bit-identical to batched exact-rollback removal of the
+  // suffix (the session property test pins this equivalence down).
+  session_.restore_from(checkpoints_[prefix_len]);
   committed_.resize(prefix_len);
+}
+
+void DecodeContext::clone_state_from(const DecodeContext& other) {
+  assert(&session_.system() == &other.session_.system());
+  committed_ = other.committed_;
+  // The live checkpoints [0, depth] are part of the decode state; deeper
+  // slots are stale in both contexts and never read before being rewritten.
+  for (std::size_t d = 0; d <= other.committed_.size(); ++d) {
+    checkpoints_[d] = other.checkpoints_[d];
+  }
+  session_.restore_from(checkpoints_[committed_.size()]);
 }
 
 DecodeResult DecodeContext::materialize(const DecodeOutcome& outcome) const {
@@ -79,8 +98,8 @@ DecodeResult DecodeContext::materialize(const DecodeOutcome& outcome) const {
   return result;
 }
 
-DecodeOutcome decode_order_into(DecodeContext& ctx,
-                                std::span<const StringId> order) {
+TSCE_HOT DecodeOutcome decode_order_into(DecodeContext& ctx,
+                                         std::span<const StringId> order) {
   ++ctx.decodes_;
   // Longest common prefix of the new order and the committed stack.  Strings
   // at and beyond the previous decode's first failure were never committed,

@@ -8,11 +8,14 @@
 /// The evaluation engine: search allocators decode millions of neighboring
 /// permutations, so DecodeContext keeps one long-lived AllocationSession and
 /// diffs each new order against the commit stack of the previous one.  Only
-/// the divergent suffix is uncommitted and re-decoded; the longest common
-/// prefix is reused verbatim.  This relies on the session's exact-rollback
-/// invariant (see utilization.hpp): after rewinding, the session state is
-/// bit-identical to a from-scratch decode of the shared prefix, so
-/// incremental results equal full re-decodes exactly.
+/// the divergent suffix is re-decoded; the longest common prefix is reused
+/// verbatim.  Rewinding is a checkpoint restore (DESIGN.md §12): the context
+/// keeps a per-depth SessionSnapshot stack, so dropping a suffix is a few
+/// memcpys of flat state instead of replaying removals.  Observable state
+/// after a restore is bit-identical to an exact-rollback rewind and to a
+/// from-scratch decode of the shared prefix (the session's flat layout makes
+/// the snapshot a byte image), so incremental results equal full re-decodes
+/// exactly.
 
 #pragma once
 
@@ -48,9 +51,11 @@ struct DecodeOutcome {
   std::size_t prefix_reused = 0;
 };
 
-/// Reusable decoding state: a long-lived AllocationSession plus the stack of
-/// committed strings.  A context is single-threaded; parallel evaluation uses
-/// one context per worker (see BatchEvaluator in evaluator.hpp).
+/// Reusable decoding state: a long-lived AllocationSession, the stack of
+/// committed strings, and one SessionSnapshot per depth (checkpoints_[d] is
+/// the session state with exactly the first d committed strings deployed).
+/// A context is single-threaded; parallel evaluation uses one context per
+/// worker (see BatchEvaluator in evaluator.hpp).
 class DecodeContext {
  public:
   explicit DecodeContext(const model::SystemModel& model);
@@ -63,13 +68,28 @@ class DecodeContext {
   }
 
   /// Incremental primitive: IMR-maps string k onto the current utilization
-  /// state and attempts the commit.  On success k joins the commit stack.
-  /// The exact enumerator drives its depth-first search with these.
+  /// state and attempts the commit.  On success k joins the commit stack and
+  /// the new depth is checkpointed.  The exact enumerator drives its
+  /// depth-first search with these.
   bool try_push(model::StringId k);
-  /// Uncommits the most recently pushed string.
+  /// Uncommits the most recently pushed string (checkpoint restore).
   void pop();
-  /// Uncommits until only \p prefix_len strings remain committed.
+  /// Rewinds until only \p prefix_len strings remain committed: restores the
+  /// checkpoint taken when the prefix was first decoded — O(state bytes),
+  /// independent of suffix length.
   void rewind_to(std::size_t prefix_len);
+
+  /// Clones another context's decode state (session, commit stack, and the
+  /// live checkpoints) into this one, reusing this context's buffers —
+  /// O(state bytes) memcpys, allocation-free in steady state.  Both contexts
+  /// must be built from the same SystemModel.  Replica-based engines
+  /// (tempering, BatchEvaluator) use this to fan a decoded prototype out to
+  /// workers instead of re-decoding per replica.
+  void clone_state_from(const DecodeContext& other);
+  /// Bytes one snapshot/clone copies (see AllocationSession::state_bytes).
+  [[nodiscard]] std::size_t state_bytes() const noexcept {
+    return session_.state_bytes();
+  }
 
   /// Committed strings, in commit order.
   [[nodiscard]] std::span<const model::StringId> committed() const noexcept {
@@ -106,6 +126,9 @@ class DecodeContext {
 
   analysis::AllocationSession session_;
   std::vector<model::StringId> committed_;
+  /// checkpoints_[d] = session state at depth d, valid for d in [0, depth()].
+  /// Snapshots reuse their buffers, so steady-state pushes don't allocate.
+  std::vector<analysis::SessionSnapshot> checkpoints_;
   ImrScratch imr_scratch_;
   std::vector<model::MachineId> assignment_scratch_;
   std::size_t decodes_ = 0;

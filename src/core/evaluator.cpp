@@ -11,6 +11,10 @@ BatchEvaluator::BatchEvaluator(const model::SystemModel& model, std::size_t thre
   contexts_.reserve(threads);
   for (std::size_t w = 0; w < threads; ++w) {
     contexts_.push_back(std::make_unique<DecodeContext>(model));
+    // Stamp every worker with a byte-identical image of worker 0's state
+    // (O(state bytes) memcpys): all contexts start from the same snapshot, so
+    // result i never depends on which worker picked it up.
+    if (w > 0) contexts_[w]->clone_state_from(*contexts_[0]);
   }
   if (threads > 1) pool_ = std::make_unique<util::ThreadPool>(threads);
 }

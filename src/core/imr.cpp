@@ -4,6 +4,8 @@
 #include <cassert>
 #include <limits>
 
+#include "util/hot.hpp"
+
 namespace tsce::core {
 
 using analysis::UtilizationState;
@@ -74,7 +76,7 @@ class ScratchUtil {
 
 }  // namespace
 
-void imr_map_string_into(const SystemModel& model, const UtilizationState& util,
+TSCE_HOT void imr_map_string_into(const SystemModel& model, const UtilizationState& util,
                          StringId k, ImrScratch& buffers,
                          std::vector<MachineId>& assignment) {
   const auto& s = model.strings[static_cast<std::size_t>(k)];

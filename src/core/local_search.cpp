@@ -237,6 +237,9 @@ AllocatorResult temper_allocate(const SystemModel& model, util::Rng& rng,
     TemperReplica& rep = reps[r];
     rep.rng = util::Rng::stream(base_seed, r);
     rep.ctx = std::make_unique<DecodeContext>(model);
+    // Replicas fan out from one byte-identical state image (a memcpy-cheap
+    // clone of replica 0) before shuffling their own start orders.
+    if (r > 0) rep.ctx->clone_state_from(*reps[0].ctx);
     rep.order = identity_order(model);
     rep.rng.shuffle(rep.order);
     rep.temperature =

@@ -6,28 +6,33 @@
 namespace tsce::model {
 
 Allocation::Allocation(const SystemModel& model) {
-  mapping_.reserve(model.num_strings());
-  for (const auto& s : model.strings) {
-    mapping_.emplace_back(s.size(), kUnassigned);
+  offset_.resize(model.num_strings() + 1);
+  std::uint32_t total = 0;
+  for (std::size_t k = 0; k < model.num_strings(); ++k) {
+    offset_[k] = total;
+    total += static_cast<std::uint32_t>(model.strings[k].size());
   }
-  deployed_.assign(model.num_strings(), false);
+  offset_[model.num_strings()] = total;
+  flat_.assign(total, kUnassigned);
+  deployed_.assign(model.num_strings(), 0);
 }
 
 void Allocation::clear_string(StringId k) noexcept {
-  auto& row = mapping_[static_cast<std::size_t>(k)];
-  std::fill(row.begin(), row.end(), kUnassigned);
-  deployed_[static_cast<std::size_t>(k)] = false;
+  const auto ku = static_cast<std::size_t>(k);
+  std::fill(flat_.begin() + offset_[ku], flat_.begin() + offset_[ku + 1],
+            kUnassigned);
+  deployed_[ku] = 0;
 }
 
 bool Allocation::fully_mapped(StringId k) const noexcept {
-  const auto& row = mapping_[static_cast<std::size_t>(k)];
-  return std::none_of(row.begin(), row.end(),
+  const auto ku = static_cast<std::size_t>(k);
+  return std::none_of(flat_.begin() + offset_[ku], flat_.begin() + offset_[ku + 1],
                       [](MachineId j) { return j == kUnassigned; });
 }
 
 std::size_t Allocation::num_deployed() const noexcept {
   return static_cast<std::size_t>(
-      std::count(deployed_.begin(), deployed_.end(), true));
+      std::count(deployed_.begin(), deployed_.end(), std::uint8_t{1}));
 }
 
 std::vector<StringId> Allocation::deployed_strings() const {
@@ -40,19 +45,20 @@ std::vector<StringId> Allocation::deployed_strings() const {
 
 std::string Allocation::to_string(const SystemModel& model) const {
   std::string out;
-  for (std::size_t k = 0; k < mapping_.size(); ++k) {
+  for (std::size_t k = 0; k < model.num_strings(); ++k) {
     const auto& s = model.strings[k];
     char head[128];
     std::snprintf(head, sizeof(head), "string %zu (%s, worth %d, %s): ", k,
                   s.name.empty() ? "unnamed" : s.name.c_str(), s.worth_factor(),
                   deployed_[k] ? "deployed" : "not deployed");
     out += head;
-    for (std::size_t i = 0; i < mapping_[k].size(); ++i) {
+    for (std::size_t i = 0; i < string_size(static_cast<StringId>(k)); ++i) {
+      const MachineId j = machine_of(static_cast<StringId>(k), static_cast<AppIndex>(i));
       char cell[32];
-      if (mapping_[k][i] == kUnassigned) {
+      if (j == kUnassigned) {
         std::snprintf(cell, sizeof(cell), "%s-", i ? " -> " : "");
       } else {
-        std::snprintf(cell, sizeof(cell), "%sm%d", i ? " -> " : "", mapping_[k][i]);
+        std::snprintf(cell, sizeof(cell), "%sm%d", i ? " -> " : "", j);
       }
       out += cell;
     }

@@ -2,10 +2,17 @@
 /// An application-to-machine mapping m[i,k] plus the set of strings accepted
 /// as deployed.  Partial allocations (paper §1) leave some strings
 /// undeployed; their applications are unassigned.
+///
+/// Storage is flat (DESIGN.md §12): one MachineId array over all applications
+/// with a per-string prefix-sum offset table, and a byte per deployment flag.
+/// Copy-assignment between allocations of the same shape reuses the
+/// destination's buffers, so cloning a candidate in the search inner loop is
+/// three memcpys and no heap traffic.
 
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -23,11 +30,11 @@ class Allocation {
 
   /// Machine of application i of string k, or kUnassigned.
   [[nodiscard]] MachineId machine_of(StringId k, AppIndex i) const noexcept {
-    return mapping_[static_cast<std::size_t>(k)][static_cast<std::size_t>(i)];
+    return flat_[offset_[static_cast<std::size_t>(k)] + static_cast<std::size_t>(i)];
   }
 
   void assign(StringId k, AppIndex i, MachineId j) noexcept {
-    mapping_[static_cast<std::size_t>(k)][static_cast<std::size_t>(i)] = j;
+    flat_[offset_[static_cast<std::size_t>(k)] + static_cast<std::size_t>(i)] = j;
   }
 
   /// Clears all assignments of string k and marks it undeployed.
@@ -38,16 +45,17 @@ class Allocation {
 
   /// Deployment flag: a string counts toward total worth only when deployed.
   [[nodiscard]] bool deployed(StringId k) const noexcept {
-    return deployed_[static_cast<std::size_t>(k)];
+    return deployed_[static_cast<std::size_t>(k)] != 0;
   }
   void set_deployed(StringId k, bool value) noexcept {
-    deployed_[static_cast<std::size_t>(k)] = value;
+    deployed_[static_cast<std::size_t>(k)] = value ? 1 : 0;
   }
 
-  [[nodiscard]] std::size_t num_strings() const noexcept { return mapping_.size(); }
+  [[nodiscard]] std::size_t num_strings() const noexcept { return deployed_.size(); }
   /// Application count of string k (the mapping row length).
   [[nodiscard]] std::size_t string_size(StringId k) const noexcept {
-    return mapping_[static_cast<std::size_t>(k)].size();
+    const auto ku = static_cast<std::size_t>(k);
+    return offset_[ku + 1] - offset_[ku];
   }
   [[nodiscard]] std::size_t num_deployed() const noexcept;
 
@@ -60,8 +68,9 @@ class Allocation {
   friend bool operator==(const Allocation&, const Allocation&) = default;
 
  private:
-  std::vector<std::vector<MachineId>> mapping_;
-  std::vector<bool> deployed_;
+  std::vector<std::uint32_t> offset_;  ///< per-string start into flat_, size Q+1
+  std::vector<MachineId> flat_;        ///< all assignments, strings back to back
+  std::vector<std::uint8_t> deployed_;
 };
 
 }  // namespace tsce::model

@@ -1,0 +1,24 @@
+// Fixture: hot function appends only into a buffer reserved elsewhere in the
+// file (the scratch-in-ctor pattern); allocations in cold functions are fine.
+#include <memory>
+#include <vector>
+
+#include "util/hot.hpp"
+
+struct Evaluator {
+  std::vector<int> scratch;
+  Evaluator() { scratch.reserve(64); }
+
+  TSCE_HOT int evaluate_candidate(const std::vector<int>& xs) {
+    scratch.clear();
+    for (int x : xs) scratch.push_back(x);
+    return static_cast<int>(scratch.size());
+  }
+};
+
+// Cold setup path: allocation here must not fire the hot-path rule.
+std::unique_ptr<Evaluator> make_evaluator() {
+  auto e = std::make_unique<Evaluator>();
+  e->scratch.push_back(1);
+  return e;
+}

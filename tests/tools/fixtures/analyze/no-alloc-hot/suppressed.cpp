@@ -1,0 +1,17 @@
+// Fixture: suppressed allocations (e.g. a cold first-call warmup inside an
+// otherwise hot function, justified at each site).
+#include <memory>
+#include <vector>
+
+#include "util/hot.hpp"
+
+TSCE_HOT int evaluate_candidate(const std::vector<int>& xs) {
+  std::vector<int> copied;
+  // tsce-lint: allow(no-alloc-hot)
+  for (int x : xs) copied.push_back(x);
+  auto scratch = std::make_unique<std::vector<int>>(copied);  // tsce-lint: allow(no-alloc-hot)
+  int* raw = new int[4];  // tsce-lint: allow(no-alloc-hot)
+  const int total = static_cast<int>(scratch->size()) + raw[0];
+  delete[] raw;
+  return total;
+}

@@ -1,0 +1,16 @@
+// Fixture: per-candidate heap allocation inside TSCE_HOT functions (the
+// steady-state decode path must be allocation-free — DESIGN.md §12).
+#include <memory>
+#include <vector>
+
+#include "util/hot.hpp"
+
+TSCE_HOT int evaluate_candidate(const std::vector<int>& xs) {
+  std::vector<int> copied;
+  for (int x : xs) copied.push_back(x);  // no reserve anywhere in this file
+  auto scratch = std::make_unique<std::vector<int>>(copied);
+  int* raw = new int[4];
+  const int total = static_cast<int>(scratch->size()) + raw[0];
+  delete[] raw;
+  return total;
+}

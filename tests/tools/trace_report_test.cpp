@@ -233,6 +233,28 @@ TEST(TraceReport, ConvergenceDiffToleranceAbsorbsSmallDips) {
   std::remove(new_csv.c_str());
 }
 
+TEST(TraceReport, ConvergenceDiffIgnoresStartTimeJitter) {
+  // The candidate's first improvement lands later on the wall clock (run-to-
+  // run launch jitter); before it, its step function reads 0.  The diff must
+  // compare from the later of the two starts instead of flagging the
+  // baseline's head start as a full-worth regression.
+  const std::string old_csv = write_csv(
+      "diff_jitter_old.csv",
+      "abc,highly_loaded,PSG,0.010000,100,0.100000\n"
+      "abc,highly_loaded,PSG,0.050000,140,0.200000\n");
+  const std::string new_csv = write_csv(
+      "diff_jitter_new.csv",
+      "def,highly_loaded,PSG,0.030000,100,0.100000\n"
+      "def,highly_loaded,PSG,0.050000,140,0.200000\n");
+  const RunResult r =
+      run("--convergence-diff " + old_csv + " " + new_csv);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("no convergence regressions"), std::string::npos)
+      << r.output;
+  std::remove(old_csv.c_str());
+  std::remove(new_csv.c_str());
+}
+
 TEST(TraceReport, ConvergenceDiffMissingCurveIsARegression) {
   const std::string old_csv = write_csv(
       "diff_miss_old.csv",

@@ -59,6 +59,7 @@ constexpr RuleFixture kRules[] = {
     {"float-fitness-equality", "src/core/fixture", ".cpp"},
     {"lock-across-callback", "src/core/fixture", ".cpp"},
     {"rng-shared-capture", "src/core/fixture", ".cpp"},
+    {"no-alloc-hot", "src/core/fixture", ".cpp"},
     {"unused-suppression", "src/core/fixture", ".cpp"},
 };
 
@@ -129,7 +130,7 @@ TEST(TsceAnalyze, SarifOutputIsValidAndCarriesTheFinding) {
   ASSERT_EQ(runs.size(), 1u);
   const auto& driver = runs[0].at("tool").at("driver");
   EXPECT_EQ(driver.at("name").as_string(), "tsce_analyze");
-  EXPECT_EQ(driver.at("rules").as_array().size(), 10u);
+  EXPECT_EQ(driver.at("rules").as_array().size(), 11u);
 
   const auto& results = runs[0].at("results").as_array();
   ASSERT_EQ(results.size(), 1u);

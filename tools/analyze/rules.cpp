@@ -12,7 +12,7 @@ namespace {
 
 using TK = TokenKind;
 
-const std::array<RuleInfo, 10> kRegistry = {{
+const std::array<RuleInfo, 11> kRegistry = {{
     {"deterministic-rng",
      "all randomness flows through util::Rng; no std::rand / srand / "
      "random_device / time() seeds outside tests/"},
@@ -37,6 +37,9 @@ const std::array<RuleInfo, 10> kRegistry = {{
     {"rng-shared-capture",
      "an Rng captured by reference into a thread-pool lambda must derive "
      "per-item streams via Rng::stream"},
+    {"no-alloc-hot",
+     "no new / make_unique / make_shared / push_back-without-reserve inside a "
+     "TSCE_HOT function; hoist into ctor-sized scratch buffers"},
     {"unused-suppression",
      "every tsce-lint: allow(...) comment must suppress an actual finding"},
 }};
@@ -576,9 +579,106 @@ void rule_rng_shared_capture(FileCheck& c) {
   }
 }
 
+void rule_no_alloc_hot(FileCheck& c) {
+  if (!in_dir(c.rel, "src")) return;
+  const auto& toks = c.ts.tokens();
+
+  // Body extents of functions annotated TSCE_HOT (src/util/hot.hpp): from
+  // the annotation, skip the signature (matched parameter parens, trailing
+  // const/noexcept/-> Type), then take the matched brace block.  A trailing
+  // ';' before '{' means declaration-only — nothing to check.
+  struct Extent {
+    std::size_t begin, end;
+  };
+  std::vector<Extent> hot;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!toks[i].ident("TSCE_HOT")) continue;
+    std::size_t k = c.ts.next_code(i);
+    std::size_t open = toks.size();
+    while (k < toks.size()) {
+      const Token& t = c.ts.at(k);
+      if (t.punct("(")) {
+        open = k;
+        break;
+      }
+      if (t.punct(";") || t.punct("{") || t.kind == TK::kEof) break;
+      k = c.ts.next_code(k);
+    }
+    if (open >= toks.size()) continue;
+    k = c.ts.next_code(c.ts.match_forward(open));
+    while (k < toks.size()) {
+      const Token& t = c.ts.at(k);
+      if (t.punct("{")) {
+        hot.push_back({k, c.ts.match_forward(k)});
+        break;
+      }
+      if (t.punct(";") || t.kind == TK::kEof) break;
+      // noexcept(...) and trailing-return template args have their own
+      // brackets; jump over them instead of mistaking one for the body.
+      if (t.punct("(") || t.punct("<")) {
+        k = c.ts.next_code(c.ts.match_forward(k));
+        continue;
+      }
+      k = c.ts.next_code(k);
+    }
+  }
+  if (hot.empty()) return;
+  const auto in_hot = [&](std::size_t idx) {
+    return std::any_of(hot.begin(), hot.end(), [&](const Extent& e) {
+      return idx > e.begin && idx < e.end;
+    });
+  };
+  // A same-file reserve on the receiver sizes the buffer up front (the
+  // scratch-in-ctor pattern), making steady-state growth allocation-free.
+  const auto reserved_somewhere = [&](const std::string& receiver) {
+    return std::any_of(c.fs.calls.begin(), c.fs.calls.end(),
+                       [&](const Call& call) {
+                         return call.name == "reserve" &&
+                                call.receiver == receiver;
+                       });
+  };
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!in_hot(i)) continue;
+    if (toks[i].ident("new")) {
+      // `operator new` overloads define allocation, they don't perform it.
+      if (c.ts.at(c.ts.prev_code(i)).ident("operator")) continue;
+      c.report(toks[i].line, "no-alloc-hot",
+               "new-expression in a TSCE_HOT function; allocate in the "
+               "constructor or an arena and reuse the buffer");
+    }
+    if (toks[i].ident("make_unique") || toks[i].ident("make_shared")) {
+      // Token-level match because the scope parser's call table only records
+      // `name(` — an explicit template argument list (`make_unique<T>(...)`,
+      // the common spelling) hides the '(' from it.
+      std::size_t k = c.ts.next_code(i);
+      if (k < toks.size() && c.ts.at(k).punct("<")) {
+        k = c.ts.next_code(c.ts.match_forward(k));
+      }
+      if (k < toks.size() && c.ts.at(k).punct("(")) {
+        c.report(toks[i].line, "no-alloc-hot",
+                 "'" + toks[i].text +
+                     "' in a TSCE_HOT function; hoist the allocation out of "
+                     "the per-candidate path");
+      }
+    }
+  }
+  for (const Call& call : c.fs.calls) {
+    if (!in_hot(call.name_idx)) continue;
+    if ((call.name == "push_back" || call.name == "emplace_back") &&
+        !call.receiver.empty() && !reserved_somewhere(call.receiver)) {
+      c.report(toks[call.name_idx].line, "no-alloc-hot",
+               "'" + call.receiver + "." + call.name +
+                   "' in a TSCE_HOT function without a reserve() on '" +
+                   call.receiver +
+                   "' in this file; size the buffer up front");
+    }
+  }
+}
+
 }  // namespace
 
-const std::array<RuleInfo, 10>& rule_registry() noexcept { return kRegistry; }
+const std::array<RuleInfo, 11>& rule_registry() noexcept { return kRegistry; }
 
 std::vector<Finding> analyze_source(const std::string& rel_path,
                                     std::string_view source) {
@@ -601,6 +701,7 @@ std::vector<Finding> analyze_source(const std::string& rel_path,
   rule_float_fitness_equality(check);
   rule_lock_across_callback(check);
   rule_rng_shared_capture(check);
+  rule_no_alloc_hot(check);
 
   // unused-suppression runs last: every allow() that did not absorb a finding
   // is itself a finding (suppressible at its own line, for the rare

@@ -1,13 +1,13 @@
 /// \file rules.hpp
 /// Rule metadata and the per-file analysis entry point for tsce_analyze.
 ///
-/// Ten rules: the five token rules inherited from the original regex-based
+/// Eleven rules: the five token rules inherited from the original regex-based
 /// tsce_lint (deterministic-rng, invalid-id-sentinel, no-iostream-hot,
 /// metric-name-registry, pragma-once), now matched on the token stream so
-/// strings and comments can never false-positive, plus five semantics-aware
+/// strings and comments can never false-positive, plus six semantics-aware
 /// rules built on the scope parser (nondeterministic-iteration,
 /// float-fitness-equality, lock-across-callback, rng-shared-capture,
-/// unused-suppression).
+/// no-alloc-hot, unused-suppression).
 ///
 /// Suppression: `// tsce-lint: allow(<rule>)` on the offending line, or on a
 /// comment-only line directly above it.  Every suppression must match a
@@ -37,7 +37,7 @@ struct RuleInfo {
 
 /// Registry of every rule id the analyzer can emit (drives SARIF
 /// tool.driver.rules and the unknown-suppression diagnostic).
-[[nodiscard]] const std::array<RuleInfo, 10>& rule_registry() noexcept;
+[[nodiscard]] const std::array<RuleInfo, 11>& rule_registry() noexcept;
 
 /// Analyzes one translation unit.  \p rel_path selects the directory-scoped
 /// rules (e.g. no-iostream-hot only fires under src/core|analysis|model) and

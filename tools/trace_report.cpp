@@ -273,7 +273,14 @@ int run_convergence_diff(const std::string& old_path,
     for (const auto& [ts, worth] : new_curve.points) times.push_back(ts);
     std::sort(times.begin(), times.end());
     times.erase(std::unique(times.begin(), times.end()), times.end());
+    // Before a curve's first recorded improvement its step function reads 0,
+    // so any start-time jitter between the runs would show up as a
+    // full-worth "regression".  Compare only from the later of the two
+    // starts: that measures search quality, not launch latency.
+    const double aligned_from = std::max(old_curve.points.front().first,
+                                         new_curve.points.front().first);
     for (double t : times) {
+      if (t < aligned_from) continue;
       const double old_worth = old_curve.at(t);
       const double new_worth = new_curve.at(t);
       const double delta = old_worth - new_worth;
