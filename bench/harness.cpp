@@ -1,10 +1,13 @@
 #include "harness.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 
 #include "core/baselines.hpp"
 #include "core/ordered.hpp"
+#include "obs/exporter.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
 #include "obs/trace.hpp"
@@ -47,6 +50,16 @@ void ScenarioBenchConfig::register_flags(util::Flags& flags) {
   flags.add("trace", &trace_path, "write span/event JSONL trace to this path");
   flags.add("metrics", &metrics_path, "write a metrics snapshot JSON to this path");
   flags.add("json", &json_path, "write the result series JSON to this path");
+  flags.add("metrics-series", &metrics_series_path,
+            "sample the metrics registry into a JSONL time series at this path");
+  flags.add("metrics-period-ms", &metrics_period_ms,
+            "sampling period for --metrics-series");
+  flags.add("fr-dump", &fr_dump_path,
+            "flight-recorder JSONL dump path (anomaly/SIGUSR1-triggered, else "
+            "end of run)");
+  flags.add("fr-decode-watermark-ns", &fr_decode_watermark_ns,
+            "decode latency (ns) above which the flight recorder auto-dumps "
+            "(0 = off)");
 }
 
 void ScenarioBenchConfig::apply_full_scale(workload::Scenario s) {
@@ -107,6 +120,30 @@ ScenarioBenchResult run_scenario_bench(const ScenarioBenchConfig& config,
     }
   }
   if (!config.metrics_path.empty()) util::ThreadPool::set_timing(true);
+
+  if (!config.fr_dump_path.empty() || config.fr_decode_watermark_ns > 0) {
+    obs::FlightRecorderConfig fr;
+    fr.decode_latency_watermark_ns =
+        static_cast<std::uint64_t>(std::max<std::int64_t>(
+            0, config.fr_decode_watermark_ns));
+    fr.auto_dump_path = config.fr_dump_path;
+    obs::flight_recorder_configure(fr);
+    obs::flight_recorder_install_signal_trigger();
+  }
+
+  std::unique_ptr<obs::MetricsExporter> exporter;
+  if (!config.metrics_series_path.empty()) {
+    obs::MetricsExporterConfig ex;
+    ex.path = config.metrics_series_path;
+    ex.period_ms = static_cast<std::uint32_t>(
+        std::max<std::int64_t>(1, config.metrics_period_ms));
+    exporter = std::make_unique<obs::MetricsExporter>(ex);
+    if (!exporter->start()) {
+      std::fprintf(stderr, "warning: could not open metrics series '%s'\n",
+                   config.metrics_series_path.c_str());
+      exporter.reset();
+    }
+  }
 
   auto gen_config = workload::GeneratorConfig::for_scenario(config.scenario);
   gen_config.num_machines = static_cast<std::size_t>(config.machines);
@@ -210,6 +247,15 @@ ScenarioBenchResult run_scenario_bench(const ScenarioBenchConfig& config,
   // Worker threads (if any) were joined when the pool left scope above, so
   // every thread buffer is quiescent here.
   if (tracing) obs::trace_close();
+  if (exporter != nullptr) exporter->stop();
+  if (!config.fr_dump_path.empty()) {
+    // A triggered dump (anomaly or SIGUSR1) already captured the interesting
+    // window; otherwise persist the final ring contents.
+    obs::flight_recorder_poll();
+    if (obs::flight_recorder_dump_count() == 0) {
+      obs::flight_recorder_dump(config.fr_dump_path);
+    }
+  }
   if (!config.metrics_path.empty()) {
     util::Json doc = util::Json::object();
     doc.set("run_info", config.run_info().to_json());

@@ -57,6 +57,16 @@ struct ScenarioBenchConfig {
   std::string trace_path;
   std::string metrics_path;
   std::string json_path;
+  /// --metrics-series: sample the registry every --metrics-period-ms into a
+  /// JSONL time series (obs::MetricsExporter) for trace_report
+  /// --metrics-series consumption.
+  std::string metrics_series_path;
+  std::int64_t metrics_period_ms = 250;
+  /// --fr-dump: flight-recorder JSONL dump path.  Written by an anomaly or
+  /// SIGUSR1 trigger during the run, or (if no trigger fired) once at the end
+  /// of the run.  --fr-decode-watermark-ns arms the slow-decode anomaly.
+  std::string fr_dump_path;
+  std::int64_t fr_decode_watermark_ns = 0;
 
   /// Registers the shared flags on \p flags (pointers into this object).
   void register_flags(util::Flags& flags);

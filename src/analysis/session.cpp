@@ -7,6 +7,8 @@
 #include "analysis/estimates.hpp"
 #include "analysis/feasibility.hpp"
 #include "analysis/tightness.hpp"
+#include "obs/clock.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
 #include "util/hot.hpp"
@@ -29,6 +31,8 @@ struct SessionMetrics {
   obs::Counter& reject_latency;      ///< stage two: eq. (1) latency overrun
   obs::Counter& uncommit_batches;
   obs::Counter& uncommit_strings;
+  obs::Histogram& commit_latency_ns;    ///< wall clock per try_commit call
+  obs::Histogram& uncommit_latency_ns;  ///< wall clock per uncommit_all call
 
   static SessionMetrics& get() {
     auto& reg = obs::MetricsRegistry::instance();
@@ -36,9 +40,18 @@ struct SessionMetrics {
                             reg.counter(obs::names::kSessionRejectThroughput),
                             reg.counter(obs::names::kSessionRejectLatency),
                             reg.counter(obs::names::kSessionUncommitBatches),
-                            reg.counter(obs::names::kSessionUncommitStrings)};
+                            reg.counter(obs::names::kSessionUncommitStrings),
+                            reg.histogram(obs::names::kSessionCommitLatencyNs),
+                            reg.histogram(obs::names::kSessionUncommitLatencyNs)};
     return m;
   }
+};
+
+/// FrKind::kCommitReject violation-class payload (0 = stage-one utilization).
+enum : std::uint64_t {
+  kFrViolationUtilization = 1,
+  kFrViolationThroughput = 2,
+  kFrViolationLatency = 3,
 };
 
 }  // namespace
@@ -145,6 +158,7 @@ void AllocationSession::uncommit(StringId k) {
 }
 
 void AllocationSession::uncommit_all(std::span<const StringId> ks) {
+  const std::uint64_t t0 = obs::clock_ticks();
   SessionMetrics& metrics = SessionMetrics::get();
   metrics.uncommit_batches.add(1);
   metrics.uncommit_strings.add(ks.size());
@@ -199,6 +213,10 @@ void AllocationSession::uncommit_all(std::span<const StringId> ks) {
     }
   }
   for (const StringId z : affected_strings_) refresh_estimates_of(z);
+
+  const std::uint64_t ns = obs::ticks_to_ns(obs::clock_ticks() - t0);
+  metrics.uncommit_latency_ns.record(ns);
+  obs::flight_recorder_record(obs::FrKind::kUncommit, ns, ks.size());
 }
 
 void AllocationSession::reset() {
@@ -213,6 +231,7 @@ void AllocationSession::reset() {
 
 TSCE_HOT bool AllocationSession::try_commit(StringId k,
                                             const std::vector<MachineId>& assignment) {
+  const std::uint64_t t0 = obs::clock_ticks();
   const auto ku = static_cast<std::size_t>(k);
   const auto& s = model_->strings[ku];
   assert(!alloc_.deployed(k));
@@ -257,6 +276,7 @@ TSCE_HOT bool AllocationSession::try_commit(StringId k,
     if (!within(util_.route_util(j1, j2), 1.0)) ok = false;
   }
 
+  std::uint64_t fr_violation = kFrViolationUtilization;
   if (!ok) {
     SessionMetrics::get().reject_utilization.add(1);
   } else {
@@ -265,8 +285,10 @@ TSCE_HOT bool AllocationSession::try_commit(StringId k,
     ok = violation == ConstraintViolation::kNone;
     if (violation == ConstraintViolation::kThroughput) {
       SessionMetrics::get().reject_throughput.add(1);
+      fr_violation = kFrViolationThroughput;
     } else if (violation == ConstraintViolation::kLatency) {
       SessionMetrics::get().reject_latency.add(1);
+      fr_violation = kFrViolationLatency;
     }
   }
 
@@ -285,8 +307,15 @@ TSCE_HOT bool AllocationSession::try_commit(StringId k,
     for (auto it = tran_journal_.rbegin(); it != tran_journal_.rend(); ++it) {
       tran_[it->first] = it->second;
     }
+    SessionMetrics::get().commit_latency_ns.record(
+        obs::ticks_to_ns(obs::clock_ticks() - t0));
+    obs::flight_recorder_note_reject(static_cast<std::uint64_t>(k),
+                                     fr_violation);
     return false;
   }
+  SessionMetrics::get().commit_latency_ns.record(
+      obs::ticks_to_ns(obs::clock_ticks() - t0));
+  obs::flight_recorder_note_commit_ok();
   return true;
 }
 

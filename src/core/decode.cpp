@@ -4,6 +4,8 @@
 #include <numeric>
 
 #include "core/imr.hpp"
+#include "obs/clock.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
 #include "util/hot.hpp"
@@ -22,13 +24,15 @@ struct DecodeMetrics {
   obs::Counter& commits_attempted;
   obs::Counter& strings_reused;
   obs::Histogram& prefix_reuse_len;
+  obs::Histogram& latency_ns;  ///< wall-clock per decode_order_into call
 
   static DecodeMetrics& get() {
     static DecodeMetrics m{
         obs::MetricsRegistry::instance().counter(obs::names::kDecodeCalls),
         obs::MetricsRegistry::instance().counter(obs::names::kDecodeCommitsAttempted),
         obs::MetricsRegistry::instance().counter(obs::names::kDecodeStringsReused),
-        obs::MetricsRegistry::instance().histogram(obs::names::kDecodePrefixReuseLen)};
+        obs::MetricsRegistry::instance().histogram(obs::names::kDecodePrefixReuseLen),
+        obs::MetricsRegistry::instance().histogram(obs::names::kDecodeLatencyNs)};
     return m;
   }
 };
@@ -100,6 +104,7 @@ DecodeResult DecodeContext::materialize(const DecodeOutcome& outcome) const {
 
 TSCE_HOT DecodeOutcome decode_order_into(DecodeContext& ctx,
                                          std::span<const StringId> order) {
+  const std::uint64_t t0 = obs::clock_ticks();
   ++ctx.decodes_;
   // Longest common prefix of the new order and the committed stack.  Strings
   // at and beyond the previous decode's first failure were never committed,
@@ -123,6 +128,12 @@ TSCE_HOT DecodeOutcome decode_order_into(DecodeContext& ctx,
     ++outcome.strings_deployed;
   }
   outcome.fitness = ctx.fitness();
+  // Latency is recorded only — never branched on — so the decode itself stays
+  // deterministic; the flight recorder applies its slow-decode watermark to
+  // the same reading.
+  const std::uint64_t ns = obs::ticks_to_ns(obs::clock_ticks() - t0);
+  DecodeMetrics::get().latency_ns.record(ns);
+  obs::flight_recorder_note_decode(ns, lcp, outcome.strings_deployed);
   return outcome;
 }
 

@@ -4,6 +4,10 @@
 
 #include "analysis/session.hpp"
 #include "core/imr.hpp"
+#include "obs/clock.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
 
 namespace tsce::core {
 
@@ -32,11 +36,33 @@ std::size_t count_migrations(const std::vector<MachineId>& before,
   return moved;
 }
 
+/// Re-map telemetry: reallocate() runs on the live-service control path, so
+/// its latency and churn (migrations per event) feed the same HDR spine as
+/// the decode hot path.
+struct RemapMetrics {
+  obs::Counter& calls;
+  obs::Counter& remapped;
+  obs::Counter& dropped;
+  obs::Histogram& latency_ns;
+  obs::Histogram& migrations;
+
+  static RemapMetrics& get() {
+    auto& reg = obs::MetricsRegistry::instance();
+    static RemapMetrics m{reg.counter(obs::names::kDynamicRemapCalls),
+                          reg.counter(obs::names::kDynamicRemapRemapped),
+                          reg.counter(obs::names::kDynamicRemapDropped),
+                          reg.histogram(obs::names::kDynamicRemapLatencyNs),
+                          reg.histogram(obs::names::kDynamicRemapMigrations)};
+    return m;
+  }
+};
+
 }  // namespace
 
 ReallocationResult reallocate(const SystemModel& updated_model,
                               const model::Allocation& current,
                               ReallocationOptions options) {
+  const std::uint64_t t0 = obs::clock_ticks();
   AllocationSession session(updated_model, options.rule);
   ReallocationResult result;
 
@@ -85,6 +111,16 @@ ReallocationResult reallocate(const SystemModel& updated_model,
   std::sort(result.dropped.begin(), result.dropped.end());
   result.allocation = session.allocation();
   result.fitness = session.fitness();
+
+  RemapMetrics& m = RemapMetrics::get();
+  m.calls.add(1);
+  m.remapped.add(result.remapped.size());
+  m.dropped.add(result.dropped.size());
+  m.migrations.record(result.migrations);
+  const std::uint64_t ns = obs::ticks_to_ns(obs::clock_ticks() - t0);
+  m.latency_ns.record(ns);
+  obs::flight_recorder_record(obs::FrKind::kRemap, ns, result.migrations,
+                              result.dropped.size());
   return result;
 }
 

@@ -1,0 +1,38 @@
+#include "obs/clock.hpp"
+
+#include <chrono>
+
+namespace tsce::obs {
+namespace {
+
+double calibrate() noexcept {
+#if defined(__x86_64__) || defined(__aarch64__)
+  using clock = std::chrono::steady_clock;
+  // Spin ~2 ms against steady_clock.  The cycle counter is constant-rate on
+  // both targets, so a single short window gives a stable ratio; 2 ms keeps
+  // the quantization error of the two bracketing steady_clock reads (~50 ns)
+  // below 0.01%.
+  const auto t0 = clock::now();
+  const std::uint64_t c0 = clock_ticks();
+  std::uint64_t elapsed_ns = 0;
+  do {
+    elapsed_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - t0)
+            .count());
+  } while (elapsed_ns < 2'000'000);
+  const std::uint64_t c1 = clock_ticks();
+  if (c1 <= c0 || elapsed_ns == 0) return 1.0;  // broken counter: treat as ns
+  return static_cast<double>(c1 - c0) / static_cast<double>(elapsed_ns);
+#else
+  return 1.0;  // fallback clock_ticks() already returns nanoseconds
+#endif
+}
+
+}  // namespace
+
+double ticks_per_ns() noexcept {
+  static const double ratio = calibrate();
+  return ratio;
+}
+
+}  // namespace tsce::obs

@@ -1,0 +1,64 @@
+/// \file clock.hpp
+/// A cycle-counter clock for per-request latency instrumentation.
+///
+/// The always-on observability layer (HdrHistogram latency spine, flight
+/// recorder) timestamps individual decodes and commits, so the clock read has
+/// to cost single-digit nanoseconds: std::chrono::steady_clock goes through
+/// the vDSO (~20-25 ns per read), which doubles the budget of a two-read
+/// latency sample.  clock_ticks() reads the hardware cycle counter instead
+/// (rdtsc on x86-64, cntvct_el0 on aarch64; both are constant-rate on every
+/// deployment target) and falls back to steady_clock elsewhere.
+///
+/// Ticks are converted to nanoseconds through a ratio calibrated once per
+/// process against steady_clock (ticks_per_ns()); the calibration spin costs
+/// a few milliseconds on first use, so hot paths should never be the first
+/// caller — obs initialization (registry handle resolution, flight-recorder
+/// configuration) triggers it eagerly.
+///
+/// Tick values are wall-clock measurements and therefore nondeterministic;
+/// nothing derived from them may feed search decisions (the determinism
+/// auditor runs with this instrumentation enabled and stays byte-identical
+/// because latencies are only ever *recorded*, never branched on).
+
+#pragma once
+
+#include <cstdint>
+
+#if !defined(__x86_64__) && !defined(__aarch64__)
+#include <chrono>
+#endif
+
+namespace tsce::obs {
+
+/// Raw monotonic cycle-counter read.  Wait-free, no syscall.
+inline std::uint64_t clock_ticks() noexcept {
+#if defined(__x86_64__)
+  return __builtin_ia32_rdtsc();
+#elif defined(__aarch64__)
+  std::uint64_t v;
+  asm volatile("mrs %0, cntvct_el0" : "=r"(v));
+  return v;
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
+
+/// Calibrated tick rate (ticks per nanosecond).  First call spins ~2 ms
+/// against steady_clock; later calls return the cached ratio.
+[[nodiscard]] double ticks_per_ns() noexcept;
+
+/// Converts a tick delta to nanoseconds through the calibrated ratio.
+[[nodiscard]] inline std::uint64_t ticks_to_ns(std::uint64_t ticks) noexcept {
+  return static_cast<std::uint64_t>(static_cast<double>(ticks) / ticks_per_ns());
+}
+
+/// Converts a nanosecond threshold to ticks (for watermark comparisons on the
+/// hot path, so the per-event check is one integer compare).
+[[nodiscard]] inline std::uint64_t ns_to_ticks(std::uint64_t ns) noexcept {
+  return static_cast<std::uint64_t>(static_cast<double>(ns) * ticks_per_ns());
+}
+
+}  // namespace tsce::obs

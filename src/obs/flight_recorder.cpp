@@ -1,0 +1,329 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <csignal>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/clock.hpp"
+#include "obs/names.hpp"
+#include "obs/run_info.hpp"
+
+namespace tsce::obs {
+
+namespace {
+
+/// One ring slot.  Words are individually-relaxed atomics: the owning thread
+/// is the only writer, so a concurrent dump can read a torn *event* (mixed
+/// old/new words while the owner overwrites the slot) but never a torn word.
+/// Torn events are limited to the single slot at the write head.
+struct Slot {
+  std::atomic<std::uint64_t> ts{0};
+  std::atomic<std::uint64_t> meta{0};  // kind << 32 | tid
+  std::atomic<std::uint64_t> a0{0};
+  std::atomic<std::uint64_t> a1{0};
+  std::atomic<std::uint64_t> a2{0};
+};
+
+struct Ring {
+  std::unique_ptr<Slot[]> slots;
+  std::size_t mask = 0;                 // capacity - 1 (capacity is pow2)
+  std::atomic<std::uint64_t> head{0};   // total events written by the owner
+  std::uint32_t tid = 0;
+};
+
+/// Plain-value event used for the retired sink and dump staging.
+struct PlainEvent {
+  std::uint64_t ts = 0;
+  std::uint64_t a0 = 0;
+  std::uint64_t a1 = 0;
+  std::uint64_t a2 = 0;
+  std::uint32_t tid = 0;
+  std::uint16_t kind = 0;
+};
+
+/// Global recorder state, leaked so thread-exit folds from late threads never
+/// race static destruction (same pattern as the tracer and the registry).
+struct FrState {
+  std::mutex mu;
+  FlightRecorderConfig config;
+  std::vector<Ring*> live;
+  std::vector<PlainEvent> retired;       // newest-last, bounded
+  std::uint64_t retired_recorded = 0;    // total events from retired threads
+  std::uint64_t t0_ticks = clock_ticks();
+};
+
+FrState& state() {
+  static FrState* s = new FrState;
+  return *s;
+}
+
+// Watermarks mirrored into atomics so the hot-path checks never take the
+// configuration lock.
+std::atomic<std::uint64_t> g_decode_watermark_ns{0};
+std::atomic<std::uint32_t> g_reject_watermark{0};
+std::atomic<bool> g_anomaly_fired{false};
+std::atomic<std::uint64_t> g_dump_count{0};
+std::atomic<std::uint32_t> g_next_tid{0};
+volatile std::sig_atomic_t g_signal_pending = 0;
+
+void copy_ring_into(const Ring& ring, std::vector<PlainEvent>& out) {
+  const std::uint64_t head = ring.head.load(std::memory_order_acquire);
+  const std::uint64_t cap = ring.mask + 1;
+  const std::uint64_t n = std::min(head, cap);
+  for (std::uint64_t i = head - n; i < head; ++i) {
+    const Slot& s = ring.slots[i & ring.mask];
+    PlainEvent e;
+    e.ts = s.ts.load(std::memory_order_relaxed);
+    const std::uint64_t meta = s.meta.load(std::memory_order_relaxed);
+    e.kind = static_cast<std::uint16_t>(meta >> 32);
+    e.tid = static_cast<std::uint32_t>(meta);
+    e.a0 = s.a0.load(std::memory_order_relaxed);
+    e.a1 = s.a1.load(std::memory_order_relaxed);
+    e.a2 = s.a2.load(std::memory_order_relaxed);
+    out.push_back(e);
+  }
+}
+
+/// Owns the calling thread's ring; folds it into the retired sink on thread
+/// exit so dumps taken after a worker retires still see its events.
+struct RingOwner {
+  std::unique_ptr<Ring> ring;
+
+  RingOwner() {
+    FrState& s = state();
+    std::lock_guard lock(s.mu);
+    ring = std::make_unique<Ring>();
+    const std::size_t cap = std::bit_ceil(std::max<std::size_t>(
+        std::size_t{16}, s.config.ring_capacity));
+    ring->slots = std::make_unique<Slot[]>(cap);
+    ring->mask = cap - 1;
+    ring->tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+    s.live.push_back(ring.get());
+  }
+
+  ~RingOwner() {
+    FrState& s = state();
+    std::lock_guard lock(s.mu);
+    copy_ring_into(*ring, s.retired);
+    s.retired_recorded += ring->head.load(std::memory_order_relaxed);
+    // Bound the retired sink: keep the newest 4x ring_capacity events.
+    const std::size_t cap = std::bit_ceil(std::max<std::size_t>(
+                                std::size_t{16}, s.config.ring_capacity)) *
+                            4;
+    if (s.retired.size() > cap) {
+      s.retired.erase(s.retired.begin(),
+                      s.retired.end() - static_cast<std::ptrdiff_t>(cap));
+    }
+    std::erase(s.live, ring.get());
+  }
+};
+
+Ring& local_ring() {
+  static thread_local RingOwner owner;
+  return *owner.ring;
+}
+
+thread_local std::uint32_t t_reject_streak = 0;
+
+/// Fires at most one automatic dump per process (until reset) so an anomaly
+/// storm cannot turn the dump path into the bottleneck.
+void trigger_auto_dump() {
+  if (g_anomaly_fired.exchange(true, std::memory_order_relaxed)) return;
+  std::string path;
+  {
+    FrState& s = state();
+    std::lock_guard lock(s.mu);
+    path = s.config.auto_dump_path;
+  }
+  if (!path.empty()) flight_recorder_dump(path);
+}
+
+struct KindDesc {
+  std::string_view name;
+  const char* f0;
+  const char* f1;
+  const char* f2;  // nullptr: field omitted from the dump
+};
+
+constexpr KindDesc kKinds[kFrKindCount] = {
+    {names::kFrDecode, "ns", "reused", "deployed"},
+    {names::kFrCommitReject, "string", "violation", "streak"},
+    {names::kFrUncommit, "ns", "strings", nullptr},
+    {names::kFrRemap, "ns", "migrations", "dropped"},
+    {names::kFrAnomaly, "code", "value", "watermark"},
+    {names::kFrMark, "a0", "a1", "a2"},
+};
+
+void append_event_line(std::string& out, const PlainEvent& e,
+                       std::uint64_t t0_ticks) {
+  const KindDesc& d =
+      kKinds[e.kind < kFrKindCount ? e.kind : kFrKindCount - 1];
+  const std::uint64_t rel =
+      e.ts >= t0_ticks ? ticks_to_ns(e.ts - t0_ticks) : 0;
+  char buf[320];
+  int n;
+  if (d.f2 != nullptr) {
+    n = std::snprintf(buf, sizeof buf,
+                      "{\"t\":\"event\",\"name\":\"%.*s\",\"tid\":%u,"
+                      "\"ts\":%.9f,\"f\":{\"%s\":%llu,\"%s\":%llu,"
+                      "\"%s\":%llu}}\n",
+                      static_cast<int>(d.name.size()), d.name.data(), e.tid,
+                      static_cast<double>(rel) * 1e-9, d.f0,
+                      static_cast<unsigned long long>(e.a0), d.f1,
+                      static_cast<unsigned long long>(e.a1), d.f2,
+                      static_cast<unsigned long long>(e.a2));
+  } else {
+    n = std::snprintf(buf, sizeof buf,
+                      "{\"t\":\"event\",\"name\":\"%.*s\",\"tid\":%u,"
+                      "\"ts\":%.9f,\"f\":{\"%s\":%llu,\"%s\":%llu}}\n",
+                      static_cast<int>(d.name.size()), d.name.data(), e.tid,
+                      static_cast<double>(rel) * 1e-9, d.f0,
+                      static_cast<unsigned long long>(e.a0), d.f1,
+                      static_cast<unsigned long long>(e.a1));
+  }
+  if (n > 0) out.append(buf, static_cast<std::size_t>(n));
+}
+
+}  // namespace
+
+void flight_recorder_configure(const FlightRecorderConfig& config) {
+  FrState& s = state();
+  std::lock_guard lock(s.mu);
+  s.config = config;
+  g_decode_watermark_ns.store(config.decode_latency_watermark_ns,
+                              std::memory_order_relaxed);
+  g_reject_watermark.store(config.reject_burst_watermark,
+                           std::memory_order_relaxed);
+  // Pre-warm the tick-rate calibration off the hot path.
+  (void)ticks_per_ns();
+}
+
+const FlightRecorderConfig& flight_recorder_config() noexcept {
+  return state().config;
+}
+
+void flight_recorder_record(FrKind kind, std::uint64_t a0, std::uint64_t a1,
+                            std::uint64_t a2) noexcept {
+  Ring& r = local_ring();
+  const std::uint64_t h = r.head.load(std::memory_order_relaxed);
+  Slot& slot = r.slots[h & r.mask];
+  slot.ts.store(clock_ticks(), std::memory_order_relaxed);
+  slot.meta.store(static_cast<std::uint64_t>(kind) << 32 | r.tid,
+                  std::memory_order_relaxed);
+  slot.a0.store(a0, std::memory_order_relaxed);
+  slot.a1.store(a1, std::memory_order_relaxed);
+  slot.a2.store(a2, std::memory_order_relaxed);
+  r.head.store(h + 1, std::memory_order_release);
+}
+
+void flight_recorder_note_decode(std::uint64_t ns, std::uint64_t prefix_reused,
+                                 std::uint64_t deployed) noexcept {
+  flight_recorder_record(FrKind::kDecode, ns, prefix_reused, deployed);
+  const std::uint64_t wm =
+      g_decode_watermark_ns.load(std::memory_order_relaxed);
+  if (wm != 0 && ns > wm) {
+    flight_recorder_record(
+        FrKind::kAnomaly,
+        static_cast<std::uint64_t>(FrAnomaly::kSlowDecode), ns, wm);
+    trigger_auto_dump();
+  }
+}
+
+void flight_recorder_note_reject(std::uint64_t string_id,
+                                 std::uint64_t violation) noexcept {
+  const std::uint32_t streak = ++t_reject_streak;
+  flight_recorder_record(FrKind::kCommitReject, string_id, violation, streak);
+  const std::uint32_t wm = g_reject_watermark.load(std::memory_order_relaxed);
+  if (wm != 0 && streak == wm) {
+    flight_recorder_record(
+        FrKind::kAnomaly,
+        static_cast<std::uint64_t>(FrAnomaly::kRejectBurst), streak, wm);
+    trigger_auto_dump();
+  }
+}
+
+void flight_recorder_note_commit_ok() noexcept { t_reject_streak = 0; }
+
+bool flight_recorder_dump(const std::string& path) {
+  FrState& s = state();
+  std::vector<PlainEvent> events;
+  std::uint64_t t0;
+  {
+    std::lock_guard lock(s.mu);
+    events.reserve(s.retired.size() + s.live.size() * 64);
+    events.insert(events.end(), s.retired.begin(), s.retired.end());
+    for (const Ring* r : s.live) copy_ring_into(*r, events);
+    t0 = s.t0_ticks;
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const PlainEvent& a, const PlainEvent& b) {
+                     return a.ts < b.ts;
+                   });
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::string out = "{\"t\":\"header\",\"version\":1,\"recorder\":\"flight\","
+                    "\"run_info\":" +
+                    RunInfo::current().to_json().dump() + "}\n";
+  for (const PlainEvent& e : events) append_event_line(out, e, t0);
+  const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+  std::fclose(f);
+  g_dump_count.fetch_add(1, std::memory_order_relaxed);
+  return ok;
+}
+
+std::uint64_t flight_recorder_dump_count() noexcept {
+  return g_dump_count.load(std::memory_order_relaxed);
+}
+
+void flight_recorder_install_signal_trigger() {
+#ifdef SIGUSR1
+  std::signal(SIGUSR1, [](int) { g_signal_pending = 1; });
+#endif
+}
+
+void flight_recorder_poll() {
+  if (g_signal_pending == 0) return;
+  g_signal_pending = 0;
+  std::string path;
+  {
+    FrState& s = state();
+    std::lock_guard lock(s.mu);
+    path = s.config.auto_dump_path;
+  }
+  if (!path.empty()) flight_recorder_dump(path);
+}
+
+std::uint64_t flight_recorder_events_recorded() noexcept {
+  FrState& s = state();
+  std::lock_guard lock(s.mu);
+  std::uint64_t total = s.retired_recorded;
+  for (const Ring* r : s.live) {
+    total += r->head.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void flight_recorder_reset() {
+  FrState& s = state();
+  std::lock_guard lock(s.mu);
+  s.retired.clear();
+  s.retired_recorded = 0;
+  for (Ring* r : s.live) r->head.store(0, std::memory_order_relaxed);
+  g_anomaly_fired.store(false, std::memory_order_relaxed);
+  g_dump_count.store(0, std::memory_order_relaxed);
+  g_signal_pending = 0;
+  t_reject_streak = 0;
+}
+
+std::string_view flight_recorder_kind_name(FrKind kind) noexcept {
+  const auto i = static_cast<std::size_t>(kind);
+  return kKinds[i < kFrKindCount ? i : kFrKindCount - 1].name;
+}
+
+}  // namespace tsce::obs

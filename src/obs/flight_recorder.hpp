@@ -1,0 +1,129 @@
+/// \file flight_recorder.hpp
+/// Always-on, fixed-cost flight recorder for the service-era hot path.
+///
+/// The JSONL tracer (trace.hpp) is all-or-nothing: either every span is
+/// serialized to disk (unaffordable at millions of decodes per second) or
+/// nothing is recorded and a latency spike leaves no evidence.  The flight
+/// recorder fills the gap: every thread owns a fixed-size ring of binary
+/// trace events that is ALWAYS recording — one event is a timestamp read plus
+/// four relaxed stores (~3-5 ns), no branch on any runtime gate — and the
+/// ring simply overwrites its oldest entries.  When something goes wrong the
+/// recent past is still in memory and can be dumped to JSONL:
+///
+///   * on demand        — flight_recorder_dump(path),
+///   * on SIGUSR1       — install_signal_trigger() + poll() from any
+///                        housekeeping tick (the metrics exporter polls),
+///   * on an anomaly    — a decode slower than the configured watermark or a
+///                        run of consecutive rejected commits triggers one
+///                        automatic dump to the configured path, capturing
+///                        the event window surrounding the anomaly.
+///
+/// Events are binary and schema-fixed (FrEvent: tick timestamp, kind, tid,
+/// three payload words); the dump converts ticks to seconds, labels each kind
+/// with its registered name from names.hpp, names its payload fields, and
+/// emits trace-compatible JSONL (header record with RunInfo provenance, then
+/// one event record per line, sorted by timestamp) that tools/trace_report
+/// consumes directly.
+///
+/// End-of-life ordering: when a thread retires (e.g. a ThreadPool worker
+/// joined mid-run), its ring folds into a global retired ring under the
+/// recorder lock, so a later dump still contains the retired thread's events
+/// — the same fold-on-retire contract the metrics registry shards follow.
+///
+/// Concurrency: ring slots are relaxed atomics written only by the owning
+/// thread; a concurrent dump reads them without tearing individual words.
+/// The recorder never allocates on the record path (rings are created by a
+/// cold first-touch helper, exactly like metrics shards).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tsce::obs {
+
+/// Event vocabulary.  Every kind has a dotted name in names.hpp (kFr*) and
+/// field labels for its payload words (see flight_recorder.cpp).
+enum class FrKind : std::uint16_t {
+  kDecode = 0,        ///< a0 = latency ns, a1 = prefix reused, a2 = deployed
+  kCommitReject = 1,  ///< a0 = string id, a1 = violation class, a2 = streak
+  kUncommit = 2,      ///< a0 = latency ns, a1 = strings uncommitted
+  kRemap = 3,         ///< a0 = latency ns, a1 = migrations, a2 = dropped
+  kAnomaly = 4,       ///< a0 = anomaly code, a1 = value, a2 = watermark
+  kMark = 5,          ///< user-defined payload (tests, bench phase marks)
+};
+inline constexpr std::size_t kFrKindCount = 6;
+
+/// Anomaly codes carried in kAnomaly's first payload word.
+enum class FrAnomaly : std::uint64_t {
+  kSlowDecode = 1,   ///< decode latency exceeded the watermark
+  kRejectBurst = 2,  ///< consecutive rejected commits exceeded the watermark
+};
+
+struct FlightRecorderConfig {
+  /// Events retained per thread; rounded up to a power of two.  The retired
+  /// sink keeps 4x this many events across all retired threads.
+  std::size_t ring_capacity = 4096;
+  /// Decode latency (ns) above which an anomaly fires.  0 disables.
+  std::uint64_t decode_latency_watermark_ns = 0;
+  /// Consecutive rejected commits on one thread above which an anomaly
+  /// fires.  0 disables.  (Rejections are normal during search — bursts are
+  /// only anomalous for admission-style request streams, so this defaults
+  /// off.)
+  std::uint32_t reject_burst_watermark = 0;
+  /// Where an anomaly- or signal-triggered dump lands.  Empty disables
+  /// automatic dumps (anomaly events are still recorded in the ring).
+  std::string auto_dump_path;
+};
+
+/// Installs \p config process-wide.  Not thread-safe against concurrent
+/// recording; call during startup (harness flag parsing, test SetUp).
+void flight_recorder_configure(const FlightRecorderConfig& config);
+[[nodiscard]] const FlightRecorderConfig& flight_recorder_config() noexcept;
+
+/// Records one event into the calling thread's ring.  Wait-free after the
+/// thread's first event (which allocates its ring in a cold helper).
+void flight_recorder_record(FrKind kind, std::uint64_t a0, std::uint64_t a1 = 0,
+                            std::uint64_t a2 = 0) noexcept;
+
+/// Records a decode event and fires the slow-decode anomaly when \p ns
+/// exceeds the configured watermark.
+void flight_recorder_note_decode(std::uint64_t ns, std::uint64_t prefix_reused,
+                                 std::uint64_t deployed) noexcept;
+
+/// Records a rejected commit, advancing the calling thread's reject streak
+/// and firing the reject-burst anomaly at the watermark; a successful commit
+/// resets the streak via flight_recorder_note_commit_ok().
+void flight_recorder_note_reject(std::uint64_t string_id,
+                                 std::uint64_t violation) noexcept;
+void flight_recorder_note_commit_ok() noexcept;
+
+/// Dumps every live and retired ring as JSONL (header + ts-sorted events).
+/// Returns false on I/O failure.
+bool flight_recorder_dump(const std::string& path);
+
+/// Number of dumps performed so far (manual + triggered).
+[[nodiscard]] std::uint64_t flight_recorder_dump_count() noexcept;
+
+/// Installs a SIGUSR1 handler that requests a dump; the dump itself runs at
+/// the next poll() (signal handlers cannot do file I/O safely).
+void flight_recorder_install_signal_trigger();
+
+/// Executes any pending signal-requested dump to the configured
+/// auto_dump_path.  Cheap when nothing is pending; the metrics exporter
+/// calls this every tick.
+void flight_recorder_poll();
+
+/// Total events ever recorded (live + retired + overwritten).
+[[nodiscard]] std::uint64_t flight_recorder_events_recorded() noexcept;
+
+/// Drops all buffered events and trigger state (test-only; callers must
+/// ensure no thread is recording concurrently).
+void flight_recorder_reset();
+
+/// Dotted event name for \p kind (registered in names.hpp).
+[[nodiscard]] std::string_view flight_recorder_kind_name(FrKind kind) noexcept;
+
+}  // namespace tsce::obs

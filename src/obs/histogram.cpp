@@ -1,0 +1,122 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tsce::obs {
+
+HdrLayout HdrLayout::make(int digits, int value_bits) noexcept {
+  HdrLayout layout;
+  layout.significant_digits = std::clamp(digits, 1, 3);
+  // Smallest power of two holding 10^digits linear sub-buckets: 1 -> 16,
+  // 2 -> 128, 3 -> 1024.
+  int pow10 = 1;
+  for (int d = 0; d < layout.significant_digits; ++d) pow10 *= 10;
+  layout.sub_bucket_bits =
+      std::bit_width(static_cast<unsigned>(pow10 - 1));
+  layout.max_value_bits =
+      std::clamp(value_bits, layout.sub_bucket_bits + 1, 63);
+  const std::size_t half = layout.half_count();
+  const std::size_t buckets =
+      static_cast<std::size_t>(layout.max_value_bits - layout.sub_bucket_bits);
+  layout.counts_len = buckets * half + half * 2;
+  return layout;
+}
+
+std::uint64_t HdrSnapshot::quantile(double q) const noexcept {
+  if (count == 0) return 0;
+  if (q >= 1.0) return max;
+  if (q < 0.0) q = 0.0;
+  auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count));
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (seen >= rank) {
+      // The top cell's upper edge can exceed the true max; the exact max is
+      // tracked separately, so clamp the estimate to it.
+      return std::min(layout.value_at(i), max);
+    }
+  }
+  return max;
+}
+
+void HdrSnapshot::merge(const HdrSnapshot& other) {
+  assert(counts.size() == other.counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+  if (other.count > 0) {
+    min = count == 0 ? other.min : std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+}
+
+util::Json HdrSnapshot::to_json() const {
+  util::Json h = util::Json::object();
+  h.set("count", static_cast<std::int64_t>(count));
+  h.set("sum", static_cast<std::int64_t>(sum));
+  h.set("min", static_cast<std::int64_t>(count == 0 ? 0 : min));
+  h.set("max", static_cast<std::int64_t>(max));
+  h.set("mean", count > 0
+                    ? static_cast<double>(sum) / static_cast<double>(count)
+                    : 0.0);
+  h.set("p50", static_cast<std::int64_t>(quantile(0.50)));
+  h.set("p90", static_cast<std::int64_t>(quantile(0.90)));
+  h.set("p99", static_cast<std::int64_t>(quantile(0.99)));
+  h.set("p999", static_cast<std::int64_t>(quantile(0.999)));
+  h.set("sig_digits", static_cast<std::int64_t>(layout.significant_digits));
+  h.set("rel_err", layout.max_relative_error());
+  util::Json bs = util::Json::array();
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    util::Json entry = util::Json::object();
+    entry.set("le", static_cast<std::int64_t>(layout.value_at(i)));
+    entry.set("n", static_cast<std::int64_t>(counts[i]));
+    bs.push_back(std::move(entry));
+  }
+  h.set("buckets", std::move(bs));
+  return h;
+}
+
+HdrHistogram::HdrHistogram(int significant_digits, int max_value_bits)
+    : layout_(HdrLayout::make(significant_digits, max_value_bits)),
+      cells_(new std::atomic<std::uint64_t>[layout_.counts_len]) {
+  for (std::size_t i = 0; i < layout_.counts_len; ++i) {
+    cells_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+HdrSnapshot HdrHistogram::snapshot() const {
+  HdrSnapshot out(layout_);
+  merge_into(out);
+  return out;
+}
+
+void HdrHistogram::merge_into(HdrSnapshot& out) const {
+  assert(out.counts.size() == layout_.counts_len);
+  for (std::size_t i = 0; i < layout_.counts_len; ++i) {
+    out.counts[i] += cells_[i].load(std::memory_order_relaxed);
+  }
+  const std::uint64_t n = count_.load(std::memory_order_relaxed);
+  if (n > 0) {
+    const std::uint64_t lo = min_.load(std::memory_order_relaxed);
+    out.min = out.count == 0 ? lo : std::min(out.min, lo);
+    out.max = std::max(out.max, max_.load(std::memory_order_relaxed));
+  }
+  out.count += n;
+  out.sum += sum_.load(std::memory_order_relaxed);
+}
+
+void HdrHistogram::reset() noexcept {
+  for (std::size_t i = 0; i < layout_.counts_len; ++i) {
+    cells_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<std::uint64_t>::max(),
+             std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace tsce::obs

@@ -2,34 +2,29 @@
 
 #include <array>
 #include <atomic>
-#include <bit>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "obs/histogram.hpp"
+#include "util/hot.hpp"
 #include "util/thread_pool.hpp"
 
 namespace tsce::obs {
 
 namespace {
 
-constexpr std::size_t kHistBuckets = 48;  // 2^47 ns ≈ 39 h: ample for latencies
-
-struct HistCell {
-  std::atomic<std::uint64_t> count{0};
-  std::atomic<std::uint64_t> sum{0};
-  std::atomic<std::uint64_t> max{0};
-  std::array<std::atomic<std::uint64_t>, kHistBuckets> buckets{};
-};
-
 /// One thread's slice of every metric.  Only the owning thread writes it;
-/// snapshot() reads it with relaxed loads.
+/// snapshot() reads it with relaxed loads.  Histogram shards are full HDR
+/// histograms (21 KiB each), so they are allocated lazily on the owning
+/// thread's first record of that metric rather than eagerly for all
+/// kMaxHistograms slots.
 struct Shard {
   std::array<std::atomic<std::uint64_t>, MetricsRegistry::kMaxCounters> counters{};
   std::array<std::atomic<std::uint64_t>, MetricsRegistry::kMaxGauges> gauge_max{};
-  std::array<HistCell, MetricsRegistry::kMaxHistograms> hists{};
+  std::array<std::atomic<HdrHistogram*>, MetricsRegistry::kMaxHistograms> hists{};
 };
 
 /// Owner-thread single-writer increment: no RMW, no lock prefix.
@@ -54,7 +49,10 @@ struct MetricsRegistry::Impl {
   std::vector<MaxGauge> gauges;
   std::vector<Histogram> hists;
   std::vector<Shard*> live_shards;
-  Shard retired;  ///< tallies folded in by exiting threads
+  Shard retired;  ///< counter/gauge tallies folded in by exiting threads
+  /// Histogram tallies of exited threads, pre-merged into plain snapshots
+  /// (retiring a thread frees its 21 KiB-per-histogram shards).
+  std::array<HdrSnapshot, kMaxHistograms> retired_hists;
 
   Impl() {
     counters.reserve(kMaxCounters);
@@ -71,13 +69,10 @@ struct MetricsRegistry::Impl {
       raise(retired.gauge_max[i], s->gauge_max[i].load(std::memory_order_relaxed));
     }
     for (std::size_t i = 0; i < kMaxHistograms; ++i) {
-      const HistCell& from = s->hists[i];
-      HistCell& to = retired.hists[i];
-      bump(to.count, from.count.load(std::memory_order_relaxed));
-      bump(to.sum, from.sum.load(std::memory_order_relaxed));
-      raise(to.max, from.max.load(std::memory_order_relaxed));
-      for (std::size_t b = 0; b < kHistBuckets; ++b) {
-        bump(to.buckets[b], from.buckets[b].load(std::memory_order_relaxed));
+      HdrHistogram* h = s->hists[i].load(std::memory_order_relaxed);
+      if (h != nullptr) {
+        h->merge_into(retired_hists[i]);
+        delete h;
       }
     }
     std::erase(live_shards, s);
@@ -110,11 +105,18 @@ void zero(Shard& s) {
   for (auto& c : s.counters) c.store(0, std::memory_order_relaxed);
   for (auto& g : s.gauge_max) g.store(0, std::memory_order_relaxed);
   for (auto& h : s.hists) {
-    h.count.store(0, std::memory_order_relaxed);
-    h.sum.store(0, std::memory_order_relaxed);
-    h.max.store(0, std::memory_order_relaxed);
-    for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
+    if (HdrHistogram* hist = h.load(std::memory_order_relaxed)) hist->reset();
   }
+}
+
+/// Cold first-record path: allocates the calling thread's HDR shard for slot
+/// \p index.  Kept out of line (and out of any TSCE_HOT body) so the steady-
+/// state record path is provably allocation-free.
+[[gnu::noinline]] HdrHistogram* ensure_hist(Shard& s,
+                                            std::uint32_t index) {
+  auto* h = new HdrHistogram();  // default geometry: 2 sig digits, 47 bits
+  s.hists[index].store(h, std::memory_order_release);
+  return h;
 }
 
 }  // namespace
@@ -125,13 +127,11 @@ void MaxGauge::observe(std::uint64_t v) noexcept {
   raise(local_shard().gauge_max[index_], v);
 }
 
-void Histogram::record(std::uint64_t v) noexcept {
-  HistCell& cell = local_shard().hists[index_];
-  bump(cell.count, 1);
-  bump(cell.sum, v);
-  raise(cell.max, v);
-  const auto b = static_cast<std::size_t>(std::bit_width(v));
-  bump(cell.buckets[b < kHistBuckets ? b : kHistBuckets - 1], 1);
+TSCE_HOT void Histogram::record(std::uint64_t v) noexcept {
+  Shard& s = local_shard();
+  HdrHistogram* h = s.hists[index_].load(std::memory_order_relaxed);
+  if (h == nullptr) h = ensure_hist(s, index_);
+  h->record(v);
 }
 
 MetricsRegistry::MetricsRegistry() : impl_(new Impl) { g_impl = impl_; }
@@ -201,34 +201,15 @@ util::Json MetricsRegistry::snapshot() {
 
   util::Json hists = util::Json::object();
   for (std::size_t i = 0; i < impl_->hist_names.size(); ++i) {
-    std::uint64_t count = 0, sum = 0, peak = 0;
-    std::array<std::uint64_t, kHistBuckets> buckets{};
-    for (const Shard* s : shards) {
-      const HistCell& cell = s->hists[i];
-      count += cell.count.load(std::memory_order_relaxed);
-      sum += cell.sum.load(std::memory_order_relaxed);
-      peak = std::max(peak, cell.max.load(std::memory_order_relaxed));
-      for (std::size_t b = 0; b < kHistBuckets; ++b) {
-        buckets[b] += cell.buckets[b].load(std::memory_order_relaxed);
+    // Elementwise-sum merge: associative and commutative, so the folded
+    // snapshot is byte-identical no matter how samples were sharded.
+    HdrSnapshot merged = impl_->retired_hists[i];
+    for (const Shard* s : impl_->live_shards) {
+      if (const HdrHistogram* h = s->hists[i].load(std::memory_order_acquire)) {
+        h->merge_into(merged);
       }
     }
-    util::Json h = util::Json::object();
-    h.set("count", static_cast<std::int64_t>(count));
-    h.set("sum", static_cast<std::int64_t>(sum));
-    h.set("max", static_cast<std::int64_t>(peak));
-    h.set("mean", count > 0 ? static_cast<double>(sum) / static_cast<double>(count)
-                            : 0.0);
-    util::Json bs = util::Json::array();
-    for (std::size_t b = 0; b < kHistBuckets; ++b) {
-      if (buckets[b] == 0) continue;
-      util::Json entry = util::Json::object();
-      // Bucket b holds samples of bit_width b: upper bound 2^b - 1.
-      entry.set("le", static_cast<std::int64_t>((std::uint64_t{1} << b) - 1));
-      entry.set("n", static_cast<std::int64_t>(buckets[b]));
-      bs.push_back(std::move(entry));
-    }
-    h.set("buckets", std::move(bs));
-    hists.set(impl_->hist_names[i], std::move(h));
+    hists.set(impl_->hist_names[i], merged.to_json());
   }
 
   // The thread pool keeps its own raw tallies (util sits below obs); fold
@@ -265,6 +246,7 @@ void MetricsRegistry::reset() {
   std::lock_guard lock(impl_->mu);
   for (Shard* s : impl_->live_shards) zero(*s);
   zero(impl_->retired);
+  for (HdrSnapshot& h : impl_->retired_hists) h = HdrSnapshot();
   util::ThreadPool::global_stats().reset();
 }
 

@@ -55,9 +55,14 @@ class MaxGauge {
   std::uint32_t index_;
 };
 
-/// Power-of-two-bucketed histogram of non-negative integer samples (bucket b
-/// holds values with bit_width b, i.e. upper bound 2^b - 1); tracks count,
-/// sum, and max alongside the buckets.
+/// HDR (log-linear) histogram of non-negative integer samples with bounded
+/// relative error: 2 significant decimal digits (128 linear sub-buckets per
+/// octave, 1.56% worst-case error) up to 2^47, tracking exact count, sum,
+/// min, and max alongside the buckets.  Snapshots expose
+/// p50/p90/p99/p999/mean; see obs/histogram.hpp for the bucket math.
+///
+/// record() is wait-free after the calling thread's first record on any
+/// histogram (which allocates the thread's HDR shard in a cold helper).
 class Histogram {
  public:
   void record(std::uint64_t v) noexcept;
@@ -89,8 +94,12 @@ class MetricsRegistry {
 
   /// Folds every thread's shard (live and exited) into one JSON document:
   /// {"counters": {...}, "gauges": {...}, "histograms": {...},
-  ///  "thread_pool": {...}}.  Concurrent updates are allowed (relaxed reads
-  /// may miss in-flight increments).
+  ///  "thread_pool": {...}}.  Histogram entries carry HdrSnapshot::to_json
+  /// output (count/sum/min/max/mean/p50/p90/p99/p999 + sparse buckets).
+  /// Concurrent updates are allowed (relaxed reads may miss in-flight
+  /// increments).  The fold is an elementwise sum, so for deterministically
+  /// valued metrics the document is byte-identical regardless of how samples
+  /// were spread across threads.
   [[nodiscard]] util::Json snapshot();
 
   /// Zeroes every metric (including thread-pool stats).  Test-only: callers

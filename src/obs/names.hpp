@@ -24,6 +24,21 @@ inline constexpr std::string_view kDecodeCommitsAttempted = "decode.commits_atte
 inline constexpr std::string_view kDecodeStringsReused = "decode.strings_reused";
 inline constexpr std::string_view kDecodePrefixReuseLen = "decode.prefix_reuse_len";
 
+// --- hot-path latency histograms (HDR, nanoseconds) -------------------------
+// Wall-clock distributions; excluded from cross-thread-count byte-identity
+// checks (see DESIGN.md §13).  Everything else in this file is
+// deterministic-valued.
+inline constexpr std::string_view kDecodeLatencyNs = "decode.latency_ns";
+inline constexpr std::string_view kSessionCommitLatencyNs = "session.commit.latency_ns";
+inline constexpr std::string_view kSessionUncommitLatencyNs = "session.uncommit.latency_ns";
+inline constexpr std::string_view kDynamicRemapLatencyNs = "dynamic.remap.latency_ns";
+
+// --- dynamic re-map (core/dynamic.cpp reallocate) ----------------------------
+inline constexpr std::string_view kDynamicRemapCalls = "dynamic.remap.calls";
+inline constexpr std::string_view kDynamicRemapRemapped = "dynamic.remap.remapped";
+inline constexpr std::string_view kDynamicRemapDropped = "dynamic.remap.dropped";
+inline constexpr std::string_view kDynamicRemapMigrations = "dynamic.remap.migrations";
+
 // --- allocation-session constraint classification (eq. (1)) ----------------
 inline constexpr std::string_view kSessionRejectUtilization = "session.reject.utilization";
 inline constexpr std::string_view kSessionRejectThroughput = "session.reject.throughput";
@@ -51,11 +66,21 @@ inline constexpr std::string_view kTemperSweeps = "search.temper.sweeps";
 inline constexpr std::string_view kTemperExchanges = "search.temper.exchanges";
 inline constexpr std::string_view kTemperSwaps = "search.temper.swaps";
 
+// --- flight recorder event names (one per FrKind; see flight_recorder.hpp) --
+inline constexpr std::string_view kFrDecode = "fr.decode";
+inline constexpr std::string_view kFrCommitReject = "fr.commit.reject";
+inline constexpr std::string_view kFrUncommit = "fr.uncommit";
+inline constexpr std::string_view kFrRemap = "fr.remap";
+inline constexpr std::string_view kFrAnomaly = "fr.anomaly";
+inline constexpr std::string_view kFrMark = "fr.mark";
+
 // --- bench harness spans ----------------------------------------------------
 inline constexpr std::string_view kBenchAlloc = "bench.alloc";
 inline constexpr std::string_view kBenchUb = "bench.ub";
 inline constexpr std::string_view kBenchMicroCounter = "bench.micro.counter";
 inline constexpr std::string_view kBenchMicroSpan = "bench.micro.span";
 inline constexpr std::string_view kBenchMicroEvent = "bench.micro.event";
+inline constexpr std::string_view kBenchMicroHdr = "bench.micro.hdr";
+inline constexpr std::string_view kBenchMicroFr = "bench.micro.fr";
 
 }  // namespace tsce::obs::names

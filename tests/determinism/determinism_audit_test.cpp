@@ -23,6 +23,8 @@
 
 #include "analysis/metrics.hpp"
 #include "core/class_based.hpp"
+#include "obs/exporter.hpp"
+#include "obs/flight_recorder.hpp"
 #include "core/exact.hpp"
 #include "core/local_search.hpp"
 #include "core/psg.hpp"
@@ -221,6 +223,38 @@ TEST(DeterminismAudit, ClassBasedResultIdenticalAcrossThreadCounts) {
           << kThreadCounts[i] << " threads";
     }
   }
+}
+
+TEST(DeterminismAudit, ResultsIdenticalWithObservabilityEnabled) {
+  // The always-on observability layer must be a pure observer: with the
+  // flight recorder armed (small rings, live watermarks) and the metrics
+  // exporter sampling on a tight cadence in the background, search results
+  // stay byte-identical across thread counts — latency histograms and rings
+  // record wall-clock values but nothing ever branches on them.
+  obs::FlightRecorderConfig fr;
+  fr.ring_capacity = 256;
+  fr.decode_latency_watermark_ns = 1;  // every decode "slow": worst case
+  obs::flight_recorder_configure(fr);
+
+  obs::MetricsExporterConfig exporter_config;
+  exporter_config.path = testing::TempDir() + "determinism_series.jsonl";
+  exporter_config.period_ms = 5;
+  obs::MetricsExporter exporter(exporter_config);
+  ASSERT_TRUE(exporter.start());
+
+  const SystemModel model = audit_model(Scenario::kHighlyLoaded);
+  const std::string baseline = psg_result(model, kThreadCounts[0]);
+  for (std::size_t i = 1; i < std::size(kThreadCounts); ++i) {
+    EXPECT_EQ(baseline, psg_result(model, kThreadCounts[i]))
+        << "observability perturbed the search at " << kThreadCounts[i]
+        << " threads";
+  }
+
+  exporter.stop();
+  EXPECT_GE(exporter.samples(), 1u);
+  std::remove(exporter_config.path.c_str());
+  obs::flight_recorder_reset();
+  obs::flight_recorder_configure(obs::FlightRecorderConfig{});
 }
 
 }  // namespace

@@ -1,0 +1,140 @@
+/// \file exporter_test.cpp
+/// MetricsExporter suite: JSONL series shape (header + monotonically
+/// sequenced samples carrying registry snapshots), synchronous export_once,
+/// the final sample taken by stop(), and the OpenMetrics exposition format
+/// (counter _total lines, histogram summary lines, trailing # EOF).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/exporter.hpp"
+#include "obs/metrics.hpp"
+#include "util/json.hpp"
+
+namespace tsce::obs {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(MetricsExporter, JsonlSeriesHasHeaderAndSequencedSamples) {
+  auto& registry = MetricsRegistry::instance();
+  registry.reset();
+  auto& decodes = registry.counter("test.exporter.decodes");
+  auto& latency = registry.histogram("test.exporter.latency");
+
+  const std::string path = testing::TempDir() + "exporter_series.jsonl";
+  MetricsExporterConfig config;
+  config.path = path;
+  config.period_ms = 60'000;  // ticks driven manually via export_once
+  MetricsExporter exporter(config);
+  ASSERT_TRUE(exporter.start());
+
+  decodes.add(5);
+  latency.record(1'000);
+  EXPECT_TRUE(exporter.export_once());
+  decodes.add(7);
+  latency.record(3'000);
+  EXPECT_TRUE(exporter.export_once());
+  exporter.stop();  // takes one final sample
+  EXPECT_EQ(exporter.samples(), 3u);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::vector<util::Json> records;
+  while (std::getline(in, line)) {
+    if (!line.empty()) records.push_back(util::Json::parse(line));
+  }
+  ASSERT_EQ(records.size(), 4u);  // header + 3 samples
+
+  EXPECT_EQ(records[0].at("t").as_string(), "header");
+  EXPECT_EQ(records[0].at("exporter").as_string(), "metrics");
+  EXPECT_EQ(records[0].at("period_ms").as_number(), 60'000.0);
+  EXPECT_TRUE(records[0].contains("run_info"));
+
+  double prev_t = -1.0;
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    const util::Json& sample = records[i];
+    EXPECT_EQ(sample.at("t").as_string(), "sample");
+    EXPECT_EQ(sample.at("seq").as_number(), static_cast<double>(i - 1));
+    EXPECT_GE(sample.at("t_s").as_number(), prev_t);
+    prev_t = sample.at("t_s").as_number();
+  }
+  // The counter trajectory is visible across samples.
+  const auto counter_at = [&](std::size_t i) {
+    return records[i]
+        .at("metrics")
+        .at("counters")
+        .at("test.exporter.decodes")
+        .as_number();
+  };
+  EXPECT_EQ(counter_at(1), 5.0);
+  EXPECT_EQ(counter_at(2), 12.0);
+  EXPECT_EQ(counter_at(3), 12.0);
+  // Histogram samples carry the HDR snapshot fields.
+  const util::Json& hist =
+      records[2].at("metrics").at("histograms").at("test.exporter.latency");
+  EXPECT_EQ(hist.at("count").as_number(), 2.0);
+  EXPECT_TRUE(hist.contains("p999"));
+  std::remove(path.c_str());
+  registry.reset();
+}
+
+TEST(MetricsExporter, ExportOnceRequiresStart) {
+  MetricsExporterConfig config;
+  config.path = testing::TempDir() + "exporter_never_started.jsonl";
+  MetricsExporter exporter(config);
+  EXPECT_FALSE(exporter.export_once());
+}
+
+TEST(MetricsExporter, StartFailsOnUnwritablePath) {
+  MetricsExporterConfig config;
+  config.path = "/nonexistent-dir/exporter.jsonl";
+  MetricsExporter exporter(config);
+  EXPECT_FALSE(exporter.start());
+}
+
+TEST(MetricsExporter, OpenMetricsExpositionIsRewrittenPerTick) {
+  auto& registry = MetricsRegistry::instance();
+  registry.reset();
+  registry.counter("test.exporter.om.calls").add(3);
+  registry.histogram("test.exporter.om.ns").record(500);
+
+  const std::string path = testing::TempDir() + "exporter.om";
+  MetricsExporterConfig config;
+  config.path = path;
+  config.format = MetricsExporterConfig::Format::kOpenMetrics;
+  config.period_ms = 60'000;
+  MetricsExporter exporter(config);
+  ASSERT_TRUE(exporter.start());
+  EXPECT_TRUE(exporter.export_once());
+  exporter.stop();
+
+  const std::string text = read_file(path);
+  EXPECT_NE(text.find("tsce_test_exporter_om_calls_total 3"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("tsce_test_exporter_om_ns_count 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos) << text;
+  // The exposition is terminated by the OpenMetrics EOF marker and is a
+  // whole-file rewrite (exactly one marker).
+  EXPECT_NE(text.find("# EOF"), std::string::npos);
+  EXPECT_EQ(text.find("# EOF"), text.rfind("# EOF"));
+  std::remove(path.c_str());
+  registry.reset();
+}
+
+}  // namespace
+}  // namespace tsce::obs

@@ -1,0 +1,216 @@
+/// \file histogram_test.cpp
+/// HdrHistogram correctness suite: layout geometry, exact-range behaviour,
+/// the quantile relative-error bound checked against a sorted-reference
+/// oracle on random and adversarial distributions, saturation, and the
+/// determinism contract — shard merges are byte-identical regardless of how
+/// many threads recorded the same sample multiset, and snapshot merging is
+/// associative.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace tsce::obs {
+namespace {
+
+std::vector<std::uint64_t> uniform_samples(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::uint64_t> dist(1, 1'000'000'000);
+  std::vector<std::uint64_t> out(n);
+  for (auto& v : out) v = dist(rng);
+  return out;
+}
+
+std::vector<std::uint64_t> bimodal_samples(std::size_t n, std::uint64_t seed) {
+  // Fast path around 1 us, slow path around 1 ms: the shape where a pow2
+  // histogram's tail resolution collapses.
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> fast(1'000.0, 50.0);
+  std::normal_distribution<double> slow(1'000'000.0, 10'000.0);
+  std::vector<std::uint64_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = (i % 10 == 0) ? slow(rng) : fast(rng);
+    out[i] = static_cast<std::uint64_t>(std::max(1.0, v));
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> heavy_tail_samples(std::size_t n,
+                                              std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::lognormal_distribution<double> dist(10.0, 2.0);
+  std::vector<std::uint64_t> out(n);
+  for (auto& v : out) v = static_cast<std::uint64_t>(dist(rng)) + 1;
+  return out;
+}
+
+/// The rank HdrSnapshot::quantile resolves: max(1, floor(q * count)).
+std::uint64_t quantile_rank(double q, std::size_t count) {
+  auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count));
+  return rank == 0 ? 1 : rank;
+}
+
+TEST(HdrLayout, GeometryFollowsSignificantDigits) {
+  EXPECT_EQ(HdrLayout::make(1, 47).sub_bucket_bits, 4);   // 16 sub-buckets
+  EXPECT_EQ(HdrLayout::make(2, 47).sub_bucket_bits, 7);   // 128
+  EXPECT_EQ(HdrLayout::make(3, 47).sub_bucket_bits, 10);  // 1024
+
+  const HdrLayout l = HdrLayout::make(2, 47);
+  EXPECT_EQ(l.half_count(), 64u);
+  EXPECT_EQ(l.counts_len, (47u - 7u) * 64u + 128u);  // 2688 cells
+  EXPECT_DOUBLE_EQ(l.max_relative_error(), 1.0 / 64.0);
+}
+
+TEST(HdrLayout, ExactRangeRoundTrips) {
+  const HdrLayout l = HdrLayout::make(2, 47);
+  for (std::uint64_t v = 0; v < 128; ++v) {
+    const std::size_t idx = l.index_of(v);
+    EXPECT_EQ(idx, static_cast<std::size_t>(v));
+    EXPECT_EQ(l.value_at(idx), v);
+  }
+}
+
+TEST(HdrLayout, UpperEdgeNeverUndershootsAndBoundsRelativeError) {
+  const HdrLayout l = HdrLayout::make(2, 47);
+  for (const std::uint64_t v : uniform_samples(20'000, 3)) {
+    const std::uint64_t le = l.value_at(l.index_of(v));
+    ASSERT_GE(le, v);
+    ASSERT_LE(static_cast<double>(le - v),
+              static_cast<double>(v) * l.max_relative_error())
+        << "value " << v << " upper edge " << le;
+  }
+}
+
+TEST(HdrHistogram, CountSumMinMaxExact) {
+  HdrHistogram h;
+  for (const std::uint64_t v : {7u, 3u, 900u, 3u}) h.record(v);
+  const HdrSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.sum, 913u);
+  EXPECT_EQ(s.min, 3u);
+  EXPECT_EQ(s.max, 900u);
+}
+
+TEST(HdrHistogram, RecordNMatchesRepeatedRecord) {
+  HdrHistogram a;
+  HdrHistogram b;
+  for (int i = 0; i < 37; ++i) a.record(12'345);
+  b.record_n(12'345, 37);
+  EXPECT_EQ(a.snapshot().to_json().dump(), b.snapshot().to_json().dump());
+}
+
+TEST(HdrHistogram, SaturatingValueClampsIntoTopCell) {
+  HdrHistogram h(2, 20);  // saturates at 2^20
+  const HdrLayout& l = h.layout();
+  EXPECT_EQ(l.index_of(std::uint64_t{1} << 30), l.counts_len - 1);
+  h.record(std::uint64_t{1} << 30);
+  h.record(5);
+  const HdrSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.max, std::uint64_t{1} << 30);
+  EXPECT_EQ(s.counts[l.counts_len - 1], 1u);
+  // The top-cell estimate is clamped to the exact recorded max, not the
+  // cell's (saturated) upper edge.
+  EXPECT_EQ(s.quantile(1.0), std::uint64_t{1} << 30);
+}
+
+TEST(HdrHistogram, QuantileRelativeErrorBoundVsSortedOracle) {
+  struct Case {
+    const char* name;
+    std::vector<std::uint64_t> samples;
+  };
+  const Case cases[] = {
+      {"uniform", uniform_samples(10'000, 11)},
+      {"bimodal", bimodal_samples(10'000, 12)},
+      {"heavy-tail", heavy_tail_samples(10'000, 13)},
+  };
+  for (const Case& c : cases) {
+    HdrHistogram h;
+    for (const std::uint64_t v : c.samples) h.record(v);
+    std::vector<std::uint64_t> sorted = c.samples;
+    std::sort(sorted.begin(), sorted.end());
+    const HdrSnapshot s = h.snapshot();
+    for (const double q : {0.50, 0.90, 0.99, 0.999}) {
+      const std::uint64_t oracle =
+          sorted[quantile_rank(q, sorted.size()) - 1];
+      const std::uint64_t est = s.quantile(q);
+      EXPECT_GE(est, oracle) << c.name << " q=" << q;
+      EXPECT_LE(static_cast<double>(est),
+                static_cast<double>(oracle) *
+                    (1.0 + s.layout.max_relative_error()))
+          << c.name << " q=" << q << " oracle=" << oracle << " est=" << est;
+    }
+    EXPECT_EQ(s.quantile(1.0), sorted.back()) << c.name;
+  }
+}
+
+/// Records \p samples partitioned round-robin across \p threads shards (each
+/// shard written by its own std::thread) and returns the merged snapshot's
+/// JSON rendering.
+std::string sharded_merge_json(const std::vector<std::uint64_t>& samples,
+                               std::size_t threads) {
+  std::vector<std::unique_ptr<HdrHistogram>> shards;
+  for (std::size_t t = 0; t < threads; ++t) {
+    shards.push_back(std::make_unique<HdrHistogram>());
+  }
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      for (std::size_t i = t; i < samples.size(); i += threads) {
+        shards[t]->record(samples[i]);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  HdrSnapshot merged;
+  for (const auto& shard : shards) shard->merge_into(merged);
+  return merged.to_json().dump();
+}
+
+TEST(HdrHistogram, ShardMergeByteIdenticalAcrossThreadCounts) {
+  const std::vector<std::uint64_t> samples = heavy_tail_samples(9'000, 21);
+  const std::string baseline = sharded_merge_json(samples, 1);
+  EXPECT_EQ(baseline, sharded_merge_json(samples, 2));
+  EXPECT_EQ(baseline, sharded_merge_json(samples, 8));
+}
+
+TEST(HdrSnapshot, MergeIsAssociative) {
+  const std::vector<std::uint64_t> samples = bimodal_samples(3'000, 31);
+  HdrHistogram a;
+  HdrHistogram b;
+  HdrHistogram c;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).record(samples[i]);
+  }
+  // (a + b) + c
+  HdrSnapshot left = a.snapshot();
+  b.merge_into(left);
+  c.merge_into(left);
+  // a + (b + c)
+  HdrSnapshot bc = b.snapshot();
+  c.merge_into(bc);
+  HdrSnapshot right = a.snapshot();
+  right.merge(bc);
+  EXPECT_EQ(left.to_json().dump(), right.to_json().dump());
+}
+
+TEST(HdrSnapshot, EmptySnapshotIsWellFormed) {
+  const HdrSnapshot s;
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.quantile(0.99), 0u);
+  const util::Json j = s.to_json();
+  EXPECT_EQ(j.at("count").as_number(), 0.0);
+  EXPECT_EQ(j.at("min").as_number(), 0.0);
+  EXPECT_EQ(j.at("mean").as_number(), 0.0);
+  EXPECT_TRUE(j.at("buckets").as_array().empty());
+}
+
+}  // namespace
+}  // namespace tsce::obs

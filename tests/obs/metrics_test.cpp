@@ -81,28 +81,65 @@ TEST(Metrics, HistogramCountSumMaxAndBuckets) {
   auto& registry = MetricsRegistry::instance();
   registry.reset();
   auto& h = registry.histogram("test.metrics.hist");
-  h.record(0);     // bit_width 0 -> bucket le 0
-  h.record(1);     // bit_width 1 -> bucket le 1
-  h.record(2);     // bit_width 2 -> bucket le 3
-  h.record(3);     // bit_width 2 -> bucket le 3
-  h.record(1000);  // bit_width 10 -> bucket le 1023
+  h.record(0);     // exact range: own cell, le 0
+  h.record(1);     // le 1
+  h.record(2);     // le 2 (HDR keeps small values exact; pow2 merged 2 and 3)
+  h.record(3);     // le 3
+  h.record(1000);  // bit_width 10 -> octave cell [1000, 1007], le 1007
   const auto snapshot = registry.snapshot();
   const auto& hist = snapshot.at("histograms").at("test.metrics.hist");
   EXPECT_EQ(hist.at("count").as_number(), 5.0);
   EXPECT_EQ(hist.at("sum").as_number(), 1006.0);
+  EXPECT_EQ(hist.at("min").as_number(), 0.0);
   EXPECT_EQ(hist.at("max").as_number(), 1000.0);
   EXPECT_DOUBLE_EQ(hist.at("mean").as_number(), 1006.0 / 5.0);
+  // Quantiles resolve the rank max(1, floor(q*count)) with exact max at q=1.
+  EXPECT_EQ(hist.at("p50").as_number(), 1.0);   // rank 2 -> sample 1
+  EXPECT_EQ(hist.at("p90").as_number(), 3.0);   // rank 4 -> sample 3
+  EXPECT_EQ(hist.at("p999").as_number(), 3.0);  // rank 4 at count 5
+  EXPECT_EQ(hist.at("sig_digits").as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(hist.at("rel_err").as_number(), 1.0 / 64.0);
 
   const auto& buckets = hist.at("buckets").as_array();
-  ASSERT_EQ(buckets.size(), 4u);  // empty buckets are omitted
-  EXPECT_EQ(buckets[0].at("le").as_number(), 0.0);
-  EXPECT_EQ(buckets[0].at("n").as_number(), 1.0);
-  EXPECT_EQ(buckets[1].at("le").as_number(), 1.0);
-  EXPECT_EQ(buckets[1].at("n").as_number(), 1.0);
-  EXPECT_EQ(buckets[2].at("le").as_number(), 3.0);
-  EXPECT_EQ(buckets[2].at("n").as_number(), 2.0);
-  EXPECT_EQ(buckets[3].at("le").as_number(), 1023.0);
-  EXPECT_EQ(buckets[3].at("n").as_number(), 1.0);
+  ASSERT_EQ(buckets.size(), 5u);  // empty buckets are omitted
+  const double expected_le[] = {0.0, 1.0, 2.0, 3.0, 1007.0};
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(buckets[i].at("le").as_number(), expected_le[i]) << i;
+    EXPECT_EQ(buckets[i].at("n").as_number(), 1.0) << i;
+  }
+}
+
+TEST(Metrics, HistogramFoldsAcrossExitedThreads) {
+  // End-of-life ordering: each worker records into its own HDR shard; when
+  // the thread exits, the shard folds into the registry's retired snapshot,
+  // so a later snapshot() loses nothing — and the fold is byte-identical to
+  // recording everything on one thread (merge is associative/commutative).
+  auto& registry = MetricsRegistry::instance();
+  registry.reset();
+  auto& h = registry.histogram("test.metrics.hist");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record(static_cast<std::uint64_t>(t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();  // shards fold into retired_hists
+  const auto folded =
+      registry.snapshot().at("histograms").at("test.metrics.hist").dump();
+
+  registry.reset();
+  auto& serial = registry.histogram("test.metrics.hist");
+  for (int v = 0; v < kThreads * kPerThread; ++v) {
+    serial.record(static_cast<std::uint64_t>(v));
+  }
+  const auto reference =
+      registry.snapshot().at("histograms").at("test.metrics.hist").dump();
+  EXPECT_EQ(folded, reference);
 }
 
 TEST(Metrics, ResetZeroesEverything) {

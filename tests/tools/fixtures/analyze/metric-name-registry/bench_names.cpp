@@ -1,0 +1,14 @@
+// Fixture: literal metric names under bench/ checked against the registered
+// name set (--names).  "decode.calls" is registered and passes;
+// "decode.rogue_series" is not and is a finding.
+struct Counter {
+  void add(long long n);
+};
+struct Registry {
+  Counter& counter(const char* name);
+};
+
+void record(Registry& registry) {
+  registry.counter("decode.calls").add(1);
+  registry.counter("decode.rogue_series").add(1);
+}

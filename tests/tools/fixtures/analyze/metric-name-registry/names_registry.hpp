@@ -1,0 +1,8 @@
+// Fixture: a miniature src/obs/names.hpp — its string literals are the
+// registered metric/trace names for the bench_names.cpp fixture.
+#pragma once
+
+namespace names {
+inline constexpr const char* kDecodeCalls = "decode.calls";
+inline constexpr const char* kDecodeLatencyNs = "decode.latency_ns";
+}  // namespace names

@@ -304,4 +304,70 @@ TEST(TraceReport, ConvergenceDiffMalformedCsvFails) {
   std::remove(new_csv.c_str());
 }
 
+TEST(TraceReport, MetricsSeriesModeFoldsThroughputAndTails) {
+  const std::string series =
+      std::string(TSCE_TOOLS_FIXTURE_DIR) + "/golden_metrics_series.jsonl";
+  const RunResult r = run("--metrics-series " + series);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  // RunInfo provenance from the exporter header.
+  EXPECT_NE(r.output.find("git abc123def456"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("3 samples over 2.000 s"), std::string::npos)
+      << r.output;
+  // decode.calls went 1000 -> 5000 over 2 s: delta 4000, 2000/s.
+  EXPECT_NE(r.output.find("Counter throughput"), std::string::npos);
+  EXPECT_NE(r.output.find("decode.calls"), std::string::npos);
+  EXPECT_NE(r.output.find("4000"), std::string::npos);
+  EXPECT_NE(r.output.find("2000.0"), std::string::npos);
+  // Tail table reports the last sample's HDR quantiles.
+  EXPECT_NE(r.output.find("Histogram tails"), std::string::npos);
+  EXPECT_NE(r.output.find("decode.latency_ns"), std::string::npos);
+  EXPECT_NE(r.output.find("93000"), std::string::npos);  // p999
+}
+
+TEST(TraceReport, MetricsSeriesCsvModeEmitsMachineReadableRows) {
+  const std::string series =
+      std::string(TSCE_TOOLS_FIXTURE_DIR) + "/golden_metrics_series.jsonl";
+  const RunResult r = run("--metrics-series --csv " + series);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("counter,first,last,delta,rate/s"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("decode.calls,1000,5000,4000,2000.0"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("histogram,count,mean,p50,p90,p99,p999,max"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(TraceReport, MetricsSeriesWithNoSamplesFails) {
+  const std::string path = testing::TempDir() + "tsce_series_empty.jsonl";
+  {
+    std::ofstream out(path);
+    out << "{\"t\":\"header\",\"version\":1,\"exporter\":\"metrics\"}\n";
+  }
+  const RunResult r = run("--metrics-series " + path);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("no samples"), std::string::npos) << r.output;
+  std::remove(path.c_str());
+}
+
+TEST(TraceReport, FlightRecorderDumpRendersEventsTable) {
+  // A flight-recorder dump is trace-compatible JSONL: the default mode folds
+  // its events into the generic Events table with provenance.
+  const std::string dump =
+      std::string(TSCE_TOOLS_FIXTURE_DIR) + "/golden_fr_dump.jsonl";
+  const RunResult r = run(dump);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("git abc123def456"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("Events:"), std::string::npos) << r.output;
+  const std::size_t decode_at = r.output.find("fr.decode");
+  const std::size_t reject_at = r.output.find("fr.commit.reject");
+  const std::size_t anomaly_at = r.output.find("fr.anomaly");
+  EXPECT_NE(decode_at, std::string::npos) << r.output;
+  EXPECT_NE(reject_at, std::string::npos) << r.output;
+  EXPECT_NE(anomaly_at, std::string::npos) << r.output;
+  EXPECT_LT(decode_at, reject_at);  // first-seen order preserved
+}
+
 }  // namespace

@@ -94,6 +94,48 @@ TEST(TsceAnalyze, CleanFixturesAreClean) {
   }
 }
 
+TEST(TsceAnalyze, BenchLiteralCheckedAgainstRegisteredNames) {
+  // With --names, a bench/ literal that matches a registered name passes and
+  // an unregistered one is a finding naming the rogue literal.
+  const std::string fixture = std::string(TSCE_ANALYZE_FIXTURE_DIR) +
+                              "/metric-name-registry/bench_names.cpp";
+  const std::string names = std::string(TSCE_ANALYZE_FIXTURE_DIR) +
+                            "/metric-name-registry/names_registry.hpp";
+  const RunResult r = run("--file " + fixture + " --as bench/fixture.cpp" +
+                          " --names " + names);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("unregistered metric/trace name "
+                          "\"decode.rogue_series\""),
+            std::string::npos)
+      << r.output;
+  EXPECT_EQ(r.output.find("\"decode.calls\""), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("1 finding"), std::string::npos) << r.output;
+}
+
+TEST(TsceAnalyze, BenchLiteralWithoutRegistryKeepsStrictBan) {
+  // No --names: the strict literal ban applies even under bench/, so both
+  // literals in the fixture are findings.
+  const std::string fixture = std::string(TSCE_ANALYZE_FIXTURE_DIR) +
+                              "/metric-name-registry/bench_names.cpp";
+  const RunResult r = run("--file " + fixture + " --as bench/fixture.cpp");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("2 findings"), std::string::npos) << r.output;
+}
+
+TEST(TsceAnalyze, SrcLiteralIsAFindingEvenWhenRegistered) {
+  // Registration never licenses a literal under src/ — producers must go
+  // through the names.hpp constant.
+  const std::string fixture = std::string(TSCE_ANALYZE_FIXTURE_DIR) +
+                              "/metric-name-registry/violation.cpp";
+  const std::string names = std::string(TSCE_ANALYZE_FIXTURE_DIR) +
+                            "/metric-name-registry/names_registry.hpp";
+  const RunResult r = run("--file " + fixture + " --as src/obs/fixture.cpp" +
+                          " --names " + names);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[metric-name-registry]"), std::string::npos)
+      << r.output;
+}
+
 TEST(TsceAnalyze, SuppressionCommentAboveCoversTheNextCodeLine) {
   // An allow() on a comment-only line covers the next code line, so long
   // findings can carry their justification above them; the finding must be

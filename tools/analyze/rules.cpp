@@ -22,8 +22,8 @@ const std::array<RuleInfo, 11> kRegistry = {{
     {"no-iostream-hot",
      "no <iostream> in src/core, src/analysis, src/model; use <cstdio>"},
     {"metric-name-registry",
-     "metric/trace names come from src/obs/names.hpp, never literals at the "
-     "call site"},
+     "metric/trace names come from src/obs/names.hpp; a literal under "
+     "bench/tools/examples must match a registered name"},
     {"pragma-once", "headers use #pragma once, not #ifndef guards"},
     {"nondeterministic-iteration",
      "range-for over an unordered container must not feed order-sensitive "
@@ -122,6 +122,9 @@ struct FileCheck {
   const FileStructure& fs;
   std::vector<Suppression>& suppressions;
   std::vector<Finding>& findings;
+  /// Registered metric/trace names (src/obs/names.hpp literals); empty when
+  /// the caller did not supply a registry.
+  const std::vector<std::string>& registered_names;
 
   /// Reports unless a matching suppression covers \p line.
   void report(std::size_t line, std::string_view rule, std::string message) {
@@ -223,20 +226,55 @@ void rule_no_iostream_hot(FileCheck& c) {
   }
 }
 
+/// Strips the surrounding quotes off a plain string-literal token.  Raw
+/// strings and literals with escapes are returned empty (registered metric
+/// names are always plain, so such a literal can never match the registry).
+std::string literal_value(const Token& t) {
+  const std::string& s = t.text;
+  if (s.size() < 2 || s.front() != '"' || s.back() != '"') return {};
+  if (s.find('\\') != std::string::npos) return {};
+  return s.substr(1, s.size() - 2);
+}
+
 void rule_metric_name_registry(FileCheck& c) {
   if (in_dir(c.rel, "tests") || c.rel == "src/obs/names.hpp") return;
   const auto& toks = c.ts.tokens();
-  auto literal_first_arg = [&](std::size_t open_idx) {
-    return c.ts.at(c.ts.next_code(open_idx)).kind == TK::kString;
+  // Under bench/, tools/, and examples/ a literal is tolerated when it names
+  // a registered entry (the trees that *consume* telemetry may spell a name
+  // out, but it must exist in src/obs/names.hpp so producers and consumers
+  // agree).  With no registry supplied the strict literal ban applies
+  // everywhere.
+  const bool registry_scoped =
+      !c.registered_names.empty() &&
+      (in_dir(c.rel, "bench") || in_dir(c.rel, "tools") ||
+       in_dir(c.rel, "examples"));
+  auto registered = [&](const Token& t) {
+    const std::string value = literal_value(t);
+    return !value.empty() &&
+           std::find(c.registered_names.begin(), c.registered_names.end(),
+                     value) != c.registered_names.end();
+  };
+  auto check_literal = [&](std::size_t open_idx, std::size_t report_line,
+                           std::string_view what) {
+    const Token& arg = c.ts.at(c.ts.next_code(open_idx));
+    if (arg.kind != TK::kString) return;
+    if (!registry_scoped) {
+      c.report(report_line, "metric-name-registry",
+               std::string(what) +
+                   " name passed as a string literal; add a constant "
+                   "to src/obs/names.hpp and reference it");
+    } else if (!registered(arg)) {
+      c.report(report_line, "metric-name-registry",
+               "unregistered " + std::string(what) + " name " + arg.text +
+                   "; declare it in src/obs/names.hpp");
+    }
   };
   for (const Call& call : c.fs.calls) {
     const bool metric_call = call.name == "counter" || call.name == "gauge" ||
                              call.name == "histogram" ||
                              call.name == "trace_event" || call.name == "Span";
-    if (metric_call && literal_first_arg(call.open_idx)) {
-      c.report(toks[call.name_idx].line, "metric-name-registry",
-               "metric/trace name passed as a string literal; add a constant "
-               "to src/obs/names.hpp and reference it");
+    if (metric_call) {
+      check_literal(call.open_idx, toks[call.name_idx].line, "metric/trace");
     }
   }
   // `obs::Span span("literal")` declares a variable: the call shape above
@@ -244,10 +282,8 @@ void rule_metric_name_registry(FileCheck& c) {
   for (const Decl& d : c.fs.decls) {
     if (d.type_last != "Span") continue;
     const std::size_t open = d.name_idx + 1;
-    if (c.ts.at(open).punct("(") && literal_first_arg(open)) {
-      c.report(toks[d.name_idx].line, "metric-name-registry",
-               "span name passed as a string literal; add a constant to "
-               "src/obs/names.hpp and reference it");
+    if (c.ts.at(open).punct("(")) {
+      check_literal(open, toks[d.name_idx].line, "span");
     }
   }
 }
@@ -682,11 +718,33 @@ const std::array<RuleInfo, 11>& rule_registry() noexcept { return kRegistry; }
 
 std::vector<Finding> analyze_source(const std::string& rel_path,
                                     std::string_view source) {
+  static const std::vector<std::string> kNoNames;
+  return analyze_source(rel_path, source, kNoNames);
+}
+
+std::vector<std::string> extract_registered_names(
+    std::string_view names_source) {
+  std::vector<std::string> names;
+  for (const Token& t : lex(names_source)) {
+    if (t.kind != TK::kString) continue;
+    const std::string& s = t.text;
+    if (s.size() >= 2 && s.front() == '"' && s.back() == '"') {
+      names.push_back(s.substr(1, s.size() - 2));
+    }
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+std::vector<Finding> analyze_source(
+    const std::string& rel_path, std::string_view source,
+    const std::vector<std::string>& registered_names) {
   TokenStream ts(lex(source));
   const FileStructure fs = parse_structure(ts);
   std::vector<Suppression> suppressions = collect_suppressions(ts);
   std::vector<Finding> findings;
-  FileCheck check{rel_path, ts, fs, suppressions, findings};
+  FileCheck check{rel_path, ts, fs, suppressions, findings, registered_names};
 
   const bool is_header =
       rel_path.size() > 4 &&

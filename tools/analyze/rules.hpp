@@ -45,4 +45,21 @@ struct RuleInfo {
 [[nodiscard]] std::vector<Finding> analyze_source(const std::string& rel_path,
                                                   std::string_view source);
 
+/// Same, with the registered metric/trace name set (the string literals of
+/// src/obs/names.hpp, see extract_registered_names).  Under bench/, tools/,
+/// and examples/ a literal metric name is then a metric-name-registry finding
+/// only when it is NOT in the set — those trees may name ad-hoc series, but
+/// the name must still be declared in the registry so trace_report and the
+/// exporter agree on it.  An empty set keeps the strict literal ban
+/// everywhere (the two-argument overload above).
+[[nodiscard]] std::vector<Finding> analyze_source(
+    const std::string& rel_path, std::string_view source,
+    const std::vector<std::string>& registered_names);
+
+/// Extracts the registered metric/trace names from the text of
+/// src/obs/names.hpp: every plain string literal in the file (the registry
+/// holds nothing but `inline constexpr const char* kX = "...";` entries).
+[[nodiscard]] std::vector<std::string> extract_registered_names(
+    std::string_view names_source);
+
 }  // namespace tsce::analyze

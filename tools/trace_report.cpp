@@ -3,6 +3,7 @@
 /// and fitness-convergence tables.
 ///
 /// Usage: trace_report <trace.jsonl> [--csv] [--full]
+///        trace_report --metrics-series <series.jsonl> [--csv]
 ///        trace_report --convergence <trace.jsonl>...
 ///        trace_report --convergence-diff <old.csv> <new.csv> [--tolerance w]
 ///
@@ -11,7 +12,14 @@
 /// one row per strategy).  "search.improve" events are folded into a
 /// per-phase convergence summary: improvement count, first/best fitness, and
 /// the time at which the best was reached; --full additionally lists every
-/// improvement event in order.
+/// improvement event in order.  Event records of any other name — including
+/// flight-recorder dumps (fr.*) — are folded into a per-name count/time-window
+/// table, so an obs::flight_recorder_dump file is consumed directly.
+///
+/// --metrics-series folds an obs::MetricsExporter JSONL series into counter
+/// throughput (first/last value, delta, rate over the sampled window) and
+/// histogram tail-latency (count, mean, p50/p90/p99/p999, max at the last
+/// sample) tables; --csv emits both as CSV.
 ///
 /// --convergence is the regression-dashboard mode: it accepts one trace file
 /// per scenario and emits one CSV row per search.improve event
@@ -60,6 +68,14 @@ std::string field_str(const Json& f, std::string_view key) {
 
 struct SpanGroup {
   RunningStats dur_s;
+};
+
+/// Per-name tally of event records that have no specialized fold (e.g. the
+/// flight recorder's fr.* events): count plus the time window they span.
+struct EventGroup {
+  std::size_t count = 0;
+  double t_first_s = 0.0;
+  double t_last_s = 0.0;
 };
 
 struct Improvement {
@@ -163,6 +179,112 @@ int run_convergence(const std::vector<std::string>& paths) {
                  malformed);
     return 1;
   }
+  if (malformed > 0) {
+    std::fprintf(stderr, "trace_report: skipped %zu malformed lines\n",
+                 malformed);
+  }
+  return 0;
+}
+
+/// --metrics-series mode: folds an obs::MetricsExporter JSONL series into
+/// counter-throughput and histogram-tail tables.  Returns the exit code.
+int run_metrics_series(const std::string& path, bool csv) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "trace_report: cannot open '%s'\n", path.c_str());
+    return 1;
+  }
+  std::size_t samples = 0;
+  std::size_t malformed = 0;
+  double t_first = 0.0;
+  double t_last = 0.0;
+  Json first_metrics;
+  Json last_metrics;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    Json record;
+    try {
+      record = Json::parse(line);
+    } catch (const std::exception&) {
+      ++malformed;
+      continue;
+    }
+    if (!record.is_object() || !record.contains("t")) {
+      ++malformed;
+      continue;
+    }
+    const std::string& type = record.at("t").as_string();
+    if (type == "header") {
+      if (!csv && record.contains("run_info")) {
+        print_run_info(record.at("run_info"));
+      }
+      continue;
+    }
+    if (type != "sample" || !record.contains("metrics")) continue;
+    const double t_s = field_num(record, "t_s");
+    if (samples == 0) {
+      t_first = t_s;
+      first_metrics = record.at("metrics");
+    }
+    t_last = t_s;
+    last_metrics = record.at("metrics");
+    ++samples;
+  }
+  if (samples == 0) {
+    std::fprintf(stderr,
+                 "trace_report: no samples found in '%s' (%zu malformed "
+                 "lines)\n",
+                 path.c_str(), malformed);
+    return 1;
+  }
+  const double window_s = t_last - t_first;
+  if (!csv) {
+    std::printf("%zu samples over %.3f s\n", samples, window_s);
+  }
+
+  Table counters({"counter", "first", "last", "delta", "rate/s"});
+  if (last_metrics.contains("counters")) {
+    for (const auto& [name, last] : last_metrics.at("counters").as_object()) {
+      const double v_last = last.as_number();
+      const double v_first =
+          first_metrics.is_object() && first_metrics.contains("counters")
+              ? field_num(first_metrics.at("counters"), name)
+              : 0.0;
+      const double delta = v_last - v_first;
+      counters.add_row({name, Table::num(v_first, 0), Table::num(v_last, 0),
+                        Table::num(delta, 0),
+                        window_s > 0.0 ? Table::num(delta / window_s, 1)
+                                       : "-"});
+    }
+  }
+  if (csv) {
+    counters.print_csv();
+  } else {
+    std::printf("\nCounter throughput (over the sampled window):\n");
+    counters.print();
+  }
+
+  Table tails({"histogram", "count", "mean", "p50", "p90", "p99", "p999",
+               "max"});
+  if (last_metrics.contains("histograms")) {
+    for (const auto& [name, h] : last_metrics.at("histograms").as_object()) {
+      tails.add_row({name, Table::num(field_num(h, "count"), 0),
+                     Table::num(field_num(h, "mean"), 1),
+                     Table::num(field_num(h, "p50"), 0),
+                     Table::num(field_num(h, "p90"), 0),
+                     Table::num(field_num(h, "p99"), 0),
+                     Table::num(field_num(h, "p999"), 0),
+                     Table::num(field_num(h, "max"), 0)});
+    }
+  }
+  if (csv) {
+    tails.print_csv();
+  } else {
+    std::printf("\nHistogram tails (last sample):\n");
+    tails.print();
+  }
+
   if (malformed > 0) {
     std::fprintf(stderr, "trace_report: skipped %zu malformed lines\n",
                  malformed);
@@ -312,16 +434,21 @@ int main(int argc, char** argv) {
   bool full = false;
   bool convergence_mode = false;
   bool convergence_diff = false;
+  bool metrics_series = false;
   double tolerance = 0.0;
   tsce::util::Flags flags(
       "trace_report: fold a tsce trace JSONL into per-phase span-time and\n"
       "fitness-convergence tables.\n"
       "usage: trace_report <trace.jsonl> [--csv] [--full]\n"
+      "       trace_report --metrics-series <series.jsonl> [--csv]\n"
       "       trace_report --convergence <trace.jsonl>...\n"
       "       trace_report --convergence-diff <old.csv> <new.csv> "
       "[--tolerance w]");
   flags.add("csv", &csv, "emit CSV instead of aligned tables");
   flags.add("full", &full, "also list every improvement event");
+  flags.add("metrics-series", &metrics_series,
+            "fold an obs::MetricsExporter JSONL series into counter "
+            "throughput and histogram tail-latency tables");
   flags.add("convergence", &convergence_mode,
             "dashboard mode: one CSV row per improvement event "
             "(git_sha,scenario,phase,t_s,worth,slackness); accepts multiple "
@@ -353,6 +480,15 @@ int main(int argc, char** argv) {
     }
     return run_convergence(flags.positional());
   }
+  if (metrics_series) {
+    if (flags.positional().size() != 1) {
+      std::fprintf(stderr,
+                   "trace_report: --metrics-series expects exactly one "
+                   "series file\n");
+      return 1;
+    }
+    return run_metrics_series(flags.positional()[0], csv);
+  }
   if (flags.positional().size() != 1) {
     std::fprintf(stderr, "trace_report: expected exactly one trace file\n");
     return 1;
@@ -371,6 +507,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> conv_order;
   std::map<std::string, Convergence> convergence;
   std::vector<Improvement> improvements;
+  std::vector<std::string> event_order;
+  std::map<std::string, EventGroup> events;
   std::size_t malformed = 0;
 
   std::string line;
@@ -429,10 +567,19 @@ int main(int argc, char** argv) {
         c.t_best_s = imp.ts;
       }
       ++c.improvements;
+    } else if (type == "event") {
+      const std::string name = record.at("name").as_string();
+      auto [it, inserted] = events.try_emplace(name);
+      if (inserted) event_order.push_back(name);
+      EventGroup& g = it->second;
+      const double ts = field_num(record, "ts");
+      if (g.count == 0) g.t_first_s = ts;
+      g.t_last_s = ts;
+      ++g.count;
     }
   }
 
-  if (spans.empty() && convergence.empty()) {
+  if (spans.empty() && convergence.empty() && events.empty()) {
     std::fprintf(stderr,
                  "trace_report: no span or improvement records found (%zu "
                  "malformed lines)\n",
@@ -440,19 +587,37 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  Table span_table({"phase", "spans", "total s", "mean ms", "max ms"});
-  for (const std::string& key : span_order) {
-    const RunningStats& d = spans.at(key).dur_s;
-    span_table.add_row({key, std::to_string(d.count()),
-                        Table::num(d.mean() * static_cast<double>(d.count()), 3),
-                        Table::num(d.mean() * 1e3, 3),
-                        Table::num(d.max() * 1e3, 3)});
+  if (!spans.empty()) {
+    Table span_table({"phase", "spans", "total s", "mean ms", "max ms"});
+    for (const std::string& key : span_order) {
+      const RunningStats& d = spans.at(key).dur_s;
+      span_table.add_row({key, std::to_string(d.count()),
+                          Table::num(d.mean() * static_cast<double>(d.count()), 3),
+                          Table::num(d.mean() * 1e3, 3),
+                          Table::num(d.max() * 1e3, 3)});
+    }
+    if (csv) {
+      span_table.print_csv();
+    } else {
+      std::printf("\nPer-phase span time:\n");
+      span_table.print();
+    }
   }
-  if (csv) {
-    span_table.print_csv();
-  } else {
-    std::printf("\nPer-phase span time:\n");
-    span_table.print();
+
+  if (!events.empty()) {
+    Table event_table({"event", "count", "t(first) s", "t(last) s"});
+    for (const std::string& name : event_order) {
+      const EventGroup& g = events.at(name);
+      event_table.add_row({name, std::to_string(g.count),
+                           Table::num(g.t_first_s, 6),
+                           Table::num(g.t_last_s, 6)});
+    }
+    if (csv) {
+      event_table.print_csv();
+    } else {
+      std::printf("\nEvents:\n");
+      event_table.print();
+    }
   }
 
   if (!convergence.empty()) {
@@ -476,17 +641,19 @@ int main(int argc, char** argv) {
   }
 
   if (full && !improvements.empty()) {
-    Table events({"t s", "phase", "trial", "iteration", "worth", "slack"});
+    Table improvement_table(
+        {"t s", "phase", "trial", "iteration", "worth", "slack"});
     for (const Improvement& imp : improvements) {
-      events.add_row({Table::num(imp.ts, 3), imp.phase,
-                      Table::num(imp.trial, 0), Table::num(imp.iteration, 0),
-                      Table::num(imp.worth, 0), Table::num(imp.slackness, 4)});
+      improvement_table.add_row(
+          {Table::num(imp.ts, 3), imp.phase, Table::num(imp.trial, 0),
+           Table::num(imp.iteration, 0), Table::num(imp.worth, 0),
+           Table::num(imp.slackness, 4)});
     }
     if (csv) {
-      events.print_csv();
+      improvement_table.print_csv();
     } else {
       std::printf("\nImprovement events:\n");
-      events.print();
+      improvement_table.print();
     }
   }
 

@@ -49,7 +49,11 @@ bool read_file(const fs::path& path, std::string& out) {
 int usage(int code) {
   std::printf(
       "usage: tsce_analyze [--root <repo-root>] [--sarif <out.sarif>]\n"
-      "       tsce_analyze --file <path> [--as <rel-path>] [--sarif <out>]\n"
+      "       tsce_analyze --file <path> [--as <rel-path>] [--names <hpp>]\n"
+      "                    [--sarif <out>]\n"
+      "\n--names points at a metric-name registry header (default: the\n"
+      "repo's src/obs/names.hpp in --root mode); its string literals are the\n"
+      "names a bench/tools/examples literal may legally spell out.\n"
       "\nrules:\n");
   for (const tsce::analyze::RuleInfo& r : tsce::analyze::rule_registry()) {
     std::printf("  %-26s %.*s\n", std::string(r.id).c_str(),
@@ -65,6 +69,7 @@ int main(int argc, char** argv) {
   std::string single_file;
   std::string as_path;
   std::string sarif_path;
+  std::string names_path;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--root" && i + 1 < argc) {
@@ -73,6 +78,8 @@ int main(int argc, char** argv) {
       single_file = argv[++i];
     } else if (arg == "--as" && i + 1 < argc) {
       as_path = argv[++i];
+    } else if (arg == "--names" && i + 1 < argc) {
+      names_path = argv[++i];
     } else if (arg == "--sarif" && i + 1 < argc) {
       sarif_path = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
@@ -86,6 +93,25 @@ int main(int argc, char** argv) {
   std::vector<tsce::analyze::Finding> findings;
   std::size_t files = 0;
 
+  // The registered-name set: explicit --names wins; --root mode falls back to
+  // the repo's own registry so a full scan always validates bench/tools
+  // literals against it.
+  std::vector<std::string> registered_names;
+  if (names_path.empty() && single_file.empty()) {
+    const fs::path default_names =
+        fs::absolute(root) / "src" / "obs" / "names.hpp";
+    if (fs::exists(default_names)) names_path = default_names.string();
+  }
+  if (!names_path.empty()) {
+    std::string names_source;
+    if (!read_file(names_path, names_source)) {
+      std::fprintf(stderr, "tsce_analyze: cannot open '%s'\n",
+                   names_path.c_str());
+      return 2;
+    }
+    registered_names = tsce::analyze::extract_registered_names(names_source);
+  }
+
   if (!single_file.empty()) {
     std::string source;
     if (!read_file(single_file, source)) {
@@ -94,7 +120,7 @@ int main(int argc, char** argv) {
       return 2;
     }
     const std::string rel = as_path.empty() ? single_file : as_path;
-    findings = tsce::analyze::analyze_source(rel, source);
+    findings = tsce::analyze::analyze_source(rel, source, registered_names);
     files = 1;
   } else {
     root = fs::absolute(root);
@@ -115,7 +141,8 @@ int main(int argc, char** argv) {
           findings.push_back({rel, 0, "io", "cannot open file"});
           continue;
         }
-        auto file_findings = tsce::analyze::analyze_source(rel, source);
+        auto file_findings =
+            tsce::analyze::analyze_source(rel, source, registered_names);
         findings.insert(findings.end(),
                         std::make_move_iterator(file_findings.begin()),
                         std::make_move_iterator(file_findings.end()));
