@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <deque>
 #include <stdexcept>
 
 namespace tsce::dag {
@@ -15,16 +14,18 @@ std::vector<AppIndex> DagString::topological_order() const {
       ++in_degree[static_cast<std::size_t>(e.to)];
     }
   }
-  std::deque<AppIndex> ready;
+  // Each node enters the ready queue at most once, so a reserved vector with
+  // a head cursor replaces the deque: one allocation, FIFO order preserved.
+  std::vector<AppIndex> ready;
+  ready.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     if (in_degree[i] == 0) ready.push_back(static_cast<AppIndex>(i));
   }
   std::vector<AppIndex> order;
   order.reserve(n);
   const auto out = edges_out();
-  while (!ready.empty()) {
-    const AppIndex i = ready.front();
-    ready.pop_front();
+  for (std::size_t head = 0; head < ready.size(); ++head) {
+    const AppIndex i = ready[head];
     order.push_back(i);
     for (const std::size_t e : out[static_cast<std::size_t>(i)]) {
       const auto to = static_cast<std::size_t>(edges[e].to);

@@ -114,6 +114,9 @@ void zero(Shard& s) {
 /// state record path is provably allocation-free.
 [[gnu::noinline]] HdrHistogram* ensure_hist(Shard& s,
                                             std::uint32_t index) {
+  // First-touch only: one allocation per (thread, histogram-slot) lifetime,
+  // deliberately noinline'd out of the TSCE_HOT record() body; the steady
+  // state never reaches it.  tsce-lint: allow(transitive-hot-alloc)
   auto* h = new HdrHistogram();  // default geometry: 2 sig digits, 47 bits
   s.hists[index].store(h, std::memory_order_release);
   return h;
@@ -137,7 +140,10 @@ TSCE_HOT void Histogram::record(std::uint64_t v) noexcept {
 MetricsRegistry::MetricsRegistry() : impl_(new Impl) { g_impl = impl_; }
 
 MetricsRegistry& MetricsRegistry::instance() {
-  static MetricsRegistry* registry = new MetricsRegistry;  // leaked on purpose
+  // Allocates exactly once per process (function-local static, leaked on
+  // purpose so shutdown order cannot destroy the registry under a recording
+  // thread).  tsce-lint: allow(transitive-hot-alloc)
+  static MetricsRegistry* registry = new MetricsRegistry;
   return *registry;
 }
 
@@ -153,6 +159,12 @@ Handle& MetricsRegistry::find_or_add(std::vector<std::string>& names,
     throw std::length_error(std::string("MetricsRegistry: ") + kind +
                             " capacity exhausted registering '" + std::string(name) +
                             "'");
+  }
+  if (names.empty()) {
+    // First registration sizes both vectors to the hard capacity, so the
+    // registration path never reallocates even when reached from a hot frame.
+    names.reserve(capacity);
+    handles.reserve(capacity);
   }
   names.emplace_back(name);
   handles.push_back(Handle(static_cast<std::uint32_t>(handles.size())));

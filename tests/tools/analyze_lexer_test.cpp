@@ -1,0 +1,109 @@
+/// \file analyze_lexer_test.cpp
+/// Edge-case unit tests for the tsce_analyze lexer (tools/analyze/lexer.hpp),
+/// linked directly against the lexer translation unit rather than driving the
+/// binary: these cases are about exact token boundaries, which the golden
+/// fixtures cannot pin down from the outside.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analyze/lexer.hpp"
+
+namespace {
+
+using tsce::analyze::lex;
+using tsce::analyze::Token;
+using tsce::analyze::TokenKind;
+using tsce::analyze::TokenStream;
+
+/// Indices of all tokens of \p kind, for positional assertions.
+std::vector<std::size_t> indices_of(const std::vector<Token>& toks,
+                                    TokenKind kind) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind == kind) out.push_back(i);
+  }
+  return out;
+}
+
+TEST(AnalyzeLexer, PreprocLineContinuationFoldsIntoOneDirective) {
+  // A backslash-continued #define is one kPreproc token spanning both
+  // physical lines; the next token starts on the line after the continuation
+  // with its line number intact (suppression scanning depends on this).
+  const std::string src =
+      "#define TWICE(a) \\\n"
+      "  ((a) + (a))\n"
+      "int x = 2;\n";
+  const std::vector<Token> toks = lex(src);
+
+  const std::vector<std::size_t> preproc =
+      indices_of(toks, TokenKind::kPreproc);
+  ASSERT_EQ(preproc.size(), 1u);
+  const Token& directive = toks[preproc[0]];
+  EXPECT_EQ(directive.line, 1u);
+  EXPECT_NE(directive.text.find("TWICE"), std::string::npos);
+  EXPECT_NE(directive.text.find("((a) + (a))"), std::string::npos);
+
+  ASSERT_GT(toks.size(), preproc[0] + 1);
+  const Token& after = toks[preproc[0] + 1];
+  EXPECT_TRUE(after.ident("int")) << after.text;
+  EXPECT_EQ(after.line, 3u);
+}
+
+TEST(AnalyzeLexer, NestedTemplateCloseLexesAsShiftAndStillMatches) {
+  // `std::vector<std::pair<int, long>>` ends in a single `>>` punct token
+  // (longest match); match_forward from the outer `<` must treat it as two
+  // closers and land exactly on it.
+  const std::string src = "std::vector<std::pair<int, long>> v;";
+  const TokenStream ts(lex(src));
+  const auto& toks = ts.tokens();
+
+  std::size_t outer_open = ts.size();
+  std::size_t shift_close = ts.size();
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (outer_open == ts.size() && toks[i].punct("<")) outer_open = i;
+    if (toks[i].punct(">>")) shift_close = i;
+  }
+  ASSERT_LT(outer_open, ts.size());
+  ASSERT_LT(shift_close, ts.size());
+  EXPECT_EQ(ts.match_forward(outer_open), shift_close);
+}
+
+TEST(AnalyzeLexer, AdjacentStringLiteralsStaySeparateTokens) {
+  // Concatenated literals are a lexical pair, not one token: name-registry
+  // matching sees each piece with its own delimiters.
+  const std::string src = "const char* s = \"abc\" \"def\";";
+  const std::vector<Token> toks = lex(src);
+  const std::vector<std::size_t> strings = indices_of(toks, TokenKind::kString);
+  ASSERT_EQ(strings.size(), 2u);
+  EXPECT_EQ(toks[strings[0]].text, "\"abc\"");
+  EXPECT_EQ(toks[strings[1]].text, "\"def\"");
+  EXPECT_EQ(strings[1], strings[0] + 1);
+}
+
+TEST(AnalyzeLexer, PrevCodeAtTokenZeroReturnsSize) {
+  // prev_code is a strict predecessor: at index 0 there is none, and the
+  // sentinel is size() so `ts.at(ts.prev_code(i))` degrades to kEof instead
+  // of wrapping around.
+  const TokenStream ts(lex("int x;"));
+  EXPECT_EQ(ts.prev_code(0), ts.size());
+  EXPECT_EQ(ts.at(ts.prev_code(0)).kind, TokenKind::kEof);
+}
+
+TEST(AnalyzeLexer, PrevCodeSkipsLeadingCommentsToSentinel) {
+  // When everything before a token is comments/preprocessor, prev_code must
+  // report "nothing", not the nearest comment.
+  const TokenStream ts(lex("// leading comment\n#include <x>\nint y;"));
+  const auto& toks = ts.tokens();
+  std::size_t int_idx = ts.size();
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].ident("int")) int_idx = i;
+  }
+  ASSERT_LT(int_idx, ts.size());
+  EXPECT_EQ(ts.prev_code(int_idx), ts.size());
+}
+
+}  // namespace

@@ -1,0 +1,14 @@
+// Fixture: devirtualised variant — the hot path is typed against a concrete
+// policy, so every call resolves statically and inlines.
+#include "util/hot.hpp"
+
+struct FixedPolicy {
+  double weight = 2.0;
+  double score(int x) const { return weight * static_cast<double>(x); }
+};
+
+namespace {
+double eval(const FixedPolicy& p, int x) { return p.score(x); }
+}  // namespace
+
+TSCE_HOT double decide(const FixedPolicy& p, int x) { return eval(p, x); }

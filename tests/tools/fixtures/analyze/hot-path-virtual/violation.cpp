@@ -1,0 +1,15 @@
+// Fixture: vtable dispatch reached from a TSCE_HOT frame through a helper.
+// The dispatch site is legal C++ everywhere else; on the hot path it defeats
+// inlining and costs an indirect branch per candidate.
+#include "util/hot.hpp"
+
+struct Policy {
+  virtual ~Policy() = default;
+  virtual double score(int x) const = 0;
+};
+
+namespace {
+double eval(const Policy& p, int x) { return p.score(x); }
+}  // namespace
+
+TSCE_HOT double decide(const Policy& p, int x) { return eval(p, x); }

@@ -1,0 +1,23 @@
+// Fixture: both call chains acquire the two mutexes in the same global order
+// (a_ before b_), so the composed lock-order graph is acyclic.
+#include <mutex>
+
+struct Ledger {
+  std::mutex a_;
+  std::mutex b_;
+  int balance = 0;
+
+  void credit_leaf() {
+    std::lock_guard<std::mutex> hold(b_);
+    ++balance;
+  }
+  void forward() {
+    std::lock_guard<std::mutex> hold(a_);
+    credit_leaf();  // a_ -> b_
+  }
+  void audit() {
+    std::lock_guard<std::mutex> first(a_);
+    std::lock_guard<std::mutex> second(b_);  // a_ -> b_ again: same order
+    balance *= 2;
+  }
+};

@@ -1,0 +1,28 @@
+// Fixture: the same ABBA cycle, suppressed at the witness edge (the first
+// acquisition site of the cycle in file order) with a justification.
+#include <mutex>
+
+struct Ledger {
+  std::mutex a_;
+  std::mutex b_;
+  int balance = 0;
+
+  void credit_leaf() {
+    std::lock_guard<std::mutex> hold(b_);
+    ++balance;
+  }
+  void debit_leaf() {
+    std::lock_guard<std::mutex> hold(a_);
+    --balance;
+  }
+  void forward() {
+    std::lock_guard<std::mutex> hold(a_);
+    // Callers are serialized by construction (single writer thread).
+    // tsce-lint: allow(lock-order-cycle)
+    credit_leaf();
+  }
+  void backward() {
+    std::lock_guard<std::mutex> hold(b_);
+    debit_leaf();
+  }
+};

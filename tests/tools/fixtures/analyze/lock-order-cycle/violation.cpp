@@ -1,0 +1,27 @@
+// Fixture: two mutexes acquired in opposite orders along two call chains —
+// the classic ABBA deadlock.  Neither function is wrong in isolation; only
+// composing lock sets along call edges exposes the cycle.
+#include <mutex>
+
+struct Ledger {
+  std::mutex a_;
+  std::mutex b_;
+  int balance = 0;
+
+  void credit_leaf() {
+    std::lock_guard<std::mutex> hold(b_);
+    ++balance;
+  }
+  void debit_leaf() {
+    std::lock_guard<std::mutex> hold(a_);
+    --balance;
+  }
+  void forward() {
+    std::lock_guard<std::mutex> hold(a_);
+    credit_leaf();  // acquires b_ while holding a_
+  }
+  void backward() {
+    std::lock_guard<std::mutex> hold(b_);
+    debit_leaf();  // acquires a_ while holding b_
+  }
+};

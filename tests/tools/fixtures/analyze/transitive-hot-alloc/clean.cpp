@@ -1,0 +1,22 @@
+// Fixture: the helper appends only into a buffer reserved in this file (the
+// scratch-in-ctor pattern), and allocation in a function NOT reachable from
+// any hot frame stays legal.
+#include <vector>
+
+#include "util/hot.hpp"
+
+struct Evaluator {
+  std::vector<int> scratch;
+  Evaluator() { scratch.reserve(64); }
+
+  // Helper without a TSCE_HOT annotation, reached from the hot frame below.
+  void widen(int x) { scratch.push_back(x); }
+
+  TSCE_HOT int evaluate_candidate(int x) {
+    widen(x);
+    return static_cast<int>(scratch.size());
+  }
+};
+
+// Cold setup path, unreachable from any TSCE_HOT frame.
+std::vector<int>* make_buffer() { return new std::vector<int>(); }

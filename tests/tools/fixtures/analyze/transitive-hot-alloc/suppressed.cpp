@@ -1,0 +1,22 @@
+// Fixture: the same transitively-hot allocations, each carrying a justified
+// suppression (e.g. a documented cold first-touch path).
+#include <vector>
+
+#include "util/hot.hpp"
+
+namespace {
+void widen(std::vector<int>& out, int x) {
+  // tsce-lint: allow(transitive-hot-alloc)
+  out.push_back(x);
+  int* raw = new int[2];  // tsce-lint: allow(transitive-hot-alloc)
+  raw[0] = x;
+  // tsce-lint: allow(transitive-hot-alloc)
+  out.push_back(raw[0] + raw[1]);
+  delete[] raw;
+}
+}  // namespace
+
+TSCE_HOT int evaluate_candidate(std::vector<int>& scratch, int x) {
+  widen(scratch, x);
+  return static_cast<int>(scratch.size());
+}

@@ -1,0 +1,21 @@
+// Fixture: allocations in a helper that is NOT annotated TSCE_HOT but is
+// reachable from a hot frame through the call graph — invisible to the
+// per-file no-alloc-hot rule, caught by transitive-hot-alloc.
+#include <vector>
+
+#include "util/hot.hpp"
+
+namespace {
+void widen(std::vector<int>& out, int x) {
+  out.push_back(x);  // no reserve anywhere in this file
+  int* raw = new int[2];
+  raw[0] = x;
+  out.push_back(raw[0] + raw[1]);
+  delete[] raw;
+}
+}  // namespace
+
+TSCE_HOT int evaluate_candidate(std::vector<int>& scratch, int x) {
+  widen(scratch, x);
+  return static_cast<int>(scratch.size());
+}

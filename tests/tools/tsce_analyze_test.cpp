@@ -13,6 +13,8 @@
 #include <sys/wait.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -60,6 +62,10 @@ constexpr RuleFixture kRules[] = {
     {"lock-across-callback", "src/core/fixture", ".cpp"},
     {"rng-shared-capture", "src/core/fixture", ".cpp"},
     {"no-alloc-hot", "src/core/fixture", ".cpp"},
+    {"transitive-hot-alloc", "src/core/fixture", ".cpp"},
+    {"lock-order-cycle", "src/core/fixture", ".cpp"},
+    {"rng-stream-escape", "src/core/fixture", ".cpp"},
+    {"hot-path-virtual", "src/core/fixture", ".cpp"},
     {"unused-suppression", "src/core/fixture", ".cpp"},
 };
 
@@ -172,12 +178,18 @@ TEST(TsceAnalyze, SarifOutputIsValidAndCarriesTheFinding) {
   ASSERT_EQ(runs.size(), 1u);
   const auto& driver = runs[0].at("tool").at("driver");
   EXPECT_EQ(driver.at("name").as_string(), "tsce_analyze");
-  EXPECT_EQ(driver.at("rules").as_array().size(), 11u);
+  EXPECT_EQ(driver.at("rules").as_array().size(), 15u);
 
   const auto& results = runs[0].at("results").as_array();
   ASSERT_EQ(results.size(), 1u);
   EXPECT_EQ(results[0].at("ruleId").as_string(), "deterministic-rng");
   EXPECT_EQ(results[0].at("level").as_string(), "error");
+  // Every result carries a stable fingerprint for baseline diffing.
+  const std::string fp = results[0]
+                             .at("partialFingerprints")
+                             .at("tsceFingerprint/v1")
+                             .as_string();
+  EXPECT_EQ(fp.size(), 16u) << fp;
   const auto& loc = results[0].at("locations").as_array().at(0);
   const auto& physical = loc.at("physicalLocation");
   EXPECT_EQ(physical.at("artifactLocation").at("uri").as_string(),
@@ -200,6 +212,153 @@ TEST(TsceAnalyze, SarifOutputOnCleanInputHasEmptyResults) {
   const tsce::util::Json doc = tsce::util::Json::parse(buf.str());
   EXPECT_TRUE(doc.at("runs").as_array().at(0).at("results").as_array().empty());
   std::remove(sarif_path.c_str());
+}
+
+TEST(TsceAnalyze, CallgraphDotIsWritten) {
+  const std::string dot_path = testing::TempDir() + "tsce_analyze_graph.dot";
+  const RunResult r = run(
+      std::string("--file ") + TSCE_ANALYZE_FIXTURE_DIR +
+      "/hot-path-virtual/violation.cpp --as src/core/fixture.cpp" +
+      " --callgraph-dot " + dot_path);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  std::ifstream in(dot_path, std::ios::binary);
+  ASSERT_TRUE(in.is_open()) << "missing " << dot_path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("digraph tsce_callgraph"), std::string::npos);
+  EXPECT_NE(buf.str().find("decide"), std::string::npos) << buf.str();
+  std::remove(dot_path.c_str());
+}
+
+TEST(TsceAnalyze, BaselineMatchesOnFingerprintNotLineNumber) {
+  // A committed baseline absorbs known findings even after the file shifts
+  // (fingerprints hash rule + file + trimmed line text, not line numbers);
+  // a genuinely new finding still fails the gate.
+  const std::string dir = testing::TempDir();
+  const std::string v1 = dir + "tsce_baseline_v1.cpp";
+  const std::string v2 = dir + "tsce_baseline_v2.cpp";
+  const std::string v3 = dir + "tsce_baseline_v3.cpp";
+  const std::string baseline = dir + "tsce_baseline.sarif";
+  {
+    std::ofstream out(v1);
+    out << "#include <cstdlib>\n"
+           "int noisy() { return std::rand(); }\n";
+  }
+  {
+    // Same finding, shifted two lines down.
+    std::ofstream out(v2);
+    out << "#include <cstdlib>\n"
+           "\n"
+           "// a comment pushing the finding down\n"
+           "int noisy() { return std::rand(); }\n";
+  }
+  {
+    // Old finding plus a new one on a line the baseline has never seen.
+    std::ofstream out(v3);
+    out << "#include <cstdlib>\n"
+           "int noisy() { return std::rand(); }\n"
+           "int louder() { return std::rand() * 2; }\n";
+  }
+
+  const std::string as = " --as src/core/fixture.cpp";
+  const RunResult seed = run("--file " + v1 + as + " --sarif " + baseline);
+  EXPECT_EQ(seed.exit_code, 1) << seed.output;
+
+  const RunResult shifted =
+      run("--file " + v2 + as + " --baseline " + baseline);
+  EXPECT_EQ(shifted.exit_code, 0) << shifted.output;
+  EXPECT_NE(shifted.output.find("(0 new, 1 in baseline)"), std::string::npos)
+      << shifted.output;
+
+  const RunResult grown = run("--file " + v3 + as + " --baseline " + baseline);
+  EXPECT_EQ(grown.exit_code, 1) << grown.output;
+  EXPECT_NE(grown.output.find("NEW src/core/fixture.cpp:3"), std::string::npos)
+      << grown.output;
+  EXPECT_NE(grown.output.find("(1 new, 1 in baseline)"), std::string::npos)
+      << grown.output;
+
+  for (const std::string& p : {v1, v2, v3, baseline}) std::remove(p.c_str());
+}
+
+TEST(TsceAnalyze, MalformedBaselineIsAnError) {
+  const std::string path = testing::TempDir() + "tsce_baseline_broken.sarif";
+  {
+    std::ofstream out(path);
+    out << "this is not json";
+  }
+  const RunResult r = run(
+      std::string("--file ") + TSCE_ANALYZE_FIXTURE_DIR +
+      "/deterministic-rng/clean.cpp --as src/core/fixture.cpp --baseline " +
+      path);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("malformed baseline"), std::string::npos) << r.output;
+  std::remove(path.c_str());
+}
+
+TEST(TsceAnalyze, SingleFileModeAutoLoadsNamesRegistryFromRoot) {
+  // Regression: --file mode must pick up <root>/src/obs/names.hpp exactly
+  // like the repo walk does, so bench fixtures validate against the same
+  // registry without an explicit --names.
+  namespace fs = std::filesystem;
+  const fs::path root = fs::path(testing::TempDir()) / "tsce_names_root";
+  fs::create_directories(root / "src" / "obs");
+  {
+    std::ofstream out(root / "src" / "obs" / "names.hpp");
+    out << "#pragma once\n"
+           "inline constexpr const char* kDecodeCalls = \"decode.calls\";\n";
+  }
+  const std::string fixture = std::string(TSCE_ANALYZE_FIXTURE_DIR) +
+                              "/metric-name-registry/bench_names.cpp";
+  const RunResult r = run("--file " + fixture + " --as bench/fixture.cpp" +
+                          " --root " + root.string());
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("\"decode.rogue_series\""), std::string::npos)
+      << r.output;
+  EXPECT_EQ(r.output.find("\"decode.calls\""), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("1 finding"), std::string::npos) << r.output;
+  fs::remove_all(root);
+}
+
+TEST(TsceAnalyze, ChangedOnlyReportsOnlyChangedFiles) {
+  if (std::system("git --version > /dev/null 2>&1") != 0) {
+    GTEST_SKIP() << "git not available";
+  }
+  namespace fs = std::filesystem;
+  const fs::path root = fs::path(testing::TempDir()) / "tsce_changed_repo";
+  fs::remove_all(root);
+  fs::create_directories(root / "src" / "core");
+  {
+    std::ofstream out(root / "src" / "core" / "committed.cpp");
+    out << "#include <cstdlib>\n"
+           "int noisy() { return std::rand(); }\n";
+  }
+  const std::string setup =
+      "cd '" + root.string() +
+      "' && git init -q && git add -A && "
+      "git -c user.email=t@t -c user.name=t commit -q -m seed";
+  ASSERT_EQ(std::system(("sh -c \"" + setup + "\" > /dev/null 2>&1").c_str()),
+            0);
+
+  // The committed file violates deterministic-rng, but it is unchanged vs.
+  // HEAD, so --changed-only filters the finding out.
+  const RunResult quiet =
+      run("--root " + root.string() + " --changed-only");
+  EXPECT_EQ(quiet.exit_code, 0) << quiet.output;
+  EXPECT_NE(quiet.output.find("0 findings"), std::string::npos) << quiet.output;
+
+  // An untracked file with the same violation is "changed" and reported.
+  {
+    std::ofstream out(root / "src" / "core" / "fresh.cpp");
+    out << "#include <cstdlib>\n"
+           "int fresh_noise() { return std::rand(); }\n";
+  }
+  const RunResult loud = run("--root " + root.string() + " --changed-only");
+  EXPECT_EQ(loud.exit_code, 1) << loud.output;
+  EXPECT_NE(loud.output.find("src/core/fresh.cpp"), std::string::npos)
+      << loud.output;
+  EXPECT_EQ(loud.output.find("committed.cpp:"), std::string::npos)
+      << loud.output;
+  fs::remove_all(root);
 }
 
 TEST(TsceAnalyze, MissingFileFails) {

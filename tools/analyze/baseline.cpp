@@ -1,0 +1,66 @@
+#include "analyze/baseline.hpp"
+
+#include <map>
+
+#include "util/json.hpp"
+
+namespace tsce::analyze {
+
+using tsce::util::Json;
+
+std::string baseline_key(const Finding& finding) {
+  return finding.rule + "|" + finding.file + "|" + finding.fingerprint;
+}
+
+std::vector<std::string> baseline_keys_from_sarif(
+    const std::string& sarif_text) {
+  std::vector<std::string> keys;
+  const Json doc = Json::parse(sarif_text);
+  if (!doc.contains("runs")) return keys;
+  for (const Json& run : doc.at("runs").as_array()) {
+    if (!run.contains("results")) continue;
+    for (const Json& result : run.at("results").as_array()) {
+      std::string rule;
+      if (result.contains("ruleId")) rule = result.at("ruleId").as_string();
+      std::string file;
+      if (result.contains("locations")) {
+        const Json::Array& locs = result.at("locations").as_array();
+        if (!locs.empty() && locs.front().contains("physicalLocation")) {
+          const Json& phys = locs.front().at("physicalLocation");
+          if (phys.contains("artifactLocation") &&
+              phys.at("artifactLocation").contains("uri")) {
+            file = phys.at("artifactLocation").at("uri").as_string();
+          }
+        }
+      }
+      std::string fingerprint;
+      if (result.contains("partialFingerprints") &&
+          result.at("partialFingerprints").contains("tsceFingerprint/v1")) {
+        fingerprint =
+            result.at("partialFingerprints").at("tsceFingerprint/v1").as_string();
+      }
+      keys.push_back(rule + "|" + file + "|" + fingerprint);
+    }
+  }
+  return keys;
+}
+
+BaselineDiff diff_against_baseline(
+    const std::vector<Finding>& findings,
+    const std::vector<std::string>& baseline_keys) {
+  std::map<std::string, std::size_t> pool;
+  for (const std::string& key : baseline_keys) ++pool[key];
+  BaselineDiff diff;
+  for (const Finding& f : findings) {
+    const auto it = pool.find(baseline_key(f));
+    if (it != pool.end() && it->second > 0) {
+      --it->second;
+      ++diff.in_baseline;
+    } else {
+      diff.new_findings.push_back(f);
+    }
+  }
+  return diff;
+}
+
+}  // namespace tsce::analyze

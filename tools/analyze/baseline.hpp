@@ -1,0 +1,41 @@
+/// \file baseline.hpp
+/// SARIF baseline diffing for tsce_analyze's CI gate.
+///
+/// A committed baseline SARIF document records the findings the project has
+/// accepted; `tsce_analyze --baseline old.sarif` then fails only on findings
+/// NOT present in the baseline.  Matching is on rule id + file +
+/// partialFingerprints["tsceFingerprint/v1"] (a hash of the flagged line's
+/// trimmed text) — deliberately not on line numbers, so unrelated edits that
+/// shift a file do not resurrect accepted findings.  Multiset semantics: two
+/// identical findings in the scan need two baseline entries.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analyze/rules.hpp"
+
+namespace tsce::analyze {
+
+struct BaselineDiff {
+  std::vector<Finding> new_findings;  ///< findings with no baseline entry
+  std::size_t in_baseline = 0;        ///< findings matched (and consumed)
+};
+
+/// Parses a SARIF 2.1.0 document and returns one matching key per result.
+/// Throws std::exception-derived errors on malformed JSON; results without a
+/// tsceFingerprint/v1 entry produce keys that can never match (they gate as
+/// new findings — safer than silently matching on nothing).
+[[nodiscard]] std::vector<std::string> baseline_keys_from_sarif(
+    const std::string& sarif_text);
+
+/// The same key for a live finding, so diff matching is symmetric.
+[[nodiscard]] std::string baseline_key(const Finding& finding);
+
+/// Splits \p findings into baseline-matched and new.
+[[nodiscard]] BaselineDiff diff_against_baseline(
+    const std::vector<Finding>& findings,
+    const std::vector<std::string>& baseline_keys);
+
+}  // namespace tsce::analyze

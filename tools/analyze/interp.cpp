@@ -1,0 +1,461 @@
+#include "analyze/interp.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+
+namespace tsce::analyze {
+
+namespace {
+
+using TK = TokenKind;
+
+constexpr std::size_t npos = CallGraph::npos;
+
+bool is_pool_call(const std::string& name) {
+  return name == "submit" || name == "parallel_for" ||
+         name == "for_each_index" || name == "for_each";
+}
+
+/// Does any token in [begin, end] spell \p ident (comments excluded)?
+bool range_has_ident(const TokenStream& ts, std::size_t begin, std::size_t end,
+                     std::string_view ident) {
+  const auto& toks = ts.tokens();
+  for (std::size_t k = begin; k <= end && k < toks.size(); ++k) {
+    if (toks[k].kind == TK::kIdentifier && toks[k].text == ident) return true;
+  }
+  return false;
+}
+
+/// Any definition body of \p node contains a Rng::stream / .stream(...)
+/// derivation — the function seeds its own per-item streams.
+bool derives_stream(const std::vector<FileUnit>& units,
+                    const CallGraph::Node& node) {
+  return std::any_of(
+      node.defs.begin(), node.defs.end(), [&](const FunctionDef& def) {
+        return range_has_ident(units[def.file].ts, def.body_begin + 1,
+                               def.body_end - 1, "stream");
+      });
+}
+
+/// Does a definition's parameter list take a util::Rng by reference or
+/// pointer?  Signature tokens run from the '(' after the name to its match.
+bool takes_rng_ref(const FileUnit& unit, const FunctionDef& def) {
+  const TokenStream& ts = unit.ts;
+  const std::size_t open = def.name_idx + 1;
+  if (!ts.at(open).punct("(")) return false;
+  const std::size_t close = ts.match_forward(open);
+  for (std::size_t k = open + 1; k < close && k < ts.size(); ++k) {
+    if (!ts.at(k).ident("Rng")) continue;
+    const std::size_t after = ts.next_code(k);
+    if (after < ts.size() &&
+        (ts.at(after).punct("&") || ts.at(after).punct("*"))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- transitive-hot-alloc ---------------------------------------------------
+
+void rule_transitive_hot_alloc(const std::vector<FileUnit>& units,
+                               const CallGraph& g,
+                               std::vector<Finding>& out) {
+  std::vector<std::size_t> roots;
+  for (std::size_t i = 0; i < g.nodes().size(); ++i) {
+    if (g.nodes()[i].hot) roots.push_back(i);
+  }
+  if (roots.empty()) return;
+  const std::vector<std::size_t> parent = g.reach_from(roots);
+
+  for (std::size_t node = 0; node < g.nodes().size(); ++node) {
+    if (parent[node] == npos) continue;
+    const CallGraph::Node& nd = g.nodes()[node];
+    // The annotated frame itself is the per-file no-alloc-hot rule's job.
+    if (nd.hot) continue;
+    const std::string path = g.path_to(parent, node);
+    const std::string suffix = "' is reachable from a TSCE_HOT frame (" +
+                               path +
+                               "); the whole hot path must stay "
+                               "allocation-free";
+
+    for (const FunctionDef& def : nd.defs) {
+      const FileUnit& unit = units[def.file];
+      const TokenStream& ts = unit.ts;
+      const auto& toks = ts.tokens();
+      for (std::size_t i = def.body_begin + 1; i < def.body_end; ++i) {
+        // Skip allocation sites that belong to a nested definition (a local
+        // struct's methods reach this rule through their own node).
+        if (toks[i].kind != TK::kIdentifier) continue;
+        if (toks[i].text == "new") {
+          if (ts.at(ts.prev_code(i)).ident("operator")) continue;
+          if (g.enclosing(def.file, i) != node) continue;
+          out.push_back({unit.rel, toks[i].line, "transitive-hot-alloc",
+                         "new-expression: '" + nd.qualified + suffix,
+                         {}});
+        } else if (toks[i].text == "make_unique" ||
+                   toks[i].text == "make_shared") {
+          std::size_t k = ts.next_code(i);
+          if (k < toks.size() && ts.at(k).punct("<")) {
+            k = ts.next_code(ts.match_forward(k));
+          }
+          if (k < toks.size() && ts.at(k).punct("(") &&
+              g.enclosing(def.file, i) == node) {
+            out.push_back({unit.rel, toks[i].line, "transitive-hot-alloc",
+                           "'" + toks[i].text + "': '" + nd.qualified + suffix,
+                           {}});
+          }
+        }
+      }
+      for (const Call& call : unit.structure.calls) {
+        if (call.name_idx <= def.body_begin || call.name_idx >= def.body_end) {
+          continue;
+        }
+        if ((call.name != "push_back" && call.name != "emplace_back") ||
+            call.receiver.empty()) {
+          continue;
+        }
+        const bool reserved = std::any_of(
+            unit.structure.calls.begin(), unit.structure.calls.end(),
+            [&](const Call& c) {
+              return c.name == "reserve" && c.receiver == call.receiver;
+            });
+        if (!reserved && g.enclosing(def.file, call.name_idx) == node) {
+          out.push_back({unit.rel, toks[call.name_idx].line,
+                         "transitive-hot-alloc",
+                         "'" + call.receiver + "." + call.name +
+                             "' without a same-file reserve(): '" +
+                             nd.qualified + suffix,
+                         {}});
+        }
+      }
+    }
+  }
+}
+
+// --- lock-order-cycle -------------------------------------------------------
+
+/// One lock acquisition inside a definition, with its resolved mutex key.
+struct Acquisition {
+  std::string key;
+  std::string chain;  ///< spelled access chain, for instance disambiguation
+  std::size_t decl_idx = 0;
+  std::size_t scope_end = 0;
+  std::size_t file = 0;
+  std::size_t line = 0;
+};
+
+/// Resolves a spelled mutex chain to a stable identity key.  Member chains
+/// with a typed receiver key on the class (`impl_->mu` in a MetricsRegistry
+/// method whose file declares `Impl* impl_` -> "Impl::mu"); bare members key
+/// on the enclosing class; everything else keys on the file so two unrelated
+/// `mu`s never merge into a false cycle.
+std::string mutex_key(const FileUnit& unit, const FunctionDef& def,
+                      const std::string& chain, std::size_t at) {
+  const std::size_t dot = chain.find('.');
+  if (dot == std::string::npos) {
+    if (!def.class_name.empty()) return def.class_name + "::" + chain;
+    return unit.rel + "::" + chain;
+  }
+  const std::string head = chain.substr(0, dot);
+  const std::string last = chain.substr(chain.rfind('.') + 1);
+  const std::string rtype = unit.structure.type_of(head, at);
+  if (!rtype.empty() && rtype != "auto") return rtype + "::" + last;
+  return unit.rel + "::" + chain;
+}
+
+void rule_lock_order_cycle(const std::vector<FileUnit>& units,
+                           const CallGraph& g, std::vector<Finding>& out) {
+  // Acquisitions per node, in definition order.
+  std::vector<std::vector<Acquisition>> acquired(g.nodes().size());
+  for (std::size_t node = 0; node < g.nodes().size(); ++node) {
+    for (const FunctionDef& def : g.nodes()[node].defs) {
+      const FileUnit& unit = units[def.file];
+      for (const LockScope& lock : unit.structure.locks) {
+        if (lock.decl_idx <= def.body_begin || lock.decl_idx >= def.body_end) {
+          continue;
+        }
+        if (g.enclosing(def.file, lock.decl_idx) != node) continue;
+        for (const std::string& chain : lock.mutexes) {
+          acquired[node].push_back({mutex_key(unit, def, chain, lock.decl_idx),
+                                    chain, lock.decl_idx, lock.scope_end,
+                                    def.file, lock.line});
+        }
+      }
+    }
+  }
+
+  // Fixpoint: every mutex key acquired by a node or anything it can call.
+  // SCCs arrive callees-first, so one sweep converges.
+  std::vector<std::set<std::string>> all_keys(g.nodes().size());
+  for (const std::vector<std::size_t>& scc : g.sccs()) {
+    std::set<std::string> keys;
+    for (std::size_t m : scc) {
+      for (const Acquisition& a : acquired[m]) keys.insert(a.key);
+      for (const CallEdge& e : g.nodes()[m].edges) {
+        keys.insert(all_keys[e.callee].begin(), all_keys[e.callee].end());
+      }
+    }
+    for (std::size_t m : scc) all_keys[m] = keys;
+  }
+
+  // Order edges: key A held while key B acquired (in-function nesting or
+  // through a call made inside A's extent).
+  struct OrderEdge {
+    std::string from, to;
+    std::size_t file = 0;
+    std::size_t line = 0;
+  };
+  std::vector<OrderEdge> edges;
+  auto add_edge = [&](const std::string& from, const std::string& to,
+                      std::size_t file, std::size_t line) {
+    const bool dup = std::any_of(
+        edges.begin(), edges.end(), [&](const OrderEdge& e) {
+          return e.from == from && e.to == to;
+        });
+    if (!dup) edges.push_back({from, to, file, line});
+  };
+  for (std::size_t node = 0; node < g.nodes().size(); ++node) {
+    for (const Acquisition& a : acquired[node]) {
+      for (const Acquisition& b : acquired[node]) {
+        if (b.file != a.file || b.decl_idx <= a.decl_idx ||
+            b.decl_idx >= a.scope_end) {
+          continue;
+        }
+        // Two same-key acquisitions with different spellings are almost
+        // always distinct instances (hand-over-hand per-object locking);
+        // identical spellings nested in one function are a real
+        // re-acquisition.
+        if (a.key == b.key && a.chain != b.chain) continue;
+        add_edge(a.key, b.key, b.file, b.line);
+      }
+      for (const CallEdge& call : g.nodes()[node].edges) {
+        if (call.file != a.file || call.tok_idx <= a.decl_idx ||
+            call.tok_idx >= a.scope_end) {
+          continue;
+        }
+        for (const std::string& key : all_keys[call.callee]) {
+          add_edge(a.key, key, call.file, call.line);
+        }
+      }
+    }
+  }
+
+  // Cycle = an edge whose head already reaches its tail.
+  std::map<std::string, std::vector<const OrderEdge*>> adj;
+  for (const OrderEdge& e : edges) adj[e.from].push_back(&e);
+  auto reaches = [&](const std::string& from, const std::string& to) {
+    std::set<std::string> seen{from};
+    std::vector<std::string> queue{from};
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const auto it = adj.find(queue[head]);
+      if (it == adj.end()) continue;
+      for (const OrderEdge* e : it->second) {
+        if (e->to == to) return true;
+        if (seen.insert(e->to).second) queue.push_back(e->to);
+      }
+    }
+    return false;
+  };
+
+  // Group cyclic edges by their unordered mutex pair/cycle set so one cycle
+  // yields one finding, at its smallest (file, line) witness edge.
+  std::map<std::string, const OrderEdge*> witness;
+  for (const OrderEdge& e : edges) {
+    const bool cyclic = e.from == e.to || reaches(e.to, e.from);
+    if (!cyclic) continue;
+    std::string group = e.from < e.to ? e.from + "|" + e.to
+                                      : e.to + "|" + e.from;
+    const auto it = witness.find(group);
+    if (it == witness.end() ||
+        std::tie(units[e.file].rel, e.line) <
+            std::tie(units[it->second->file].rel, it->second->line)) {
+      witness[group] = &e;
+    }
+  }
+  for (const auto& [group, e] : witness) {
+    std::string message;
+    if (e->from == e->to) {
+      message = "potential self-deadlock: '" + e->from +
+                "' is acquired again while already held on this path";
+    } else {
+      // Name the counter-edge so the report shows both halves of the cycle.
+      const OrderEdge* back = nullptr;
+      for (const OrderEdge& other : edges) {
+        if (other.from == e->to && reaches(other.to, e->from)) {
+          back = &other;
+          break;
+        }
+      }
+      message = "potential deadlock: lock-order cycle between '" + e->from +
+                "' and '" + e->to + "'; this path acquires '" + e->to +
+                "' while holding '" + e->from + "'";
+      if (back != nullptr) {
+        message += ", the opposite order is taken at " +
+                   units[back->file].rel + ":" + std::to_string(back->line);
+      }
+    }
+    out.push_back(
+        {units[e->file].rel, e->line, "lock-order-cycle", message, {}});
+  }
+}
+
+// --- rng-stream-escape ------------------------------------------------------
+
+void rule_rng_stream_escape(const std::vector<FileUnit>& units,
+                            const CallGraph& g, std::vector<Finding>& out) {
+  // Roots: functions called from inside a lambda handed to a ThreadPool
+  // entry point, when the lambda body does not derive per-item streams.
+  std::vector<std::size_t> roots;
+  std::map<std::size_t, std::string> root_site;
+  for (std::size_t f = 0; f < units.size(); ++f) {
+    if (!units[f].in_graph) continue;
+    const FileUnit& unit = units[f];
+    for (const Call& call : unit.structure.calls) {
+      if (!is_pool_call(call.name)) continue;
+      const std::size_t caller = g.enclosing(f, call.name_idx);
+      if (caller == npos) continue;
+      for (const Lambda& lam : unit.structure.lambdas) {
+        if (lam.intro_idx <= call.open_idx || lam.intro_idx >= call.close_idx) {
+          continue;
+        }
+        if (range_has_ident(unit.ts, lam.body_begin + 1, lam.body_end - 1,
+                            "stream")) {
+          continue;  // the submission site derives per-item streams
+        }
+        for (const CallEdge& e : g.nodes()[caller].edges) {
+          if (e.file != f || e.tok_idx <= lam.body_begin ||
+              e.tok_idx >= lam.body_end) {
+            continue;
+          }
+          if (root_site.find(e.callee) == root_site.end()) {
+            roots.push_back(e.callee);
+            root_site[e.callee] =
+                unit.rel + ":" + std::to_string(e.line);
+          }
+        }
+      }
+    }
+  }
+  if (roots.empty()) return;
+
+  // BFS, stopping at functions that derive their own streams: what they pass
+  // further down is per-item by construction.
+  std::vector<std::size_t> parent(g.nodes().size(), npos);
+  std::vector<std::size_t> queue;
+  for (std::size_t r : roots) {
+    if (parent[r] == npos && !derives_stream(units, g.nodes()[r])) {
+      parent[r] = r;
+      queue.push_back(r);
+    }
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::size_t u = queue[head];
+    for (const CallEdge& e : g.nodes()[u].edges) {
+      if (parent[e.callee] != npos) continue;
+      if (derives_stream(units, g.nodes()[e.callee])) continue;
+      parent[e.callee] = u;
+      queue.push_back(e.callee);
+    }
+  }
+
+  for (std::size_t node = 0; node < g.nodes().size(); ++node) {
+    if (parent[node] == npos) continue;
+    const CallGraph::Node& nd = g.nodes()[node];
+    for (const FunctionDef& def : nd.defs) {
+      if (!takes_rng_ref(units[def.file], def)) continue;
+      std::size_t root = node;
+      while (parent[root] != root) root = parent[root];
+      out.push_back(
+          {units[def.file].rel, def.line, "rng-stream-escape",
+           "'" + nd.qualified +
+               "' takes a util::Rng by reference and is reached from a "
+               "ThreadPool submission site at " +
+               root_site[root] + " (" + g.path_to(parent, node) +
+               ") with no Rng::stream derivation on the path; results depend "
+               "on the thread schedule",
+           {}});
+      break;  // one finding per function, not per overload definition
+    }
+  }
+}
+
+// --- hot-path-virtual -------------------------------------------------------
+
+void rule_hot_path_virtual(const std::vector<FileUnit>& units,
+                           const CallGraph& g, std::vector<Finding>& out) {
+  std::vector<std::size_t> roots;
+  for (std::size_t i = 0; i < g.nodes().size(); ++i) {
+    if (g.nodes()[i].hot) roots.push_back(i);
+  }
+  if (roots.empty()) return;
+  const std::vector<std::size_t> parent = g.reach_from(roots);
+  const auto& virtuals = g.virtual_methods();
+
+  for (std::size_t node = 0; node < g.nodes().size(); ++node) {
+    if (parent[node] == npos) continue;
+    const CallGraph::Node& nd = g.nodes()[node];
+    const std::string path = g.path_to(parent, node);
+    for (const FunctionDef& def : nd.defs) {
+      const FileUnit& unit = units[def.file];
+      for (const Call& call : unit.structure.calls) {
+        if (call.name_idx <= def.body_begin || call.name_idx >= def.body_end ||
+            call.qualified) {
+          continue;
+        }
+        if (g.enclosing(def.file, call.name_idx) != node) continue;
+        const std::size_t line = unit.ts.at(call.name_idx).line;
+        const auto it = virtuals.find(call.name);
+        if (it != virtuals.end()) {
+          // `recv.method(...)` on a receiver typed as a class declaring the
+          // method virtual, or an unqualified call to the caller's own
+          // virtual — both dispatch through the vtable.
+          std::string cls;
+          if (!call.receiver.empty()) {
+            cls = unit.structure.type_of(call.receiver, call.name_idx);
+          } else {
+            cls = def.class_name;
+          }
+          const bool is_virtual =
+              !cls.empty() && std::find(it->second.begin(), it->second.end(),
+                                        cls) != it->second.end();
+          if (is_virtual) {
+            out.push_back(
+                {unit.rel, line, "hot-path-virtual",
+                 "virtual dispatch of '" + cls + "::" + call.name +
+                     "' inside TSCE_HOT-reachable code (" + path +
+                     "); devirtualize or hoist the dispatch off the hot path",
+                 {}});
+            continue;
+          }
+        }
+        if (call.receiver.empty() &&
+            unit.structure.type_of(call.name, call.name_idx) == "function") {
+          out.push_back(
+              {unit.rel, line, "hot-path-virtual",
+               "call through std::function '" + call.name +
+                   "' inside TSCE_HOT-reachable code (" + path +
+                   "); use a direct call or a template parameter on the hot "
+                   "path",
+               {}});
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> run_interprocedural_rules(
+    const std::vector<FileUnit>& units, const CallGraph& graph) {
+  std::vector<Finding> out;
+  rule_transitive_hot_alloc(units, graph, out);
+  rule_lock_order_cycle(units, graph, out);
+  rule_rng_stream_escape(units, graph, out);
+  rule_hot_path_virtual(units, graph, out);
+  return out;
+}
+
+}  // namespace tsce::analyze

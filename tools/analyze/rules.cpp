@@ -1,8 +1,13 @@
 #include "analyze/rules.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <map>
 #include <set>
+#include <tuple>
 
+#include "analyze/callgraph.hpp"
+#include "analyze/interp.hpp"
 #include "analyze/lexer.hpp"
 #include "analyze/scopes.hpp"
 
@@ -12,7 +17,7 @@ namespace {
 
 using TK = TokenKind;
 
-const std::array<RuleInfo, 11> kRegistry = {{
+const std::array<RuleInfo, 15> kRegistry = {{
     {"deterministic-rng",
      "all randomness flows through util::Rng; no std::rand / srand / "
      "random_device / time() seeds outside tests/"},
@@ -40,6 +45,18 @@ const std::array<RuleInfo, 11> kRegistry = {{
     {"no-alloc-hot",
      "no new / make_unique / make_shared / push_back-without-reserve inside a "
      "TSCE_HOT function; hoist into ctor-sized scratch buffers"},
+    {"transitive-hot-alloc",
+     "no allocation in any function transitively reachable from a TSCE_HOT "
+     "frame through the project call graph"},
+    {"lock-order-cycle",
+     "lock acquisition order composed along call edges must be acyclic; a "
+     "cycle (or re-acquisition) is a potential deadlock"},
+    {"rng-stream-escape",
+     "a util::Rng& must not reach ThreadPool-submitted code without a "
+     "Rng::stream derivation on the call path"},
+    {"hot-path-virtual",
+     "no virtual or std::function dispatch inside TSCE_HOT-reachable code; "
+     "devirtualize or hoist the dispatch"},
     {"unused-suppression",
      "every tsce-lint: allow(...) comment must suppress an actual finding"},
 }};
@@ -115,6 +132,20 @@ std::vector<Suppression> collect_suppressions(const TokenStream& ts) {
   return out;
 }
 
+/// Marks the first suppression covering (\p rule, \p line) as used; true
+/// when the finding is absorbed.
+bool absorb(std::vector<Suppression>& suppressions, std::string_view rule,
+            std::size_t line) {
+  for (Suppression& s : suppressions) {
+    if (s.rule == rule &&
+        (s.comment_line == line || (s.also_covers != 0 && s.also_covers == line))) {
+      s.used = true;
+      return true;
+    }
+  }
+  return false;
+}
+
 /// Shared state for one file's analysis pass.
 struct FileCheck {
   const std::string& rel;
@@ -128,14 +159,8 @@ struct FileCheck {
 
   /// Reports unless a matching suppression covers \p line.
   void report(std::size_t line, std::string_view rule, std::string message) {
-    for (Suppression& s : suppressions) {
-      if (s.rule == rule &&
-          (s.comment_line == line || (s.also_covers != 0 && s.also_covers == line))) {
-        s.used = true;
-        return;
-      }
-    }
-    findings.push_back({rel, line, std::string(rule), std::move(message)});
+    if (absorb(suppressions, rule, line)) return;
+    findings.push_back({rel, line, std::string(rule), std::move(message), {}});
   }
 };
 
@@ -712,9 +737,172 @@ void rule_no_alloc_hot(FileCheck& c) {
   }
 }
 
+/// Runs every per-file rule on one parsed unit (the interprocedural rules and
+/// the unused-suppression finalization happen at project level).
+void run_file_rules(const std::string& rel, const TokenStream& ts,
+                    const FileStructure& fs,
+                    std::vector<Suppression>& suppressions,
+                    const std::vector<std::string>& registered_names,
+                    std::vector<Finding>& findings) {
+  FileCheck check{rel, ts, fs, suppressions, findings, registered_names};
+  const bool is_header =
+      rel.size() > 4 && rel.compare(rel.size() - 4, 4, ".hpp") == 0;
+
+  rule_deterministic_rng(check);
+  rule_invalid_id_sentinel(check);
+  rule_no_iostream_hot(check);
+  rule_metric_name_registry(check);
+  rule_pragma_once(check, is_header);
+  rule_nondeterministic_iteration(check);
+  rule_float_fitness_equality(check);
+  rule_lock_across_callback(check);
+  rule_rng_shared_capture(check);
+  rule_no_alloc_hot(check);
+}
+
+/// unused-suppression runs last: every allow() that did not absorb a finding
+/// is itself a finding (suppressible at its own line, for the rare
+/// intentionally-ahead-of-its-time suppression).
+void finalize_suppressions(const std::string& rel,
+                           std::vector<Suppression>& suppressions,
+                           std::vector<Finding>& findings) {
+  for (std::size_t i = 0; i < suppressions.size(); ++i) {
+    Suppression& s = suppressions[i];
+    if (s.used || s.rule == "unused-suppression") continue;
+    const std::string message =
+        known_rule(s.rule)
+            ? "stale suppression: allow(" + s.rule + ") matches no finding"
+            : "unknown rule in suppression: allow(" + s.rule + ")";
+    // Suppressible by allow(unused-suppression) on the same line.
+    bool absorbed = false;
+    for (Suppression& meta : suppressions) {
+      if (meta.rule == "unused-suppression" &&
+          (meta.comment_line == s.comment_line ||
+           meta.also_covers == s.comment_line)) {
+        meta.used = true;
+        absorbed = true;
+        break;
+      }
+    }
+    if (!absorbed) {
+      findings.push_back(
+          {rel, s.comment_line, "unused-suppression", message, {}});
+    }
+  }
+  for (const Suppression& s : suppressions) {
+    if (s.rule == "unused-suppression" && !s.used) {
+      findings.push_back({rel, s.comment_line, "unused-suppression",
+                          "stale suppression: allow(unused-suppression) "
+                          "matches no finding",
+                          {}});
+    }
+  }
+}
+
+/// Trimmed text of 1-based \p line of \p source; empty when out of range.
+std::string_view trimmed_line(std::string_view source, std::size_t line) {
+  std::size_t start = 0;
+  for (std::size_t n = 1; n < line; ++n) {
+    start = source.find('\n', start);
+    if (start == std::string_view::npos) return {};
+    ++start;
+  }
+  const std::size_t end = source.find('\n', start);
+  std::string_view text = source.substr(
+      start, end == std::string_view::npos ? end : end - start);
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t' ||
+                           text.front() == '\r')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t' ||
+                           text.back() == '\r')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+/// FNV-1a (64-bit, hex) over rule|file|trimmed-line-text.  Hashing the line's
+/// *text* rather than its number keeps the fingerprint stable across edits
+/// elsewhere in the file, which is what makes SARIF baseline diffing honest.
+std::string fingerprint_of(const Finding& f, std::string_view source) {
+  std::string key = f.rule + "|" + f.file + "|";
+  if (f.line == 0) {
+    key += "whole-file";
+  } else {
+    key += trimmed_line(source, f.line);
+  }
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char ch : key) {
+    h ^= ch;
+    h *= 1099511628211ull;
+  }
+  std::string hex(16, '0');
+  for (std::size_t i = 0; i < 16; ++i) {
+    hex[i] = "0123456789abcdef"[(h >> (60 - 4 * i)) & 0xF];
+  }
+  return hex;
+}
+
 }  // namespace
 
-const std::array<RuleInfo, 11>& rule_registry() noexcept { return kRegistry; }
+const std::array<RuleInfo, 15>& rule_registry() noexcept { return kRegistry; }
+
+ProjectResult analyze_project(const std::vector<FileInput>& files,
+                              const std::vector<std::string>& registered_names,
+                              bool want_dot) {
+  ProjectResult result;
+  std::vector<FileUnit> units;
+  std::vector<std::vector<Suppression>> suppressions;
+  units.reserve(files.size());
+  suppressions.reserve(files.size());
+  for (const FileInput& f : files) {
+    TokenStream ts{lex(f.source)};
+    FileStructure structure = parse_structure(ts);
+    suppressions.push_back(collect_suppressions(ts));
+    const bool in_graph = in_dir(f.rel, "src") || in_dir(f.rel, "bench") ||
+                          in_dir(f.rel, "tools");
+    units.push_back({f.rel, std::move(ts), std::move(structure), in_graph});
+  }
+
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    run_file_rules(units[i].rel, units[i].ts, units[i].structure,
+                   suppressions[i], registered_names, result.findings);
+  }
+
+  const CallGraph graph = build_call_graph(units);
+  std::map<std::string, std::size_t> by_rel;
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    by_rel.emplace(units[i].rel, i);
+  }
+  std::vector<Finding> interp = run_interprocedural_rules(units, graph);
+  for (Finding& f : interp) {
+    const auto it = by_rel.find(f.file);
+    if (it != by_rel.end() &&
+        absorb(suppressions[it->second], f.rule, f.line)) {
+      continue;
+    }
+    result.findings.push_back(std::move(f));
+  }
+
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    finalize_suppressions(units[i].rel, suppressions[i], result.findings);
+  }
+
+  for (Finding& f : result.findings) {
+    const auto it = by_rel.find(f.file);
+    f.fingerprint = fingerprint_of(
+        f, it == by_rel.end() ? std::string_view{}
+                              : std::string_view(files[it->second].source));
+  }
+  std::stable_sort(result.findings.begin(), result.findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return std::tie(a.file, a.line, a.rule) <
+                            std::tie(b.file, b.line, b.rule);
+                   });
+
+  if (want_dot) result.callgraph_dot = graph.to_dot();
+  return result;
+}
 
 std::vector<Finding> analyze_source(const std::string& rel_path,
                                     std::string_view source) {
@@ -740,61 +928,9 @@ std::vector<std::string> extract_registered_names(
 std::vector<Finding> analyze_source(
     const std::string& rel_path, std::string_view source,
     const std::vector<std::string>& registered_names) {
-  TokenStream ts(lex(source));
-  const FileStructure fs = parse_structure(ts);
-  std::vector<Suppression> suppressions = collect_suppressions(ts);
-  std::vector<Finding> findings;
-  FileCheck check{rel_path, ts, fs, suppressions, findings, registered_names};
-
-  const bool is_header =
-      rel_path.size() > 4 &&
-      rel_path.compare(rel_path.size() - 4, 4, ".hpp") == 0;
-
-  rule_deterministic_rng(check);
-  rule_invalid_id_sentinel(check);
-  rule_no_iostream_hot(check);
-  rule_metric_name_registry(check);
-  rule_pragma_once(check, is_header);
-  rule_nondeterministic_iteration(check);
-  rule_float_fitness_equality(check);
-  rule_lock_across_callback(check);
-  rule_rng_shared_capture(check);
-  rule_no_alloc_hot(check);
-
-  // unused-suppression runs last: every allow() that did not absorb a finding
-  // is itself a finding (suppressible at its own line, for the rare
-  // intentionally-ahead-of-its-time suppression).
-  for (std::size_t i = 0; i < suppressions.size(); ++i) {
-    Suppression& s = suppressions[i];
-    if (s.used || s.rule == "unused-suppression") continue;
-    const std::string message =
-        known_rule(s.rule)
-            ? "stale suppression: allow(" + s.rule + ") matches no finding"
-            : "unknown rule in suppression: allow(" + s.rule + ")";
-    // Suppressible by allow(unused-suppression) on the same line.
-    bool absorbed = false;
-    for (Suppression& meta : suppressions) {
-      if (meta.rule == "unused-suppression" &&
-          (meta.comment_line == s.comment_line ||
-           meta.also_covers == s.comment_line)) {
-        meta.used = true;
-        absorbed = true;
-        break;
-      }
-    }
-    if (!absorbed) {
-      findings.push_back(
-          {rel_path, s.comment_line, "unused-suppression", message});
-    }
-  }
-  for (const Suppression& s : suppressions) {
-    if (s.rule == "unused-suppression" && !s.used) {
-      findings.push_back({rel_path, s.comment_line, "unused-suppression",
-                          "stale suppression: allow(unused-suppression) "
-                          "matches no finding"});
-    }
-  }
-  return findings;
+  std::vector<FileInput> files;
+  files.push_back({rel_path, std::string(source)});
+  return analyze_project(files, registered_names).findings;
 }
 
 }  // namespace tsce::analyze

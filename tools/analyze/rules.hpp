@@ -1,13 +1,14 @@
 /// \file rules.hpp
-/// Rule metadata and the per-file analysis entry point for tsce_analyze.
+/// Rule metadata and the analysis entry points for tsce_analyze.
 ///
-/// Eleven rules: the five token rules inherited from the original regex-based
+/// Fifteen rules: the five token rules inherited from the original regex-based
 /// tsce_lint (deterministic-rng, invalid-id-sentinel, no-iostream-hot,
-/// metric-name-registry, pragma-once), now matched on the token stream so
-/// strings and comments can never false-positive, plus six semantics-aware
-/// rules built on the scope parser (nondeterministic-iteration,
+/// metric-name-registry, pragma-once), six semantics-aware per-file rules
+/// built on the scope parser (nondeterministic-iteration,
 /// float-fitness-equality, lock-across-callback, rng-shared-capture,
-/// no-alloc-hot, unused-suppression).
+/// no-alloc-hot, unused-suppression), and four interprocedural rules written
+/// against the project call graph (transitive-hot-alloc, lock-order-cycle,
+/// rng-stream-escape, hot-path-virtual — see interp.hpp).
 ///
 /// Suppression: `// tsce-lint: allow(<rule>)` on the offending line, or on a
 /// comment-only line directly above it.  Every suppression must match a
@@ -28,6 +29,10 @@ struct Finding {
   std::size_t line;  ///< 1-based; 0 = whole-file finding
   std::string rule;
   std::string message;
+  /// Stable identity for SARIF baseline diffing: FNV-1a hash (hex) of
+  /// rule + file + the trimmed source text of the flagged line, so findings
+  /// survive unrelated edits that only shift line numbers.
+  std::string fingerprint;
 };
 
 struct RuleInfo {
@@ -37,16 +42,38 @@ struct RuleInfo {
 
 /// Registry of every rule id the analyzer can emit (drives SARIF
 /// tool.driver.rules and the unknown-suppression diagnostic).
-[[nodiscard]] const std::array<RuleInfo, 11>& rule_registry() noexcept;
+[[nodiscard]] const std::array<RuleInfo, 15>& rule_registry() noexcept;
 
-/// Analyzes one translation unit.  \p rel_path selects the directory-scoped
-/// rules (e.g. no-iostream-hot only fires under src/core|analysis|model) and
-/// is stamped into each finding; \p source is the file's full text.
+/// One translation unit handed to the project pass.
+struct FileInput {
+  std::string rel;  ///< repo-relative path (selects directory-scoped rules)
+  std::string source;
+};
+
+struct ProjectResult {
+  std::vector<Finding> findings;  ///< sorted by (file, line, rule)
+  std::string callgraph_dot;      ///< Graphviz rendering; empty unless requested
+};
+
+/// Whole-program analysis: runs the per-file rules on every input, builds the
+/// project call graph over the graph-eligible trees (src/, bench/, tools/),
+/// runs the four interprocedural rules, and routes every finding through its
+/// file's suppression comments.  \p registered_names is the metric/trace name
+/// set of src/obs/names.hpp (see extract_registered_names); pass an empty
+/// vector to keep the strict literal ban everywhere.
+[[nodiscard]] ProjectResult analyze_project(
+    const std::vector<FileInput>& files,
+    const std::vector<std::string>& registered_names, bool want_dot = false);
+
+/// Analyzes one translation unit (single-file convenience wrapper over
+/// analyze_project; interprocedural rules still run, seeing just this file's
+/// definitions).  \p rel_path selects the directory-scoped rules (e.g.
+/// no-iostream-hot only fires under src/core|analysis|model) and is stamped
+/// into each finding; \p source is the file's full text.
 [[nodiscard]] std::vector<Finding> analyze_source(const std::string& rel_path,
                                                   std::string_view source);
 
-/// Same, with the registered metric/trace name set (the string literals of
-/// src/obs/names.hpp, see extract_registered_names).  Under bench/, tools/,
+/// Same, with the registered metric/trace name set.  Under bench/, tools/,
 /// and examples/ a literal metric name is then a metric-name-registry finding
 /// only when it is NOT in the set — those trees may name ad-hoc series, but
 /// the name must still be declared in the registry so trace_report and the

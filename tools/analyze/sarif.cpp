@@ -52,6 +52,13 @@ std::string to_sarif(const std::vector<Finding>& findings,
     result.set("level", "error");
     result.set("message", std::move(message));
     result.set("locations", std::move(locations));
+    if (!f.fingerprint.empty()) {
+      // Versioned so a future hash change cannot silently match against an
+      // old baseline (the diff treats unknown versions as new findings).
+      Json prints = Json::object();
+      prints.set("tsceFingerprint/v1", f.fingerprint);
+      result.set("partialFingerprints", std::move(prints));
+    }
     results.push_back(std::move(result));
   }
 

@@ -106,7 +106,16 @@ FileStructure parse_structure(const TokenStream& ts) {
       }
       break;  // statement boundary or something that is not a type
     }
-    if (type_last.empty()) return false;
+    if (type_last.empty()) {
+      // `auto x = ...` has no concrete type spelling but is still a
+      // declaration — the call-graph resolver must know the name is a local
+      // (e.g. a lambda variable), not a free function.
+      if (std::find(type_parts.begin(), type_parts.end(), "auto") ==
+          type_parts.end()) {
+        return false;
+      }
+      type_last = "auto";
+    }
     // The token before the type must be a boundary, not an expression.
     if (k < n) {
       const Token& b = toks[k];
@@ -129,7 +138,29 @@ FileStructure parse_structure(const TokenStream& ts) {
     }
     if (type_last == "lock_guard" || type_last == "unique_lock" ||
         type_last == "scoped_lock") {
-      out.locks.push_back({name_at, n - 1, name_tok.line});
+      LockScope lock{name_at, n - 1, name_tok.line, {}};
+      // Constructor arguments: each top-level argument's identifier chain,
+      // member accesses joined with '.' (`impl_->mu` records as "impl_.mu").
+      const std::size_t open = name_at + 1 < n ? name_at + 1 : name_at;
+      if (toks[open].punct("(")) {
+        const std::size_t close = ts.match_forward(open);
+        std::string chain;
+        for (std::size_t k = open + 1; k < close && k < n; ++k) {
+          const Token& a = toks[k];
+          if (a.kind == TK::kIdentifier) {
+            chain += a.text;
+          } else if (a.punct(".") || a.punct("->")) {
+            chain += '.';
+          } else if (a.punct(",")) {
+            if (!chain.empty()) lock.mutexes.push_back(chain);
+            chain.clear();
+          }
+          // std::adopt_lock and friends would be recorded as chains too;
+          // harmless — rule code only compares chains against each other.
+        }
+        if (!chain.empty()) lock.mutexes.push_back(chain);
+      }
+      out.locks.push_back(std::move(lock));
       if (!scope_stack.empty()) {
         scope_stack.back().lock_indices.push_back(out.locks.size() - 1);
       }
@@ -322,6 +353,24 @@ FileStructure parse_structure(const TokenStream& ts) {
   }
 
   while (!scope_stack.empty()) close_scope(n - 1);
+
+  // Early release: `<guard>.unlock()` / `<guard>.release()` ends the held
+  // extent at the call site, so rules do not treat code after a deliberate
+  // drop (the worker-loop pattern: dequeue under lock, run unlocked) as
+  // lock-covered.  unique_lock can relock afterwards; the truncation is
+  // deliberately conservative in the rules' favor (shorter extent = fewer
+  // findings, never a spurious one).
+  for (LockScope& lock : out.locks) {
+    const std::string& guard_name = toks[lock.decl_idx].text;
+    for (const Call& call : out.calls) {
+      if ((call.name == "unlock" || call.name == "release") &&
+          call.receiver == guard_name && call.name_idx > lock.decl_idx &&
+          call.name_idx < lock.scope_end) {
+        lock.scope_end = call.name_idx;
+        break;  // calls are in token order; the first drop wins
+      }
+    }
+  }
   return out;
 }
 

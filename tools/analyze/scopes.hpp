@@ -64,11 +64,16 @@ struct Call {
 };
 
 /// A lock_guard / unique_lock / scoped_lock declaration and the extent of
-/// the scope it protects (declaration through enclosing '}').
+/// the scope it protects: declaration through the enclosing '}', or through
+/// the first `<guard>.unlock()` / `<guard>.release()` call when the code
+/// drops the lock early (the extent is what the analyzer treats as "held").
+/// `mutexes` records each constructor argument's spelled access chain
+/// (`mu`, `impl_.mu`, `g_impl.mu`) — scoped_lock may name several.
 struct LockScope {
   std::size_t decl_idx = 0;
   std::size_t scope_end = 0;
   std::size_t line = 0;
+  std::vector<std::string> mutexes;
 };
 
 struct FileStructure {

@@ -3,31 +3,48 @@
 /// the successor to the regex-based tsce_lint.  A real C++ lexer plus a
 /// lightweight declaration/scope parser (analyze/lexer.hpp, analyze/
 /// scopes.hpp; deliberately no libclang so the tool builds and runs anywhere
-/// the code does, in milliseconds) drives ten rule visitors: the five
-/// inherited token rules and five semantics-aware determinism rules.  See
-/// analyze/rules.cpp for the rule catalog and DESIGN.md §11 for the
-/// architecture.
+/// the code does, in milliseconds) drives fifteen rule visitors: the five
+/// inherited token rules, six semantics-aware per-file rules, and four
+/// interprocedural rules over a project-wide call graph (analyze/
+/// callgraph.hpp).  See analyze/rules.cpp for the rule catalog and DESIGN.md
+/// §11 for the architecture.
 ///
 /// Usage:
 ///   tsce_analyze [--root <repo-root>] [--sarif <out.sarif>]
+///                [--baseline <old.sarif>] [--changed-only [<git-ref>]]
+///                [--callgraph-dot <out.dot>]
 ///   tsce_analyze --file <path> [--as <repo-relative-path>] [--sarif <out>]
 ///
 /// The default mode walks src/, tools/, bench/, examples/, and tests/
-/// (skipping fixtures/ directories) for .cpp/.hpp files.  --file analyzes a
-/// single file — used by the golden-fixture tests — and --as sets the
-/// repo-relative path it is analyzed as, which selects the directory-scoped
-/// rules.  Findings print to stderr in file:line: [rule] message form; with
-/// --sarif a SARIF 2.1.0 document is also written.  Exit: 0 clean, 1
-/// findings, 2 usage error.
+/// (skipping fixtures/ directories) for .cpp/.hpp files and analyzes them as
+/// one program: per-file rules first, then the call graph and the
+/// interprocedural rules.  --file analyzes a single file — used by the
+/// golden-fixture tests — and --as sets the repo-relative path it is analyzed
+/// as, which selects the directory-scoped rules.
+///
+/// --baseline diffs the scan against a committed SARIF document and fails
+/// only on NEW findings (matched on rule + file + fingerprint, not line
+/// numbers).  --changed-only restricts *reported* findings to files changed
+/// against a git ref (default HEAD) plus untracked files; the call graph is
+/// still built project-wide so interprocedural findings stay sound.
+/// --callgraph-dot writes the resolved call graph in Graphviz DOT form.
+///
+/// Findings print to stderr in file:line: [rule] message form; with --sarif a
+/// SARIF 2.1.0 document is also written.  Exit: 0 clean (or no new findings
+/// under --baseline), 1 findings, 2 usage error.
 
+#include <algorithm>
 #include <cstdio>
+#include <exception>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "analyze/baseline.hpp"
 #include "analyze/rules.hpp"
 #include "analyze/sarif.hpp"
 
@@ -49,17 +66,72 @@ bool read_file(const fs::path& path, std::string& out) {
 int usage(int code) {
   std::printf(
       "usage: tsce_analyze [--root <repo-root>] [--sarif <out.sarif>]\n"
+      "                    [--baseline <old.sarif>] [--changed-only [<ref>]]\n"
+      "                    [--callgraph-dot <out.dot>]\n"
       "       tsce_analyze --file <path> [--as <rel-path>] [--names <hpp>]\n"
       "                    [--sarif <out>]\n"
       "\n--names points at a metric-name registry header (default: the\n"
-      "repo's src/obs/names.hpp in --root mode); its string literals are the\n"
-      "names a bench/tools/examples literal may legally spell out.\n"
+      "repo's src/obs/names.hpp under --root, in both modes); its string\n"
+      "literals are the names a bench/tools/examples literal may legally\n"
+      "spell out.\n"
+      "--baseline exits 1 only on findings absent from the given SARIF\n"
+      "document (rule+file+fingerprint match).  --changed-only reports only\n"
+      "files changed vs. a git ref (default HEAD) or untracked.\n"
       "\nrules:\n");
   for (const tsce::analyze::RuleInfo& r : tsce::analyze::rule_registry()) {
     std::printf("  %-26s %.*s\n", std::string(r.id).c_str(),
                 static_cast<int>(r.summary.size()), r.summary.data());
   }
   return code;
+}
+
+/// Lines of a shell command's stdout; ok=false when the command failed.
+std::vector<std::string> command_lines(const std::string& cmd, bool& ok) {
+  std::vector<std::string> lines;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    ok = false;
+    return lines;
+  }
+  std::string current;
+  char buf[4096];
+  while (std::fgets(buf, sizeof buf, pipe) != nullptr) {
+    current += buf;
+    std::size_t nl = current.find('\n');
+    while (nl != std::string::npos) {
+      if (nl > 0) lines.push_back(current.substr(0, nl));
+      current.erase(0, nl + 1);
+      nl = current.find('\n');
+    }
+  }
+  if (!current.empty()) lines.push_back(current);
+  ok = pclose(pipe) == 0;
+  return lines;
+}
+
+/// Files changed against \p ref plus untracked files, repo-relative.
+std::set<std::string> changed_files(const fs::path& root,
+                                    const std::string& ref) {
+  std::set<std::string> changed;
+  const std::string git = "git -C '" + root.string() + "' ";
+  bool diff_ok = false;
+  for (const std::string& line :
+       command_lines(git + "diff --name-only " + ref + " 2>/dev/null",
+                     diff_ok)) {
+    changed.insert(line);
+  }
+  if (!diff_ok) {
+    std::fprintf(stderr,
+                 "tsce_analyze: warning: 'git diff --name-only %s' failed; "
+                 "--changed-only may be empty\n",
+                 ref.c_str());
+  }
+  bool ls_ok = false;
+  for (const std::string& line : command_lines(
+           git + "ls-files --others --exclude-standard 2>/dev/null", ls_ok)) {
+    changed.insert(line);
+  }
+  return changed;
 }
 
 }  // namespace
@@ -70,6 +142,10 @@ int main(int argc, char** argv) {
   std::string as_path;
   std::string sarif_path;
   std::string names_path;
+  std::string baseline_path;
+  std::string dot_path;
+  bool changed_only = false;
+  std::string changed_ref = "HEAD";
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--root" && i + 1 < argc) {
@@ -82,6 +158,15 @@ int main(int argc, char** argv) {
       names_path = argv[++i];
     } else if (arg == "--sarif" && i + 1 < argc) {
       sarif_path = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--callgraph-dot" && i + 1 < argc) {
+      dot_path = argv[++i];
+    } else if (arg == "--changed-only") {
+      changed_only = true;
+      if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+        changed_ref = argv[++i];
+      }
     } else if (arg == "--help" || arg == "-h") {
       return usage(0);
     } else {
@@ -90,14 +175,11 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::vector<tsce::analyze::Finding> findings;
-  std::size_t files = 0;
-
-  // The registered-name set: explicit --names wins; --root mode falls back to
-  // the repo's own registry so a full scan always validates bench/tools
-  // literals against it.
+  // The registered-name set: explicit --names wins; both modes fall back to
+  // the repo's own registry (relative to --root) so bench/tools literals are
+  // validated against it even when a single file is analyzed.
   std::vector<std::string> registered_names;
-  if (names_path.empty() && single_file.empty()) {
+  if (names_path.empty()) {
     const fs::path default_names =
         fs::absolute(root) / "src" / "obs" / "names.hpp";
     if (fs::exists(default_names)) names_path = default_names.string();
@@ -112,6 +194,8 @@ int main(int argc, char** argv) {
     registered_names = tsce::analyze::extract_registered_names(names_source);
   }
 
+  std::vector<tsce::analyze::FileInput> inputs;
+  std::vector<tsce::analyze::Finding> io_findings;
   if (!single_file.empty()) {
     std::string source;
     if (!read_file(single_file, source)) {
@@ -120,10 +204,11 @@ int main(int argc, char** argv) {
       return 2;
     }
     const std::string rel = as_path.empty() ? single_file : as_path;
-    findings = tsce::analyze::analyze_source(rel, source, registered_names);
-    files = 1;
+    inputs.push_back({rel, std::move(source)});
   } else {
     root = fs::absolute(root);
+    // Deterministic scan: collect, sort by repo-relative path, then read.
+    std::vector<std::pair<std::string, fs::path>> paths;
     for (const char* dir : {"src", "tools", "bench", "examples", "tests"}) {
       const fs::path base = root / dir;
       if (!fs::exists(base)) continue;
@@ -135,19 +220,34 @@ int main(int argc, char** argv) {
             fs::relative(entry.path(), root).generic_string();
         // Golden rule fixtures are intentionally-violating inputs, not code.
         if (rel.find("/fixtures/") != std::string::npos) continue;
-        ++files;
-        std::string source;
-        if (!read_file(entry.path(), source)) {
-          findings.push_back({rel, 0, "io", "cannot open file"});
-          continue;
-        }
-        auto file_findings =
-            tsce::analyze::analyze_source(rel, source, registered_names);
-        findings.insert(findings.end(),
-                        std::make_move_iterator(file_findings.begin()),
-                        std::make_move_iterator(file_findings.end()));
+        paths.emplace_back(rel, entry.path());
       }
     }
+    std::sort(paths.begin(), paths.end());
+    for (const auto& [rel, path] : paths) {
+      std::string source;
+      if (!read_file(path, source)) {
+        io_findings.push_back({rel, 0, "io", "cannot open file", {}});
+        continue;
+      }
+      inputs.push_back({rel, std::move(source)});
+    }
+  }
+  const std::size_t files = inputs.size();
+
+  tsce::analyze::ProjectResult result = tsce::analyze::analyze_project(
+      inputs, registered_names, !dot_path.empty());
+  std::vector<tsce::analyze::Finding> findings = std::move(result.findings);
+  findings.insert(findings.end(), io_findings.begin(), io_findings.end());
+
+  std::string scope_note;
+  if (changed_only) {
+    const std::set<std::string> changed = changed_files(root, changed_ref);
+    std::erase_if(findings, [&](const tsce::analyze::Finding& f) {
+      return changed.count(f.file) == 0;
+    });
+    scope_note = " in " + std::to_string(changed.size()) +
+                 " changed file" + (changed.size() == 1 ? "" : "s");
   }
 
   for (const tsce::analyze::Finding& f : findings) {
@@ -168,8 +268,47 @@ int main(int argc, char** argv) {
     }
     out << tsce::analyze::to_sarif(findings, std::string(kVersion));
   }
-  std::printf("tsce_analyze: %zu file%s checked, %zu finding%s\n", files,
+  if (!dot_path.empty()) {
+    std::ofstream out(dot_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "tsce_analyze: cannot write '%s'\n",
+                   dot_path.c_str());
+      return 2;
+    }
+    out << result.callgraph_dot;
+  }
+
+  if (!baseline_path.empty()) {
+    std::string baseline_text;
+    if (!read_file(baseline_path, baseline_text)) {
+      std::fprintf(stderr, "tsce_analyze: cannot open baseline '%s'\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    tsce::analyze::BaselineDiff diff;
+    try {
+      diff = tsce::analyze::diff_against_baseline(
+          findings, tsce::analyze::baseline_keys_from_sarif(baseline_text));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "tsce_analyze: malformed baseline '%s': %s\n",
+                   baseline_path.c_str(), e.what());
+      return 2;
+    }
+    for (const tsce::analyze::Finding& f : diff.new_findings) {
+      std::fprintf(stderr, "NEW %s:%zu: [%s]\n", f.file.c_str(), f.line,
+                   f.rule.c_str());
+    }
+    std::printf(
+        "tsce_analyze: %zu file%s checked, %zu finding%s%s (%zu new, %zu in "
+        "baseline)\n",
+        files, files == 1 ? "" : "s", findings.size(),
+        findings.size() == 1 ? "" : "s", scope_note.c_str(),
+        diff.new_findings.size(), diff.in_baseline);
+    return diff.new_findings.empty() ? 0 : 1;
+  }
+
+  std::printf("tsce_analyze: %zu file%s checked, %zu finding%s%s\n", files,
               files == 1 ? "" : "s", findings.size(),
-              findings.size() == 1 ? "" : "s");
+              findings.size() == 1 ? "" : "s", scope_note.c_str());
   return findings.empty() ? 0 : 1;
 }
