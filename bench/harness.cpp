@@ -205,9 +205,16 @@ ScenarioBenchResult run_scenario_bench(const ScenarioBenchConfig& config,
     }
     if (config.with_upper_bound) {
       obs::Span span(obs::names::kBenchUb, {{"phase", "UB"}, {"run", std::uint64_t{run}}});
+      // Monte-Carlo runs share one scenario shape, so one solver per worker
+      // thread reuses the assembled LpProblem's buffers instead of rebuilding
+      // the LP from scratch each run.  Warm starts stay OFF: chaining bases
+      // across runs would make each solve's pivot path depend on which runs
+      // a thread happened to execute, breaking the documented thread-count
+      // independence of the harness metrics.
+      thread_local lp::UpperBoundSolver ub_solver;
       const double t0 = now_seconds();
-      const auto ub = slackness_metric ? lp::upper_bound_slackness(m)
-                                       : lp::upper_bound_worth(m);
+      const auto ub =
+          slackness_metric ? ub_solver.slackness(m) : ub_solver.worth(m);
       out.ub_seconds = now_seconds() - t0;
       out.ub_status = ub.status;
       out.ub_value = ub.value;

@@ -244,13 +244,89 @@ void BM_EstimateAll(benchmark::State& state) {
 }
 BENCHMARK(BM_EstimateAll)->Arg(12)->Arg(24);
 
+/// Paper-shaped upper-bound LP (multi-app strings, full flow/route blocks)
+/// solved by either engine: Arg0 = strings, Arg1 = 0 sparse / 1 dense.  The
+/// dense engine's explicit basis inverse is O(m^2) per pivot, so the gap
+/// widens with the instance; the pair of rows per Arg0 is the before/after
+/// column of BENCH_lp.json.
 void BM_SimplexUpperBound(benchmark::State& state) {
   const auto m = make_instance(4, static_cast<std::size_t>(state.range(0)));
+  lp::UpperBoundOptions options;
+  options.simplex.engine = state.range(1) == 0 ? lp::SimplexEngine::kSparse
+                                               : lp::SimplexEngine::kDense;
+  lp::UpperBoundResult last;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(lp::upper_bound_worth(m));
+    last = lp::upper_bound_worth(m, options);
+    benchmark::DoNotOptimize(last);
   }
+  state.SetLabel(state.range(1) == 0 ? "sparse" : "dense");
+  state.counters["rows"] = static_cast<double>(last.lp_rows);
+  state.counters["cols"] = static_cast<double>(last.lp_cols);
+  state.counters["iters"] = static_cast<double>(last.iterations);
+  state.counters["refactors"] = static_cast<double>(last.refactorisations);
 }
-BENCHMARK(BM_SimplexUpperBound)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimplexUpperBound)
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({24, 0})
+    ->Args({24, 1})
+    ->Args({32, 0})
+    ->Args({32, 1})
+    ->Unit(benchmark::kMillisecond);
+
+/// Sparse engine head-to-head on one mid-size paper-shaped LP, reusing the
+/// assembled problem (the UpperBoundSolver service path) so the measurement
+/// isolates the solve itself.
+void BM_SimplexSparse(benchmark::State& state) {
+  const auto m = make_instance(6, static_cast<std::size_t>(state.range(0)));
+  const lp::LpProblem problem = lp::build_upper_bound_lp(
+      m, /*complete=*/false, lp::UbObjective::kTotalWorth);
+  lp::SimplexOptions options;  // kSparse default
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lp::solve(problem, options));
+  }
+  state.counters["rows"] = static_cast<double>(problem.num_rows());
+  state.counters["nnz"] = static_cast<double>(problem.num_nonzeros());
+}
+BENCHMARK(BM_SimplexSparse)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+/// Fleet-scale workload: hundreds of machines, thousands of single-app
+/// strings (the TDM-client shape — no inter-app edges, so the route-capacity
+/// block vanishes and the LP is Q deployment rows + M capacity rows).  The
+/// dense engine is not benchmarked here: its O(m^2)-per-pivot inverse makes
+/// this scale infeasible, which is the point of the sparse rewrite.
+model::SystemModel fleet_instance(std::size_t machines, std::size_t strings) {
+  util::Rng rng(99);
+  auto config =
+      workload::GeneratorConfig::for_scenario(workload::Scenario::kHighlyLoaded);
+  config.num_machines = machines;
+  config.num_strings = strings;
+  config.min_apps_per_string = 1;
+  config.max_apps_per_string = 1;
+  return workload::generate(config, rng);
+}
+
+void BM_UpperBoundFleet(benchmark::State& state) {
+  const auto m = fleet_instance(static_cast<std::size_t>(state.range(0)),
+                                static_cast<std::size_t>(state.range(1)));
+  lp::UpperBoundSolver solver;  // reuse the assembled problem across runs
+  lp::UpperBoundResult last;
+  for (auto _ : state) {
+    last = solver.worth(m);
+    benchmark::DoNotOptimize(last);
+  }
+  state.SetLabel(lp::to_string(last.status));
+  state.counters["rows"] = static_cast<double>(last.lp_rows);
+  state.counters["cols"] = static_cast<double>(last.lp_cols);
+  state.counters["iters"] = static_cast<double>(last.iterations);
+  state.counters["refactors"] = static_cast<double>(last.refactorisations);
+}
+BENCHMARK(BM_UpperBoundFleet)
+    ->Args({200, 2000})
+    ->Args({400, 4000})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_Simulate(benchmark::State& state) {
   const auto m = make_instance(6, 8, 123);

@@ -8,6 +8,7 @@
 
 #include "core/decode.hpp"
 #include "core/evaluator.hpp"
+#include "core/ordered.hpp"
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
 #include "obs/trace.hpp"
@@ -73,6 +74,11 @@ AllocatorResult HillClimb::allocate(const SystemModel& model, util::Rng& rng) co
                      {{"phase", "HillClimb"}, {"restart", std::uint64_t{restart}}});
       std::vector<StringId> current = identity_order(model);
       rng.shuffle(current);
+      // The shuffle's rng draws are consumed unconditionally so the guided
+      // start perturbs only restart 0's start point, not later restarts.
+      if (options_.lp_guided_start && restart == 0) {
+        current = lp_guided_order(model);
+      }
       const std::size_t before = evaluations;
       const DecodeOutcome optimum = climb(replay_ctx, current, rng, options_,
                                           evaluations, options_.max_evaluations);
@@ -115,6 +121,9 @@ AllocatorResult HillClimb::allocate(const SystemModel& model, util::Rng& rng) co
       util::Rng restart_rng = util::Rng::stream(base_seed, r);
       std::vector<StringId> current = identity_order(model);
       restart_rng.shuffle(current);
+      if (options_.lp_guided_start && r == 0) {
+        current = lp_guided_order(model);
+      }
       const DecodeOutcome optimum =
           climb(ctx, current, restart_rng, options_, outcomes[r].evaluations, slice);
       outcomes[r].fitness = optimum.fitness;

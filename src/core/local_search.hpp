@@ -28,6 +28,13 @@ struct HillClimbOptions {
   /// equal budget slice, so the result is byte-identical at 1, 2, or N
   /// threads (1 runs inline with no pool).
   std::size_t threads = 0;
+  /// When set, restart 0 climbs from the LP-guided ordering
+  /// (lp_guided_order: strings ranked by the fractional relaxation's deployed
+  /// fractions) instead of a random shuffle; later restarts still shuffle.
+  /// The rng draw the shuffle would have consumed is still consumed, so
+  /// toggling this changes only restart 0's start point, not the random
+  /// starts of the other restarts.
+  bool lp_guided_start = false;
 };
 
 /// First-improvement hill climbing over string orderings with the swap

@@ -4,6 +4,7 @@
 
 #include "analysis/tightness.hpp"
 #include "core/decode.hpp"
+#include "lp/upper_bound.hpp"
 
 namespace tsce::core {
 
@@ -28,6 +29,23 @@ std::vector<StringId> tf_order(const SystemModel& model) {
   std::stable_sort(order.begin(), order.end(), [&](StringId a, StringId b) {
     return tightness[static_cast<std::size_t>(a)] >
            tightness[static_cast<std::size_t>(b)];
+  });
+  return order;
+}
+
+std::vector<StringId> lp_guided_order(const SystemModel& model) {
+  const lp::UpperBoundResult ub = lp::upper_bound_worth(model);
+  if (ub.status != lp::SolveStatus::kOptimal ||
+      ub.string_fractions.size() != model.num_strings()) {
+    return mwf_order(model);
+  }
+  std::vector<StringId> order = identity_order(model);
+  std::stable_sort(order.begin(), order.end(), [&](StringId a, StringId b) {
+    const double fa = ub.string_fractions[static_cast<std::size_t>(a)];
+    const double fb = ub.string_fractions[static_cast<std::size_t>(b)];
+    if (fa != fb) return fa > fb;
+    return model.strings[static_cast<std::size_t>(a)].worth_factor() >
+           model.strings[static_cast<std::size_t>(b)].worth_factor();
   });
   return order;
 }

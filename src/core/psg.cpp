@@ -116,4 +116,8 @@ std::vector<std::vector<StringId>> SeededPsg::seeds(const SystemModel& model) co
   return {mwf_order(model), tf_order(model)};
 }
 
+std::vector<std::vector<StringId>> LpSeededPsg::seeds(const SystemModel& model) const {
+  return {mwf_order(model), tf_order(model), lp_guided_order(model)};
+}
+
 }  // namespace tsce::core

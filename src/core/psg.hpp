@@ -100,4 +100,17 @@ class SeededPsg final : public Psg {
       const model::SystemModel& model) const override;
 };
 
+/// PSG seeded with MWF, TF, and the LP-guided ordering (lp_guided_order):
+/// strings ranked by the fractional relaxation's deployed fractions, so the
+/// population starts next to the LP optimum's support.
+class LpSeededPsg final : public Psg {
+ public:
+  explicit LpSeededPsg(PsgOptions options = {}) : Psg(options) {}
+  [[nodiscard]] std::string name() const override { return "LP-Seeded PSG"; }
+
+ protected:
+  [[nodiscard]] std::vector<std::vector<model::StringId>> seeds(
+      const model::SystemModel& model) const override;
+};
+
 }  // namespace tsce::core

@@ -25,6 +25,16 @@ void LpProblem::add_coefficient(std::int32_t row, std::int32_t col, double value
   if (value != 0.0) triplets_.push_back({row, col, value});
 }
 
+void LpProblem::clear(Sense sense) noexcept {
+  sense_ = sense;
+  lower_.clear();
+  upper_.clear();
+  cost_.clear();
+  relation_.clear();
+  rhs_.clear();
+  triplets_.clear();
+}
+
 CscMatrix CscMatrix::from_triplets(std::size_t rows, std::size_t cols,
                                    const std::vector<Triplet>& triplets) {
   CscMatrix m;

@@ -41,6 +41,10 @@ class LpProblem {
   /// Accumulates A[row, col] += value (duplicates are summed on assembly).
   void add_coefficient(std::int32_t row, std::int32_t col, double value);
 
+  /// Empties the problem (variables, rows, triplets) while keeping the
+  /// vectors' capacity, so a rebuilt same-shaped problem allocates nothing.
+  void clear(Sense sense = Sense::kMinimize) noexcept;
+
   [[nodiscard]] Sense sense() const noexcept { return sense_; }
   [[nodiscard]] std::size_t num_variables() const noexcept { return lower_.size(); }
   [[nodiscard]] std::size_t num_rows() const noexcept { return relation_.size(); }

@@ -6,6 +6,11 @@
 #include <cstdint>
 #include <limits>
 
+#include "lp/sparse_lu.hpp"
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+
 namespace tsce::lp {
 
 const char* to_string(SolveStatus status) noexcept {
@@ -20,16 +25,32 @@ const char* to_string(SolveStatus status) noexcept {
 
 namespace {
 
-enum class VarStatus : std::uint8_t { kBasic, kAtLower, kAtUpper };
+using VarStatus = VarState;
 
-/// Internal computational form and iteration state.
-class Solver {
- public:
-  Solver(const LpProblem& problem, const SimplexOptions& options)
+/// Process-wide LP telemetry; handles resolved once (registry lookups are
+/// name-hashed, the returned references are stable for the process).
+struct LpMetrics {
+  obs::Counter& iterations;
+  obs::Counter& refactorisations;
+  obs::Histogram& latency_ns;
+
+  static LpMetrics& get() {
+    static LpMetrics m{
+        obs::MetricsRegistry::instance().counter(obs::names::kLpIterations),
+        obs::MetricsRegistry::instance().counter(obs::names::kLpRefactorisations),
+        obs::MetricsRegistry::instance().histogram(obs::names::kLpSolveLatencyNs)};
+    return m;
+  }
+};
+
+/// Computational form and engine-independent simplex state: structural
+/// columns, then one slack per row, then (during phase 1) artificials.
+class SolverBase {
+ protected:
+  SolverBase(const LpProblem& problem, const SimplexOptions& options)
       : options_(options),
         m_(problem.num_rows()),
         n_struct_(problem.num_variables()) {
-    // Structural columns, then one slack per row, then (maybe) artificials.
     const std::size_t n_total = n_struct_ + m_;
     lower_.reserve(n_total);
     upper_.reserve(n_total);
@@ -70,56 +91,6 @@ class Solver {
     a_ = CscMatrix::from_triplets(m_, n_total, triplets);
   }
 
-  LpSolution run(Sense sense) {
-    LpSolution solution;
-    if (m_ == 0) {
-      // Pure bound problem: each variable sits at its cheaper bound.
-      solution.status = SolveStatus::kOptimal;
-      solution.x.resize(n_struct_);
-      for (std::size_t v = 0; v < n_struct_; ++v) {
-        solution.x[v] = cost_[v] >= 0 ? finite_or(lower_[v], 0.0)
-                                      : finite_or(upper_[v], 0.0);
-        if (cost_[v] < 0 && upper_[v] == kInf) {
-          solution.status = SolveStatus::kUnbounded;
-          return solution;
-        }
-      }
-      solution.objective = objective_of(solution.x, sense);
-      return solution;
-    }
-
-    initialize_basis();
-    max_iterations_ = options_.max_iterations != 0
-                          ? options_.max_iterations
-                          : 50 * (m_ + a_.cols) + 10000;
-
-    if (needs_phase1()) {
-      build_artificials();
-      const SolveStatus phase1 = iterate(/*phase1=*/true);
-      solution.phase1_iterations = iterations_;
-      if (phase1 == SolveStatus::kIterationLimit) {
-        solution.status = phase1;
-        return solution;
-      }
-      if (phase1_objective() > 1e-6) {
-        solution.status = SolveStatus::kInfeasible;
-        return solution;
-      }
-      seal_artificials();
-    }
-
-    const SolveStatus status = iterate(/*phase1=*/false);
-    solution.status = status;
-    solution.iterations = iterations_;
-    solution.x = extract_structurals();
-    solution.objective = objective_of(solution.x, sense);
-    if (status == SolveStatus::kOptimal) {
-      solution.row_duals = extract_row_duals(sense);
-    }
-    return solution;
-  }
-
- private:
   static double finite_or(double v, double fallback) noexcept {
     return std::isfinite(v) ? v : fallback;
   }
@@ -130,7 +101,25 @@ class Solver {
     return finite_or(lower_[j], 0.0);
   }
 
-  void initialize_basis() {
+  /// Rowless problem: each variable sits at its cheaper bound.
+  [[nodiscard]] LpSolution bound_only(Sense sense) const {
+    LpSolution solution;
+    solution.status = SolveStatus::kOptimal;
+    solution.x.resize(n_struct_);
+    for (std::size_t v = 0; v < n_struct_; ++v) {
+      solution.x[v] = cost_[v] >= 0 ? finite_or(lower_[v], 0.0)
+                                    : finite_or(upper_[v], 0.0);
+      if (cost_[v] < 0 && upper_[v] == kInf) {
+        solution.status = SolveStatus::kUnbounded;
+        return solution;
+      }
+    }
+    solution.objective = objective_of(solution.x, sense);
+    return solution;
+  }
+
+  /// Default nonbasic statuses plus the all-slack basis.
+  void set_slack_basis() {
     const std::size_t n_total = a_.cols;
     vstat_.assign(n_total, VarStatus::kAtLower);
     for (std::size_t j = 0; j < n_total; ++j) {
@@ -143,30 +132,6 @@ class Solver {
       const std::size_t slack = n_struct_ + r;
       basis_[r] = static_cast<std::int32_t>(slack);
       vstat_[slack] = VarStatus::kBasic;
-    }
-    binv_.assign(m_ * m_, 0.0);
-    for (std::size_t r = 0; r < m_; ++r) binv_[r * m_ + r] = 1.0;
-    compute_basic_values();
-  }
-
-  /// xB = B^-1 (rhs - sum over nonbasic j of A_j * x_j).  With the slack
-  /// basis B = I this is just the residual.
-  void compute_basic_values() {
-    std::vector<double> residual = rhs_;
-    for (std::size_t j = 0; j < a_.cols; ++j) {
-      if (vstat_[j] == VarStatus::kBasic) continue;
-      const double xj = nonbasic_value(j);
-      if (xj == 0.0) continue;
-      for (std::int64_t p = a_.col_start[j]; p < a_.col_start[j + 1]; ++p) {
-        residual[static_cast<std::size_t>(a_.row_index[p])] -= a_.value[p] * xj;
-      }
-    }
-    xb_.assign(m_, 0.0);
-    for (std::size_t i = 0; i < m_; ++i) {
-      const double* row = &binv_[i * m_];
-      double acc = 0.0;
-      for (std::size_t r = 0; r < m_; ++r) acc += row[r] * residual[r];
-      xb_[i] = acc;
     }
   }
 
@@ -184,11 +149,15 @@ class Solver {
   /// For every bound-violating basic slack, clamp the slack to its nearest
   /// bound (making it nonbasic) and install an artificial column that absorbs
   /// the residual with a positive basic value.  Phase 1 minimizes the sum of
-  /// artificials.
-  void build_artificials() {
+  /// artificials.  Callers must be at the slack basis (the ±1 artificial
+  /// column relies on row i of the tableau being row i of A).  Returns the
+  /// (row, sign) of every installed artificial so the engine can patch its
+  /// factorisation.
+  std::vector<std::pair<std::size_t, double>> build_artificials() {
     saved_cost_ = cost_;
     std::fill(cost_.begin(), cost_.end(), 0.0);
 
+    std::vector<std::pair<std::size_t, double>> installed;
     std::vector<Triplet> extra;
     for (std::size_t i = 0; i < m_; ++i) {
       const auto b = static_cast<std::size_t>(basis_[i]);
@@ -202,9 +171,6 @@ class Solver {
       }
       // Clamp the old basic variable to the violated bound.
       vstat_[b] = violation < 0.0 ? VarStatus::kAtLower : VarStatus::kAtUpper;
-      // Artificial with coefficient sign(violation) in row `i` only (the
-      // slack basis keeps B^-1 = I during construction, so row i of the
-      // tableau is row i of A).
       const double sign = violation < 0.0 ? -1.0 : 1.0;
       const std::size_t art = lower_.size();
       lower_.push_back(0.0);
@@ -215,8 +181,7 @@ class Solver {
       extra.push_back({static_cast<std::int32_t>(i), static_cast<std::int32_t>(art),
                        sign});
       basis_[i] = static_cast<std::int32_t>(art);
-      // The basis matrix becomes diag(+/-1); keep the explicit inverse exact.
-      binv_[i * m_ + i] = sign;
+      installed.emplace_back(i, sign);
     }
 
     // Rebuild A with the artificial columns appended.
@@ -230,7 +195,7 @@ class Solver {
     }
     triplets.insert(triplets.end(), extra.begin(), extra.end());
     a_ = CscMatrix::from_triplets(m_, lower_.size(), triplets);
-    compute_basic_values();
+    return installed;
   }
 
   [[nodiscard]] double phase1_objective() const noexcept {
@@ -250,7 +215,137 @@ class Solver {
     cost_ = saved_cost_;
   }
 
-  SolveStatus iterate(bool phase1) {
+  [[nodiscard]] std::vector<double> extract_structurals() const {
+    std::vector<double> x(n_struct_);
+    for (std::size_t v = 0; v < n_struct_; ++v) {
+      x[v] = vstat_[v] == VarStatus::kBasic ? 0.0 : nonbasic_value(v);
+    }
+    for (std::size_t i = 0; i < m_; ++i) {
+      const auto b = static_cast<std::size_t>(basis_[i]);
+      if (b < n_struct_) x[b] = xb_[i];
+    }
+    return x;
+  }
+
+  [[nodiscard]] double objective_of(const std::vector<double>& x,
+                                    Sense sense) const noexcept {
+    // cost_ holds the minimize-sense coefficients; undo the negation so the
+    // value is reported in the problem's own sense.
+    double obj = 0.0;
+    for (std::size_t v = 0; v < n_struct_; ++v) {
+      obj += (sense == Sense::kMaximize ? -cost_[v] : cost_[v]) * x[v];
+    }
+    return obj;
+  }
+
+  /// Snapshot of the structural+slack statuses, empty when a (degenerate)
+  /// basic artificial makes the snapshot non-restartable.
+  [[nodiscard]] SimplexBasis export_basis() const {
+    SimplexBasis out;
+    const std::size_t n_real = n_struct_ + m_;
+    out.status.resize(n_real);
+    std::size_t basics = 0;
+    for (std::size_t j = 0; j < n_real; ++j) {
+      out.status[j] = vstat_[j];
+      if (vstat_[j] == VarStatus::kBasic) ++basics;
+    }
+    if (basics != m_) out.status.clear();
+    return out;
+  }
+
+  SimplexOptions options_;
+  std::size_t m_;
+  std::size_t n_struct_;
+  CscMatrix a_;
+  std::vector<double> lower_, upper_, cost_, saved_cost_;
+  std::vector<double> rhs_;
+  std::vector<std::int32_t> basis_;
+  std::vector<VarStatus> vstat_;
+  std::vector<double> xb_;
+  std::size_t iterations_ = 0;
+  std::size_t max_iterations_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Dense engine: explicit row-major basis inverse with product-form updates
+// and Dantzig pricing.  O(m²) memory and per-iteration work.  Retained as an
+// independently implemented oracle for the sparse engine and as the
+// benchmark baseline.
+// ---------------------------------------------------------------------------
+
+class DenseSolver : private SolverBase {
+ public:
+  DenseSolver(const LpProblem& problem, const SimplexOptions& options)
+      : SolverBase(problem, options) {}
+
+  LpSolution run(Sense sense) {
+    LpSolution solution;
+    if (m_ == 0) return bound_only(sense);
+
+    initialize_basis();
+    max_iterations_ = options_.max_iterations != 0
+                          ? options_.max_iterations
+                          : 50 * (m_ + a_.cols) + 10000;
+
+    if (needs_phase1()) {
+      const auto installed = build_artificials();
+      // The basis matrix became diag(±1); keep the explicit inverse exact.
+      for (const auto& rs : installed) binv_[rs.first * m_ + rs.first] = rs.second;
+      compute_basic_values();
+      const SolveStatus phase1 = iterate();
+      solution.phase1_iterations = iterations_;
+      if (phase1 == SolveStatus::kIterationLimit) {
+        solution.status = phase1;
+        return solution;
+      }
+      if (phase1_objective() > 1e-6) {
+        solution.status = SolveStatus::kInfeasible;
+        return solution;
+      }
+      seal_artificials();
+    }
+
+    const SolveStatus status = iterate();
+    solution.status = status;
+    solution.iterations = iterations_;
+    solution.x = extract_structurals();
+    solution.objective = objective_of(solution.x, sense);
+    if (status == SolveStatus::kOptimal) {
+      solution.row_duals = extract_row_duals(sense);
+      solution.basis = export_basis();
+    }
+    return solution;
+  }
+
+ private:
+  void initialize_basis() {
+    set_slack_basis();
+    binv_.assign(m_ * m_, 0.0);
+    for (std::size_t r = 0; r < m_; ++r) binv_[r * m_ + r] = 1.0;
+    compute_basic_values();
+  }
+
+  /// xB = B^-1 (rhs - sum over nonbasic j of A_j * x_j).
+  void compute_basic_values() {
+    std::vector<double> residual = rhs_;
+    for (std::size_t j = 0; j < a_.cols; ++j) {
+      if (vstat_[j] == VarStatus::kBasic) continue;
+      const double xj = nonbasic_value(j);
+      if (xj == 0.0) continue;
+      for (std::int64_t p = a_.col_start[j]; p < a_.col_start[j + 1]; ++p) {
+        residual[static_cast<std::size_t>(a_.row_index[p])] -= a_.value[p] * xj;
+      }
+    }
+    xb_.assign(m_, 0.0);
+    for (std::size_t i = 0; i < m_; ++i) {
+      const double* row = &binv_[i * m_];
+      double acc = 0.0;
+      for (std::size_t r = 0; r < m_; ++r) acc += row[r] * residual[r];
+      xb_[i] = acc;
+    }
+  }
+
+  SolveStatus iterate() {
     std::size_t degenerate_run = 0;
     std::vector<double> y(m_);
     std::vector<double> w(m_);
@@ -394,7 +489,6 @@ class Solver {
           row_i[cidx] -= factor * row_r[cidx];
         }
       }
-      (void)phase1;
     }
     return SolveStatus::kIterationLimit;
   }
@@ -415,48 +509,456 @@ class Solver {
     return y;
   }
 
-  [[nodiscard]] std::vector<double> extract_structurals() const {
-    std::vector<double> x(n_struct_);
-    for (std::size_t v = 0; v < n_struct_; ++v) {
-      x[v] = vstat_[v] == VarStatus::kBasic ? 0.0 : nonbasic_value(v);
-    }
-    for (std::size_t i = 0; i < m_; ++i) {
-      const auto b = static_cast<std::size_t>(basis_[i]);
-      if (b < n_struct_) x[b] = xb_[i];
-    }
-    return x;
-  }
-
-  [[nodiscard]] double objective_of(const std::vector<double>& x,
-                                    Sense sense) const noexcept {
-    // cost_ holds the minimize-sense coefficients; undo the negation so the
-    // value is reported in the problem's own sense.
-    double obj = 0.0;
-    for (std::size_t v = 0; v < n_struct_; ++v) {
-      obj += (sense == Sense::kMaximize ? -cost_[v] : cost_[v]) * x[v];
-    }
-    return obj;
-  }
-
-  SimplexOptions options_;
-  std::size_t m_;
-  std::size_t n_struct_;
-  CscMatrix a_;
-  std::vector<double> lower_, upper_, cost_, saved_cost_;
-  std::vector<double> rhs_;
-  std::vector<std::int32_t> basis_;
-  std::vector<VarStatus> vstat_;
   std::vector<double> binv_;  // row-major m x m
-  std::vector<double> xb_;
-  std::size_t iterations_ = 0;
-  std::size_t max_iterations_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Sparse engine: LU-factorised basis with product-form eta updates, sparse
+// FTRAN/BTRAN, and Devex pricing over incrementally maintained reduced
+// costs.  Per-iteration work scales with factor/column nonzeros, not m².
+// ---------------------------------------------------------------------------
+
+class SparseSolver : private SolverBase {
+ public:
+  SparseSolver(const LpProblem& problem, const SimplexOptions& options)
+      : SolverBase(problem, options) {}
+
+  LpSolution run(Sense sense) {
+    LpSolution solution;
+    if (m_ == 0) return bound_only(sense);
+
+    max_iterations_ = options_.max_iterations != 0
+                          ? options_.max_iterations
+                          : 50 * (m_ + a_.cols) + 10000;
+    w_.resize(m_);
+    rho_.resize(m_);
+    scratch_.resize(m_);
+    build_csr();
+
+    bool warm = false;
+    if (options_.basis_warm_start != nullptr) warm = try_warm_start();
+    if (!warm && !start_from_slack_basis()) {
+      solution.status = SolveStatus::kIterationLimit;
+      return solution;
+    }
+
+    if (needs_phase1()) {
+      // try_warm_start only accepts primal-feasible bases, so this is always
+      // the slack basis — the precondition build_artificials needs.
+      build_artificials_sparse();
+      const SolveStatus phase1 = iterate();
+      solution.phase1_iterations = iterations_;
+      solution.refactorisations = refactor_count_;
+      if (phase1 == SolveStatus::kIterationLimit) {
+        solution.status = phase1;
+        return solution;
+      }
+      if (phase1_objective() > 1e-6) {
+        solution.status = SolveStatus::kInfeasible;
+        return solution;
+      }
+      seal_artificials();
+      recompute_duals();  // same basis, new objective
+      gamma_.assign(a_.cols, 1.0);
+    }
+
+    const SolveStatus status = iterate();
+    solution.status = status;
+    solution.iterations = iterations_;
+    solution.refactorisations = refactor_count_;
+    solution.x = extract_structurals();
+    solution.objective = objective_of(solution.x, sense);
+    if (status == SolveStatus::kOptimal) {
+      solution.row_duals = extract_row_duals(sense);
+      solution.basis = export_basis();
+    }
+    return solution;
+  }
+
+ private:
+  /// CSR mirror of a_ for pivot-row (BTRAN-side) products; rebuilt whenever
+  /// the column set changes.  Iterating CSC columns in order leaves each row
+  /// sorted by column index — deterministic scatter order.
+  void build_csr() {
+    ar_start_.assign(m_ + 1, 0);
+    for (std::size_t p = 0; p < a_.row_index.size(); ++p) {
+      ++ar_start_[static_cast<std::size_t>(a_.row_index[p]) + 1];
+    }
+    for (std::size_t r = 0; r < m_; ++r) ar_start_[r + 1] += ar_start_[r];
+    ar_col_.resize(a_.row_index.size());
+    ar_val_.resize(a_.row_index.size());
+    std::vector<std::size_t> fill = ar_start_;
+    for (std::size_t c = 0; c < a_.cols; ++c) {
+      for (std::int64_t p = a_.col_start[c]; p < a_.col_start[c + 1]; ++p) {
+        const auto r = static_cast<std::size_t>(a_.row_index[p]);
+        ar_col_[fill[r]] = static_cast<std::int32_t>(c);
+        ar_val_[fill[r]] = a_.value[p];
+        ++fill[r];
+      }
+    }
+  }
+
+  [[nodiscard]] bool factorize() {
+    ++refactor_count_;
+    return lu_.factorize(a_, basis_, options_.pivot_tol);
+  }
+
+  /// Full state rebuild at the current basis: fresh factors, exact basic
+  /// values, exact reduced costs.
+  [[nodiscard]] bool refactorize() {
+    if (!factorize()) return false;
+    compute_basic_values();
+    recompute_duals();
+    return true;
+  }
+
+  [[nodiscard]] bool start_from_slack_basis() {
+    set_slack_basis();
+    gamma_.assign(a_.cols, 1.0);
+    return refactorize();
+  }
+
+  /// Adopts options_.basis_warm_start when it matches the problem shape,
+  /// factorises, and is primal feasible.  Any failure falls back to the
+  /// slack basis (an infeasible warm basis cannot host the artificial
+  /// construction, which needs B = I).
+  [[nodiscard]] bool try_warm_start() {
+    const SimplexBasis& wb = *options_.basis_warm_start;
+    const std::size_t n_total = a_.cols;
+    if (wb.status.size() != n_total) return false;
+    basis_.clear();
+    basis_.reserve(m_);
+    vstat_.assign(n_total, VarStatus::kAtLower);
+    for (std::size_t j = 0; j < n_total; ++j) {
+      vstat_[j] = wb.status[j];
+      if (wb.status[j] == VarStatus::kBasic) {
+        basis_.push_back(static_cast<std::int32_t>(j));
+      } else if (wb.status[j] == VarStatus::kAtUpper && !std::isfinite(upper_[j])) {
+        return false;  // malformed snapshot: resting on an infinite bound
+      }
+    }
+    if (basis_.size() != m_) return false;
+    if (!refactorize()) return false;
+    gamma_.assign(n_total, 1.0);
+    return !needs_phase1();
+  }
+
+  /// xB = B^-1 (rhs - Σ nonbasic A_j x_j) via sparse FTRAN.
+  void compute_basic_values() {
+    scratch_.clear();
+    for (std::size_t r = 0; r < m_; ++r) {
+      if (rhs_[r] != 0.0) scratch_.add(static_cast<std::int32_t>(r), rhs_[r]);
+    }
+    for (std::size_t j = 0; j < a_.cols; ++j) {
+      if (vstat_[j] == VarStatus::kBasic) continue;
+      const double xj = nonbasic_value(j);
+      if (xj == 0.0) continue;
+      for (std::int64_t p = a_.col_start[j]; p < a_.col_start[j + 1]; ++p) {
+        scratch_.add(a_.row_index[p], -a_.value[p] * xj);
+      }
+    }
+    lu_.ftran(scratch_);
+    xb_.assign(m_, 0.0);
+    for (const std::int32_t i : scratch_.pattern) {
+      xb_[static_cast<std::size_t>(i)] = scratch_.values[static_cast<std::size_t>(i)];
+    }
+    scratch_.clear();
+  }
+
+  /// Exact reduced costs d_j = c_j - y^T a_j with y = B^-T c_B.
+  void recompute_duals() {
+    scratch_.clear();
+    for (std::size_t i = 0; i < m_; ++i) {
+      const double cb = cost_[static_cast<std::size_t>(basis_[i])];
+      if (cb != 0.0) scratch_.add(static_cast<std::int32_t>(i), cb);
+    }
+    lu_.btran(scratch_);
+    d_.assign(a_.cols, 0.0);
+    for (std::size_t j = 0; j < a_.cols; ++j) {
+      if (vstat_[j] == VarStatus::kBasic) continue;
+      double d = cost_[j];
+      for (std::int64_t p = a_.col_start[j]; p < a_.col_start[j + 1]; ++p) {
+        d -= scratch_.values[static_cast<std::size_t>(a_.row_index[p])] * a_.value[p];
+      }
+      d_[j] = d;
+    }
+    scratch_.clear();
+    duals_fresh_ = true;
+  }
+
+  void build_artificials_sparse() {
+    const auto installed = build_artificials();
+    (void)installed;  // the refactorisation below re-reads the new basis
+    build_csr();
+    gamma_.assign(a_.cols, 1.0);
+    alpha_.assign(a_.cols, 0.0);
+    // The artificial basis is diag(±1): factorisation cannot fail.
+    const bool ok = refactorize();
+    assert(ok && "artificial basis must factorize");
+    (void)ok;
+  }
+
+  void clear_alpha() {
+    for (const std::int32_t c : alpha_touched_) alpha_[static_cast<std::size_t>(c)] = 0.0;
+    alpha_touched_.clear();
+  }
+
+  SolveStatus iterate() {
+    std::size_t degenerate_run = 0;
+    if (alpha_.size() != a_.cols) alpha_.assign(a_.cols, 0.0);
+    while (iterations_ < max_iterations_) {
+      if (lu_.eta_count() >= options_.refactor_interval) {
+        if (!refactorize()) return SolveStatus::kIterationLimit;
+      }
+      const bool bland = degenerate_run >= options_.degeneracy_limit;
+
+      // Devex pricing over the maintained reduced costs: maximise d² / γ.
+      std::ptrdiff_t enter = -1;
+      double best_score = 0.0;
+      int enter_dir = 0;
+      for (std::size_t j = 0; j < a_.cols; ++j) {
+        if (vstat_[j] == VarStatus::kBasic) continue;
+        if (lower_[j] == upper_[j]) continue;  // fixed variable
+        const double d = d_[j];
+        int dir = 0;
+        if (vstat_[j] == VarStatus::kAtLower && d < -options_.optimality_tol) {
+          dir = +1;
+        } else if (vstat_[j] == VarStatus::kAtUpper && d > options_.optimality_tol) {
+          dir = -1;
+        } else {
+          continue;
+        }
+        if (bland) {  // first eligible index
+          enter = static_cast<std::ptrdiff_t>(j);
+          enter_dir = dir;
+          break;
+        }
+        const double score = d * d / gamma_[j];
+        if (score > best_score) {
+          best_score = score;
+          enter = static_cast<std::ptrdiff_t>(j);
+          enter_dir = dir;
+        }
+      }
+      if (enter < 0) {
+        // Incremental reduced costs may only declare optimality after an
+        // exact reprice at the current basis.
+        if (!duals_fresh_) {
+          if (!refactorize()) return SolveStatus::kIterationLimit;
+          continue;
+        }
+        return SolveStatus::kOptimal;
+      }
+      const auto j_enter = static_cast<std::size_t>(enter);
+      const double sigma = enter_dir;
+
+      // FTRAN: w = B^-1 A_j, sparse in and out.
+      w_.clear();
+      for (std::int64_t p = a_.col_start[j_enter]; p < a_.col_start[j_enter + 1];
+           ++p) {
+        w_.add(a_.row_index[p], a_.value[p]);
+      }
+      lu_.ftran(w_);
+
+      // Ratio test over the nonzero pattern only.
+      const double span = upper_[j_enter] - lower_[j_enter];
+      double t_limit = span;  // bound flip
+      std::ptrdiff_t leave_row = -1;
+      double leave_pivot = 0.0;
+      int leave_to_upper = 0;
+      for (const std::int32_t pi : w_.pattern) {
+        const auto i = static_cast<std::size_t>(pi);
+        const double wi = w_.values[i];
+        const double rate = sigma * wi;
+        if (std::abs(rate) <= options_.pivot_tol) continue;
+        const auto b = static_cast<std::size_t>(basis_[i]);
+        double ratio;
+        int hits_upper;
+        if (rate > 0.0) {  // basic decreases toward its lower bound
+          if (!std::isfinite(lower_[b])) continue;
+          ratio = (xb_[i] - lower_[b]) / rate;
+          hits_upper = 0;
+        } else {  // basic increases toward its upper bound
+          if (!std::isfinite(upper_[b])) continue;
+          ratio = (xb_[i] - upper_[b]) / rate;
+          hits_upper = 1;
+        }
+        if (ratio < 0.0) ratio = 0.0;  // bound already (numerically) tight
+        if (ratio < t_limit - 1e-12) {
+          t_limit = ratio;
+          leave_row = static_cast<std::ptrdiff_t>(i);
+          leave_pivot = wi;
+          leave_to_upper = hits_upper;
+        } else if (ratio <= t_limit + 1e-12) {
+          const bool prefer =
+              leave_row < 0 ||
+              (bland ? basis_[i] < basis_[static_cast<std::size_t>(leave_row)]
+                     : std::abs(wi) > std::abs(leave_pivot));
+          if (prefer) {
+            t_limit = std::min(t_limit, ratio);
+            leave_row = static_cast<std::ptrdiff_t>(i);
+            leave_pivot = wi;
+            leave_to_upper = hits_upper;
+          }
+        }
+      }
+
+      if (!std::isfinite(t_limit)) {
+        // Certify unboundedness on a fresh factorisation — a long eta file
+        // (or stale reduced costs) could fake an unbounded ray.
+        if (lu_.eta_count() > 0 || !duals_fresh_) {
+          if (!refactorize()) return SolveStatus::kIterationLimit;
+          continue;
+        }
+        return SolveStatus::kUnbounded;
+      }
+      degenerate_run = t_limit <= options_.pivot_tol ? degenerate_run + 1 : 0;
+
+      if (leave_row < 0) {
+        // Bound flip: basis unchanged, reduced costs stay valid.
+        for (const std::int32_t pi : w_.pattern) {
+          const auto i = static_cast<std::size_t>(pi);
+          xb_[i] -= t_limit * sigma * w_.values[i];
+        }
+        vstat_[j_enter] = vstat_[j_enter] == VarStatus::kAtLower
+                              ? VarStatus::kAtUpper
+                              : VarStatus::kAtLower;
+        ++iterations_;
+        continue;
+      }
+
+      const auto r = static_cast<std::size_t>(leave_row);
+      const double wr = leave_pivot;
+
+      // BTRAN pivot row: rho = B^-T e_r, then alpha_j = a_j^T rho scattered
+      // through the CSR rows of rho's pattern.
+      rho_.clear();
+      rho_.add(static_cast<std::int32_t>(r), 1.0);
+      lu_.btran(rho_);
+      for (const std::int32_t pi : rho_.pattern) {
+        const double yv = rho_.values[static_cast<std::size_t>(pi)];
+        if (yv == 0.0) continue;
+        const auto row = static_cast<std::size_t>(pi);
+        for (std::size_t p = ar_start_[row]; p < ar_start_[row + 1]; ++p) {
+          const auto c = static_cast<std::size_t>(ar_col_[p]);
+          if (alpha_[c] == 0.0) alpha_touched_.push_back(ar_col_[p]);
+          alpha_[c] += ar_val_[p] * yv;
+        }
+      }
+
+      // Forrest-Tomlin-style drift watch: the pivot element is computed both
+      // by FTRAN (w_r) and BTRAN (alpha_{j_enter}); disagreement beyond
+      // drift_tol means the eta file has decayed — refactorise and redo the
+      // iteration on exact data.  A fresh factorisation is accepted as is.
+      const double alpha_q = alpha_[j_enter];
+      if (std::abs(alpha_q - wr) > options_.drift_tol * (1.0 + std::abs(wr)) &&
+          lu_.eta_count() > 0) {
+        clear_alpha();
+        if (!refactorize()) return SolveStatus::kIterationLimit;
+        continue;
+      }
+
+      // Apply the pivot: entering becomes basic in row r.
+      const auto b_leave = static_cast<std::size_t>(basis_[r]);
+      const double enter_start = nonbasic_value(j_enter);
+      for (const std::int32_t pi : w_.pattern) {
+        const auto i = static_cast<std::size_t>(pi);
+        xb_[i] -= t_limit * sigma * w_.values[i];
+      }
+      vstat_[b_leave] = leave_to_upper ? VarStatus::kAtUpper : VarStatus::kAtLower;
+      vstat_[j_enter] = VarStatus::kBasic;
+      basis_[r] = static_cast<std::int32_t>(j_enter);
+      xb_[r] = enter_start + sigma * t_limit;
+
+      if (!lu_.push_eta(w_, r, options_.pivot_tol)) {
+        // Spike pivot below tolerance (the ratio test guards against this;
+        // belt and braces): rebuild everything at the updated basis.
+        clear_alpha();
+        if (!refactorize()) return SolveStatus::kIterationLimit;
+        ++iterations_;
+        continue;
+      }
+
+      // Incremental reduced-cost and Devex-weight updates from the pivot
+      // row.  Process-and-clear makes duplicate touched entries (an exact
+      // cancellation later refilled) harmless: the second visit reads 0.
+      const double d_enter = d_[j_enter];
+      const double ratio_d = d_enter / wr;
+      const double gamma_q = std::max(gamma_[j_enter], 1.0);
+      const double wr2 = wr * wr;
+      double gamma_max = 0.0;
+      for (const std::int32_t ci : alpha_touched_) {
+        const auto c = static_cast<std::size_t>(ci);
+        const double av = alpha_[c];
+        alpha_[c] = 0.0;
+        if (av == 0.0) continue;
+        if (vstat_[c] == VarStatus::kBasic) continue;
+        d_[c] -= ratio_d * av;
+        const double cand = gamma_q * (av * av) / wr2;
+        if (cand > gamma_[c]) gamma_[c] = cand;
+        if (gamma_[c] > gamma_max) gamma_max = gamma_[c];
+      }
+      alpha_touched_.clear();
+      d_[b_leave] = -ratio_d;
+      gamma_[b_leave] = std::max(gamma_q / wr2, 1.0);
+      d_[j_enter] = 0.0;
+      gamma_[j_enter] = 1.0;
+      if (gamma_max > 1e10) gamma_.assign(a_.cols, 1.0);  // reset reference
+      duals_fresh_ = false;
+      ++iterations_;
+    }
+    return SolveStatus::kIterationLimit;
+  }
+
+  /// y = B^-T c_B at the final basis, in the problem's own sense.
+  [[nodiscard]] std::vector<double> extract_row_duals(Sense sense) {
+    scratch_.clear();
+    for (std::size_t i = 0; i < m_; ++i) {
+      const double cb = cost_[static_cast<std::size_t>(basis_[i])];
+      if (cb != 0.0) scratch_.add(static_cast<std::int32_t>(i), cb);
+    }
+    lu_.btran(scratch_);
+    std::vector<double> y(m_, 0.0);
+    for (const std::int32_t i : scratch_.pattern) {
+      y[static_cast<std::size_t>(i)] = scratch_.values[static_cast<std::size_t>(i)];
+    }
+    scratch_.clear();
+    if (sense == Sense::kMaximize) {
+      for (double& v : y) v = -v;
+    }
+    return y;
+  }
+
+  BasisLu lu_;
+  std::vector<std::size_t> ar_start_;  // CSR mirror of a_
+  std::vector<std::int32_t> ar_col_;
+  std::vector<double> ar_val_;
+  std::vector<double> d_;      // reduced costs (0 for basics)
+  std::vector<double> gamma_;  // Devex reference weights
+  std::vector<double> alpha_;  // pivot-row scatter scratch
+  std::vector<std::int32_t> alpha_touched_;
+  IndexedVector w_, rho_, scratch_;
+  std::size_t refactor_count_ = 0;
+  bool duals_fresh_ = false;
 };
 
 }  // namespace
 
 LpSolution solve(const LpProblem& problem, SimplexOptions options) {
-  Solver solver(problem, options);
-  return solver.run(problem.sense());
+  const std::uint64_t t0 = obs::clock_ticks();
+  LpSolution solution;
+  if (options.engine == SimplexEngine::kDense) {
+    DenseSolver solver(problem, options);
+    solution = solver.run(problem.sense());
+  } else {
+    SparseSolver solver(problem, options);
+    solution = solver.run(problem.sense());
+  }
+  LpMetrics& metrics = LpMetrics::get();
+  metrics.latency_ns.record(obs::ticks_to_ns(obs::clock_ticks() - t0));
+  metrics.iterations.add(solution.iterations);
+  metrics.refactorisations.add(solution.refactorisations);
+  return solution;
 }
 
 }  // namespace tsce::lp

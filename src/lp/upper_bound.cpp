@@ -43,13 +43,21 @@ class UbIndexer {
 
 }  // namespace
 
-LpProblem build_upper_bound_lp(const SystemModel& model, bool complete,
-                               UbObjective objective) {
+std::size_t upper_bound_route_rows(const SystemModel& model) {
+  const std::size_t m = model.num_machines();
+  for (const auto& s : model.strings) {
+    if (s.size() > 1) return m * (m - 1);
+  }
+  return 0;
+}
+
+void build_upper_bound_lp_into(LpProblem& problem, const SystemModel& model,
+                               bool complete, UbObjective objective) {
   const std::size_t m = model.num_machines();
   const std::size_t q = model.num_strings();
   const UbIndexer idx(model);
 
-  LpProblem problem(Sense::kMaximize);
+  problem.clear(Sense::kMaximize);
   std::int32_t lambda = -1;  // slackness variable, complete mode only
 
   // Variables: all fractions in [0,1], with the objective coefficients
@@ -148,60 +156,72 @@ LpProblem build_upper_bound_lp(const SystemModel& model, bool complete,
     if (complete) problem.add_coefficient(row, lambda, 1.0);
   }
 
-  // (g) route capacity.
-  for (std::size_t j1 = 0; j1 < m; ++j1) {
-    for (std::size_t j2 = 0; j2 < m; ++j2) {
-      if (j1 == j2) continue;  // infinite intra-machine bandwidth
-      const std::int32_t row = problem.add_row(Relation::kLessEqual, 1.0);
-      const double w = model.network.bandwidth_mbps(static_cast<model::MachineId>(j1),
-                                                    static_cast<model::MachineId>(j2));
-      for (std::size_t k = 0; k < q; ++k) {
-        const auto& s = model.strings[k];
-        const std::size_t edges = s.size() > 0 ? s.size() - 1 : 0;
-        for (std::size_t i = 0; i < edges; ++i) {
-          const double coeff =
-              model::kbytes_to_megabits(s.apps[i].output_kbytes) / s.period_s / w;
-          problem.add_coefficient(row, idx.y(k, i, j1, j2), coeff);
+  // (g) route capacity.  Without any inter-app edge there are no y variables
+  // and every route row would be empty (or carry only the redundant
+  // lambda <= 1, already enforced by lambda's bounds) — skip the whole
+  // M(M-1) block.  Fleet-scale single-app workloads (the TDM-client shape)
+  // are exactly this case.
+  if (upper_bound_route_rows(model) > 0) {
+    for (std::size_t j1 = 0; j1 < m; ++j1) {
+      for (std::size_t j2 = 0; j2 < m; ++j2) {
+        if (j1 == j2) continue;  // infinite intra-machine bandwidth
+        const std::int32_t row = problem.add_row(Relation::kLessEqual, 1.0);
+        const double w = model.network.bandwidth_mbps(static_cast<model::MachineId>(j1),
+                                                      static_cast<model::MachineId>(j2));
+        for (std::size_t k = 0; k < q; ++k) {
+          const auto& s = model.strings[k];
+          const std::size_t edges = s.size() > 0 ? s.size() - 1 : 0;
+          for (std::size_t i = 0; i < edges; ++i) {
+            const double coeff =
+                model::kbytes_to_megabits(s.apps[i].output_kbytes) / s.period_s / w;
+            problem.add_coefficient(row, idx.y(k, i, j1, j2), coeff);
+          }
         }
+        if (complete) problem.add_coefficient(row, lambda, 1.0);
       }
-      if (complete) problem.add_coefficient(row, lambda, 1.0);
     }
   }
+}
 
+LpProblem build_upper_bound_lp(const SystemModel& model, bool complete,
+                               UbObjective objective) {
+  LpProblem problem(Sense::kMaximize);
+  build_upper_bound_lp_into(problem, model, complete, objective);
   return problem;
 }
 
 namespace {
 
-UpperBoundResult run(const SystemModel& model, bool complete,
-                     const UpperBoundOptions& options) {
-  const LpProblem problem =
-      build_upper_bound_lp(model, complete, options.objective);
-  const LpSolution solution = solve(problem, options.simplex);
-
+UpperBoundResult extract_result(const LpProblem& problem,
+                                const LpSolution& solution,
+                                const SystemModel& model, bool complete) {
   UpperBoundResult result;
   result.status = solution.status;
   result.lp_rows = problem.num_rows();
   result.lp_cols = problem.num_variables();
   result.iterations = solution.iterations;
+  result.refactorisations = solution.refactorisations;
   if (solution.status != SolveStatus::kOptimal) return result;
 
   // Rows were appended in the order (a), (b), (d)/(e), (f), (g): the machine
-  // capacity rows start right before the M + M(M-1) tail.
+  // capacity rows start right before the M + route_rows tail (route_rows is
+  // zero when the (g) block was omitted — see build_upper_bound_lp).
   {
     const std::size_t m = model.num_machines();
-    const std::size_t machine_rows_start =
-        problem.num_rows() - m - m * (m - 1);
+    const std::size_t route_rows = upper_bound_route_rows(model);
+    const std::size_t machine_rows_start = problem.num_rows() - m - route_rows;
     result.machine_shadow_price.assign(m, 0.0);
     result.route_shadow_price.assign(m * m, 0.0);
     for (std::size_t j = 0; j < m; ++j) {
       result.machine_shadow_price[j] = solution.row_duals[machine_rows_start + j];
     }
-    std::size_t row = machine_rows_start + m;
-    for (std::size_t j1 = 0; j1 < m; ++j1) {
-      for (std::size_t j2 = 0; j2 < m; ++j2) {
-        if (j1 == j2) continue;
-        result.route_shadow_price[j1 * m + j2] = solution.row_duals[row++];
+    if (route_rows > 0) {
+      std::size_t row = machine_rows_start + m;
+      for (std::size_t j1 = 0; j1 < m; ++j1) {
+        for (std::size_t j2 = 0; j2 < m; ++j2) {
+          if (j1 == j2) continue;
+          result.route_shadow_price[j1 * m + j2] = solution.row_duals[row++];
+        }
       }
     }
   }
@@ -229,6 +249,14 @@ UpperBoundResult run(const SystemModel& model, bool complete,
   return result;
 }
 
+UpperBoundResult run(const SystemModel& model, bool complete,
+                     const UpperBoundOptions& options) {
+  const LpProblem problem =
+      build_upper_bound_lp(model, complete, options.objective);
+  const LpSolution solution = solve(problem, options.simplex);
+  return extract_result(problem, solution, model, complete);
+}
+
 }  // namespace
 
 UpperBoundResult upper_bound_worth(const SystemModel& model,
@@ -239,6 +267,28 @@ UpperBoundResult upper_bound_worth(const SystemModel& model,
 UpperBoundResult upper_bound_slackness(const SystemModel& model,
                                        UpperBoundOptions options) {
   return run(model, /*complete=*/true, options);
+}
+
+UpperBoundResult UpperBoundSolver::run_reusable(const SystemModel& model,
+                                                bool complete) {
+  build_upper_bound_lp_into(problem_, model, complete, options_.objective);
+  UpperBoundOptions opts = options_;
+  if (warm_start_ && !last_basis_.empty()) {
+    opts.simplex.basis_warm_start = &last_basis_;
+  }
+  const LpSolution solution = solve(problem_, opts.simplex);
+  if (solution.status == SolveStatus::kOptimal && !solution.basis.empty()) {
+    last_basis_ = solution.basis;
+  }
+  return extract_result(problem_, solution, model, complete);
+}
+
+UpperBoundResult UpperBoundSolver::worth(const SystemModel& model) {
+  return run_reusable(model, /*complete=*/false);
+}
+
+UpperBoundResult UpperBoundSolver::slackness(const SystemModel& model) {
+  return run_reusable(model, /*complete=*/true);
 }
 
 }  // namespace tsce::lp

@@ -59,13 +59,31 @@ struct UpperBoundResult {
   std::size_t lp_rows = 0;
   std::size_t lp_cols = 0;
   std::size_t iterations = 0;
+  /// Basis refactorisations performed by the sparse engine.
+  std::size_t refactorisations = 0;
 };
 
 /// Builds the fractional-mapping LP.  \p complete selects scenario-3 mode
 /// (full deployment + slackness objective).
+///
+/// Row layout: (a) Q deployment rows, (b) equal-fraction rows, (d)/(e) flow
+/// rows per edge, (f) M machine-capacity rows, then (g) route-capacity rows
+/// — the (g) block is **omitted entirely** when no string has an inter-app
+/// edge (single-app workloads, e.g. the TDM-client fleet tier), which drops
+/// M(M-1) rows from fleet-scale instances.  Use upper_bound_route_rows() to
+/// recover the layout when reading duals positionally.
 [[nodiscard]] LpProblem build_upper_bound_lp(const model::SystemModel& model,
                                              bool complete,
                                              UbObjective objective);
+
+/// Same, assembling into \p problem (cleared first) so the triplet/bound
+/// vectors' capacity is reused across repeated builds.
+void build_upper_bound_lp_into(LpProblem& problem, const model::SystemModel& model,
+                               bool complete, UbObjective objective);
+
+/// Number of (g) route-capacity rows build_upper_bound_lp emits for
+/// \p model: M(M-1) when any string has at least two applications, else 0.
+[[nodiscard]] std::size_t upper_bound_route_rows(const model::SystemModel& model);
 
 /// Upper bound on total worth for partial resource allocation (scenarios 1-2).
 [[nodiscard]] UpperBoundResult upper_bound_worth(const model::SystemModel& model,
@@ -75,5 +93,35 @@ struct UpperBoundResult {
 /// status == kInfeasible means even fractional full deployment is impossible.
 [[nodiscard]] UpperBoundResult upper_bound_slackness(const model::SystemModel& model,
                                                      UpperBoundOptions options = {});
+
+/// Reusable upper-bound evaluator for repeated solves over same-shaped
+/// models (Monte-Carlo replicates, what-if perturbations).  Reuses the
+/// assembled LpProblem's buffers across calls, and — when warm starts are
+/// enabled — chains each solve from the previous optimal basis, which is
+/// where the sparse engine's basis_warm_start hook pays off: a lightly
+/// perturbed model typically re-optimises in a handful of pivots.  A basis
+/// that no longer fits (shape change, infeasible start) falls back to a cold
+/// solve automatically, so enabling warm starts never changes results, only
+/// the pivot path.  Not thread-safe; use one instance per thread.
+class UpperBoundSolver {
+ public:
+  explicit UpperBoundSolver(UpperBoundOptions options = {})
+      : options_(options) {}
+
+  /// Enables basis chaining across solves (off by default: a chained pivot
+  /// path makes per-call iteration counts depend on call order).
+  void set_warm_start(bool enabled) noexcept { warm_start_ = enabled; }
+
+  [[nodiscard]] UpperBoundResult worth(const model::SystemModel& model);
+  [[nodiscard]] UpperBoundResult slackness(const model::SystemModel& model);
+
+ private:
+  UpperBoundResult run_reusable(const model::SystemModel& model, bool complete);
+
+  UpperBoundOptions options_;
+  bool warm_start_ = false;
+  SimplexBasis last_basis_;
+  LpProblem problem_;
+};
 
 }  // namespace tsce::lp

@@ -32,6 +32,11 @@ inline constexpr std::string_view kDecodeLatencyNs = "decode.latency_ns";
 inline constexpr std::string_view kSessionCommitLatencyNs = "session.commit.latency_ns";
 inline constexpr std::string_view kSessionUncommitLatencyNs = "session.uncommit.latency_ns";
 inline constexpr std::string_view kDynamicRemapLatencyNs = "dynamic.remap.latency_ns";
+inline constexpr std::string_view kLpSolveLatencyNs = "lp.solve.latency_ns";
+
+// --- LP solver (src/lp simplex; counters are deterministic per input) -------
+inline constexpr std::string_view kLpIterations = "lp.iterations";
+inline constexpr std::string_view kLpRefactorisations = "lp.refactorisations";
 
 // --- dynamic re-map (core/dynamic.cpp reallocate) ----------------------------
 inline constexpr std::string_view kDynamicRemapCalls = "dynamic.remap.calls";

@@ -114,5 +114,38 @@ TEST(Allocators, NamesAreDistinct) {
   EXPECT_EQ(TightestFirst{}.name(), "TF");
 }
 
+TEST(LpGuidedOrder, IsAPermutationAndDeterministic) {
+  util::Rng rng(21);
+  auto config =
+      workload::GeneratorConfig::for_scenario(workload::Scenario::kHighlyLoaded, 0.2);
+  config.num_machines = 4;
+  const SystemModel m = generate(config, rng);
+  const auto order = lp_guided_order(m);
+  ASSERT_EQ(order.size(), m.num_strings());
+  std::vector<bool> seen(m.num_strings(), false);
+  for (const auto id : order) {
+    ASSERT_FALSE(seen[static_cast<std::size_t>(id)]);
+    seen[static_cast<std::size_t>(id)] = true;
+  }
+  EXPECT_EQ(order, lp_guided_order(m));  // LP path is deterministic
+}
+
+TEST(LpGuidedOrder, FullyDeployableStringsComeFirst) {
+  // One heavy low-worth string (cannot fit) and two light high-worth ones:
+  // the LP deploys the light strings fully and only a fraction of the heavy
+  // one, so the lights must precede it.
+  SystemModelBuilder b(1);
+  b.begin_string(10.0, 100.0, Worth::kLow, "heavy");
+  b.add_app(20.0, 1.0, 0.0);  // utilization 2.0 alone: f = 0.5 at best
+  b.begin_string(10.0, 100.0, Worth::kHigh, "light-a");
+  b.add_app(1.0, 1.0, 0.0);
+  b.begin_string(10.0, 100.0, Worth::kHigh, "light-b");
+  b.add_app(1.0, 1.0, 0.0);
+  const SystemModel m = b.build();
+  const auto order = lp_guided_order(m);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[2], 0);  // the fractional heavy string sorts last
+}
+
 }  // namespace
 }  // namespace tsce::core

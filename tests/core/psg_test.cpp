@@ -196,6 +196,23 @@ TEST(SeededPsg, NeverWorseThanItsSeeds) {
   }
 }
 
+TEST(LpSeededPsg, NeverWorseThanTheLpGuidedSeed) {
+  for (std::uint64_t seed : {31u, 32u}) {
+    const SystemModel m = small_contended_system(seed);
+    const DecodeResult guided = decode_order(m, lp_guided_order(m));
+    util::Rng rng(seed + 200);
+    const auto result = LpSeededPsg(quick_options()).allocate(m, rng);
+    EXPECT_GE(result.fitness.total_worth, guided.fitness.total_worth)
+        << "seed " << seed;
+    EXPECT_TRUE(analysis::check_feasibility(m, result.allocation).feasible());
+  }
+}
+
+TEST(LpSeededPsg, HasDistinctName) {
+  EXPECT_EQ(LpSeededPsg{}.name(), "LP-Seeded PSG");
+  EXPECT_EQ(SeededPsg{}.name(), "Seeded PSG");
+}
+
 TEST(Psg, DefaultOptionsMatchThePaper) {
   // §5: population 250, bias 1.6, stop at 5000 iterations or 300 without an
   // elite change; §8: four trials per run.
