@@ -113,7 +113,9 @@ TEST(BasisLu, PatternCoversAllNonzeros) {
   std::vector<bool> listed(3, false);
   for (const std::int32_t i : v.pattern) listed[static_cast<std::size_t>(i)] = true;
   for (std::size_t i = 0; i < 3; ++i) {
-    if (v.values[i] != 0.0) EXPECT_TRUE(listed[i]) << "missing pattern index " << i;
+    if (v.values[i] != 0.0) {
+      EXPECT_TRUE(listed[i]) << "missing pattern index " << i;
+    }
   }
 }
 

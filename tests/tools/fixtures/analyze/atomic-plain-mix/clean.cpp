@@ -1,0 +1,13 @@
+// Fixture: every access to ticks_ spells its atomic operation — the memory
+// ordering is explicit at each site, so there is nothing to report.
+#include <atomic>
+
+class Progress {
+ public:
+  void bump() { ticks_.fetch_add(1); }
+  void reset() { ticks_.store(0); }
+  int ticks() { return ticks_.load(); }
+
+ private:
+  std::atomic<int> ticks_{0};
+};

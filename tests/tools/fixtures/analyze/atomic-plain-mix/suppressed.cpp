@@ -1,0 +1,16 @@
+// Fixture: same atomic/plain mix as violation.cpp with the plain store
+// justified — reset() runs single-threaded between benchmark repetitions, and
+// the implicit seq_cst store is the intended semantics.
+#include <atomic>
+
+class Progress {
+ public:
+  void bump() { ticks_.fetch_add(1); }
+  // Runs between repetitions, single-threaded; implicit seq_cst is intended.
+  // tsce-lint: allow(atomic-plain-mix)
+  void reset() { ticks_ = 0; }
+  int ticks() { return ticks_.load(); }
+
+ private:
+  std::atomic<int> ticks_{0};
+};

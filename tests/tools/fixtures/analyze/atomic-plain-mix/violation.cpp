@@ -1,0 +1,14 @@
+// Fixture: ticks_ is driven through the atomic API (fetch_add, load) except
+// for one plain assignment — a seq_cst store in disguise whose ordering
+// intent is invisible at the call site.
+#include <atomic>
+
+class Progress {
+ public:
+  void bump() { ticks_.fetch_add(1); }
+  void reset() { ticks_ = 0; }  // plain store amid atomic calls
+  int ticks() { return ticks_.load(); }
+
+ private:
+  std::atomic<int> ticks_{0};
+};

@@ -1,0 +1,31 @@
+// Fixture: every access to total_ takes mu_ — a consistent guarded-by
+// contract, so the inference has nothing to report.
+#include <mutex>
+
+class Tally {
+ public:
+  void add(int v) {
+    std::lock_guard<std::mutex> hold(mu_);
+    total_ += v;
+  }
+  void reset() {
+    std::lock_guard<std::mutex> hold(mu_);
+    total_ = 0;
+  }
+  void scale(int f) {
+    std::lock_guard<std::mutex> hold(mu_);
+    total_ *= f;
+  }
+  int snapshot() {
+    std::lock_guard<std::mutex> hold(mu_);
+    return total_;
+  }
+  int peek() {
+    std::lock_guard<std::mutex> hold(mu_);
+    return total_;
+  }
+
+ private:
+  std::mutex mu_;
+  int total_ = 0;
+};

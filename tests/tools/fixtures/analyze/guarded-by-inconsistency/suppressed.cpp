@@ -1,0 +1,31 @@
+// Fixture: same 4-of-5 guarded split as violation.cpp, with the outlier
+// justified — peek() is documented as an approximate progress probe where a
+// torn read is acceptable, so the suppression absorbs the finding.
+#include <mutex>
+
+class Tally {
+ public:
+  void add(int v) {
+    std::lock_guard<std::mutex> hold(mu_);
+    total_ += v;
+  }
+  void reset() {
+    std::lock_guard<std::mutex> hold(mu_);
+    total_ = 0;
+  }
+  void scale(int f) {
+    std::lock_guard<std::mutex> hold(mu_);
+    total_ *= f;
+  }
+  int snapshot() {
+    std::lock_guard<std::mutex> hold(mu_);
+    return total_;
+  }
+  // Approximate progress probe; a stale or torn value only skews a log line.
+  // tsce-lint: allow(guarded-by-inconsistency)
+  int peek() const { return total_; }
+
+ private:
+  std::mutex mu_;
+  int total_ = 0;
+};

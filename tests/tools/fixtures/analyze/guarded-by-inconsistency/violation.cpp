@@ -1,0 +1,29 @@
+// Fixture: total_ is guarded by mu_ at four of its five access sites — the
+// lock-free peek() is the inconsistency.  The rule infers the guard from the
+// majority (>= 80%) and reports the site that skipped it.
+#include <mutex>
+
+class Tally {
+ public:
+  void add(int v) {
+    std::lock_guard<std::mutex> hold(mu_);
+    total_ += v;
+  }
+  void reset() {
+    std::lock_guard<std::mutex> hold(mu_);
+    total_ = 0;
+  }
+  void scale(int f) {
+    std::lock_guard<std::mutex> hold(mu_);
+    total_ *= f;
+  }
+  int snapshot() {
+    std::lock_guard<std::mutex> hold(mu_);
+    return total_;
+  }
+  int peek() const { return total_; }  // lock-free: the 1-of-5 outlier
+
+ private:
+  std::mutex mu_;
+  int total_ = 0;
+};

@@ -1,0 +1,19 @@
+// Fixture: the guard lives and dies inside the function that took it — the
+// critical section is exactly the lexical scope the analyzer credits.
+#include <mutex>
+
+class Registry {
+ public:
+  void prepare() {
+    std::lock_guard<std::mutex> hold(mu_);
+    prepared_ = true;
+  }
+  bool prepared() {
+    std::lock_guard<std::mutex> hold(mu_);
+    return prepared_;
+  }
+
+ private:
+  std::mutex mu_;
+  bool prepared_ = false;
+};

@@ -1,0 +1,19 @@
+// Fixture: the same escaping guard as violation.cpp, justified — acquire()
+// is a deliberate scoped-lock factory (the caller-owns-the-critical-section
+// idiom) and its callers are audited by hand.
+#include <mutex>
+
+class Registry {
+ public:
+  std::unique_lock<std::mutex> acquire() {
+    std::unique_lock<std::mutex> hold(mu_);
+    prepared_ = true;
+    // Deliberate scoped-lock factory; callers own the critical section.
+    // tsce-lint: allow(lock-scope-leak)
+    return hold;
+  }
+
+ private:
+  std::mutex mu_;
+  bool prepared_ = false;
+};

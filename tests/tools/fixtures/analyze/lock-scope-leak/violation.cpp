@@ -1,0 +1,17 @@
+// Fixture: acquire() hands its unique_lock to the caller — the analyzer
+// credits the lock to this scope, so every lockset derived from it would be
+// wrong the moment the guard escapes.
+#include <mutex>
+
+class Registry {
+ public:
+  std::unique_lock<std::mutex> acquire() {
+    std::unique_lock<std::mutex> hold(mu_);
+    prepared_ = true;
+    return hold;  // guard escapes its credited scope
+  }
+
+ private:
+  std::mutex mu_;
+  bool prepared_ = false;
+};

@@ -1,0 +1,21 @@
+// Fixture: the pool-side increment goes through std::atomic — atomic fields
+// are exempt (the remediation the rule message recommends).
+#include <atomic>
+
+struct Pool {
+  template <typename F>
+  void submit(F&& f) {
+    f();
+  }
+};
+
+class JobStats {
+ public:
+  void record(Pool& pool) {
+    pool.submit([this] { done_.fetch_add(1); });
+  }
+  int done() { return done_.load(); }
+
+ private:
+  std::atomic<int> done_{0};
+};

@@ -1,0 +1,28 @@
+// Fixture: the same cross-partition lock-free write as violation.cpp, with a
+// recorded justification — the harness joins the pool before done() runs, so
+// the phases never overlap and the suppression absorbs the finding.
+#include <mutex>
+
+struct Pool {
+  template <typename F>
+  void submit(F&& f) {
+    f();
+  }
+};
+
+class JobStats {
+ public:
+  void record(Pool& pool) {
+    // The pool is joined before any reader runs; phases never overlap.
+    // tsce-lint: allow(unguarded-shared-write)
+    pool.submit([this] { done_ = done_ + 1; });
+  }
+  int done() {
+    std::lock_guard<std::mutex> hold(mu_);
+    return done_;
+  }
+
+ private:
+  std::mutex mu_;
+  int done_ = 0;
+};

@@ -1,0 +1,26 @@
+// Fixture: done_ is written lock-free inside a pool-submitted lambda while
+// the main thread reads it under mu_ — a cross-partition plain write with an
+// empty lockset on a class that clearly knows about locking (it owns mu_).
+#include <mutex>
+
+struct Pool {
+  template <typename F>
+  void submit(F&& f) {
+    f();
+  }
+};
+
+class JobStats {
+ public:
+  void record(Pool& pool) {
+    pool.submit([this] { done_ = done_ + 1; });  // races with done()
+  }
+  int done() {
+    std::lock_guard<std::mutex> hold(mu_);
+    return done_;
+  }
+
+ private:
+  std::mutex mu_;
+  int done_ = 0;
+};

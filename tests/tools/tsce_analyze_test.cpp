@@ -66,6 +66,10 @@ constexpr RuleFixture kRules[] = {
     {"lock-order-cycle", "src/core/fixture", ".cpp"},
     {"rng-stream-escape", "src/core/fixture", ".cpp"},
     {"hot-path-virtual", "src/core/fixture", ".cpp"},
+    {"guarded-by-inconsistency", "src/core/fixture", ".cpp"},
+    {"unguarded-shared-write", "src/core/fixture", ".cpp"},
+    {"atomic-plain-mix", "src/core/fixture", ".cpp"},
+    {"lock-scope-leak", "src/core/fixture", ".cpp"},
     {"unused-suppression", "src/core/fixture", ".cpp"},
 };
 
@@ -178,7 +182,7 @@ TEST(TsceAnalyze, SarifOutputIsValidAndCarriesTheFinding) {
   ASSERT_EQ(runs.size(), 1u);
   const auto& driver = runs[0].at("tool").at("driver");
   EXPECT_EQ(driver.at("name").as_string(), "tsce_analyze");
-  EXPECT_EQ(driver.at("rules").as_array().size(), 15u);
+  EXPECT_EQ(driver.at("rules").as_array().size(), 19u);
 
   const auto& results = runs[0].at("results").as_array();
   ASSERT_EQ(results.size(), 1u);
@@ -359,6 +363,134 @@ TEST(TsceAnalyze, ChangedOnlyReportsOnlyChangedFiles) {
   EXPECT_EQ(loud.output.find("committed.cpp:"), std::string::npos)
       << loud.output;
   fs::remove_all(root);
+}
+
+TEST(TsceAnalyze, ChangedOnlyBadRefIsAHardError) {
+  // Regression: a failed `git diff` (unknown ref) used to degrade into an
+  // empty change set — a clean exit that would let a bad CI ref pass the
+  // gate.  It must be a usage error instead.
+  if (std::system("git --version > /dev/null 2>&1") != 0) {
+    GTEST_SKIP() << "git not available";
+  }
+  namespace fs = std::filesystem;
+  const fs::path root = fs::path(testing::TempDir()) / "tsce_badref_repo";
+  fs::remove_all(root);
+  fs::create_directories(root / "src" / "core");
+  {
+    std::ofstream out(root / "src" / "core" / "quiet.cpp");
+    out << "int quiet() { return 0; }\n";
+  }
+  const std::string setup =
+      "cd '" + root.string() +
+      "' && git init -q && git add -A && "
+      "git -c user.email=t@t -c user.name=t commit -q -m seed";
+  ASSERT_EQ(std::system(("sh -c \"" + setup + "\" > /dev/null 2>&1").c_str()),
+            0);
+
+  const RunResult r = run("--root " + root.string() +
+                          " --changed-only no-such-ref-xyz");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("refusing to treat the failure"), std::string::npos)
+      << r.output;
+  fs::remove_all(root);
+}
+
+TEST(TsceAnalyze, ChangedOnlyHandlesPathsWithSpaces) {
+  // Regression: newline-splitting of unquoted git output mangled paths with
+  // spaces; the -z framing must round-trip them so their findings report.
+  if (std::system("git --version > /dev/null 2>&1") != 0) {
+    GTEST_SKIP() << "git not available";
+  }
+  namespace fs = std::filesystem;
+  const fs::path root = fs::path(testing::TempDir()) / "tsce spaced repo";
+  fs::remove_all(root);
+  fs::create_directories(root / "src" / "core dir");
+  {
+    std::ofstream out(root / "src" / "core dir" / "with space.cpp");
+    out << "int quiet() { return 0; }\n";
+  }
+  const std::string setup =
+      "cd '" + root.string() +
+      "' && git init -q && git add -A && "
+      "git -c user.email=t@t -c user.name=t commit -q -m seed";
+  ASSERT_EQ(std::system(("sh -c \"" + setup + "\" > /dev/null 2>&1").c_str()),
+            0);
+  {
+    // Tracked file changed after the commit: only `git diff` reports it.
+    std::ofstream out(root / "src" / "core dir" / "with space.cpp");
+    out << "#include <cstdlib>\n"
+           "int noisy() { return std::rand(); }\n";
+  }
+  const RunResult r =
+      run("--root '" + root.string() + "' --changed-only");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("src/core dir/with space.cpp:2"), std::string::npos)
+      << r.output;
+  fs::remove_all(root);
+}
+
+TEST(TsceAnalyze, StatsPrintsPerRuleCountsAndWallTime) {
+  const RunResult r = run(fixture_args(kRules[0], "violation") + " --stats");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  // Table header, the firing rule with its count, a quiet rule at zero, and
+  // the shared-phase rows.
+  EXPECT_NE(r.output.find("rule"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("millis"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("deterministic-rng"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("guarded-by-inconsistency"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("(lex+parse)"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("(callgraph)"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("(accesses)"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("total"), std::string::npos) << r.output;
+}
+
+TEST(TsceAnalyze, StatsCsvEmitsOneRowPerRule) {
+  const RunResult r =
+      run(fixture_args(kRules[0], "violation") + " --stats --csv");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("rule,findings,millis"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("deterministic-rng,1,"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("lock-scope-leak,0,"), std::string::npos)
+      << r.output;
+}
+
+TEST(TsceAnalyze, CsvWithoutStatsIsAUsageError) {
+  const RunResult r = run(fixture_args(kRules[0], "clean") + " --csv");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("--csv requires --stats"), std::string::npos)
+      << r.output;
+}
+
+TEST(TsceAnalyze, GuardedByReportListsInferredLocksWithConfidence) {
+  const std::string report_path =
+      testing::TempDir() + "tsce_guarded_by_report.json";
+  const RunResult r =
+      run(std::string("--file ") + TSCE_ANALYZE_FIXTURE_DIR +
+          "/guarded-by-inconsistency/violation.cpp --as src/core/fixture.cpp" +
+          " --guarded-by-report " + report_path);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+
+  std::ifstream in(report_path, std::ios::binary);
+  ASSERT_TRUE(in.is_open()) << "missing " << report_path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const tsce::util::Json doc = tsce::util::Json::parse(buf.str());
+  EXPECT_EQ(doc.at("report").as_string(), "guarded-by-inference");
+  const auto& fields = doc.at("fields").as_array();
+  bool saw_total = false;
+  for (const auto& field : fields) {
+    if (field.at("field").as_string() != "Tally::total_") continue;
+    saw_total = true;
+    EXPECT_EQ(field.at("lock").as_string(), "Tally::mu_");
+    EXPECT_EQ(field.at("sites").as_number(), 5.0);
+    EXPECT_EQ(field.at("guarded_sites").as_number(), 4.0);
+    EXPECT_NEAR(field.at("confidence").as_number(), 0.8, 1e-9);
+  }
+  EXPECT_TRUE(saw_total) << buf.str();
+  std::remove(report_path.c_str());
 }
 
 TEST(TsceAnalyze, MissingFileFails) {

@@ -1,0 +1,446 @@
+#include "analyze/accesses.hpp"
+
+#include <algorithm>
+#include <array>
+#include <iterator>
+#include <optional>
+#include <tuple>
+
+namespace tsce::analyze {
+
+namespace {
+
+using TK = TokenKind;
+
+constexpr std::size_t npos = CallGraph::npos;
+
+bool is_pool_call(const std::string& name) {
+  return name == "submit" || name == "parallel_for" ||
+         name == "for_each_index" || name == "for_each";
+}
+
+/// Member calls from the std::atomic vocabulary.  Deliberately excludes
+/// names containers share (clear, wait, notify_*) — an ambiguous spelling
+/// must not turn a vector into an "atomically accessed" field.
+bool is_atomic_member_call(const std::string& name) {
+  static constexpr std::array<std::string_view, 9> kOps = {
+      "load",      "store",     "exchange",
+      "fetch_add", "fetch_sub", "fetch_and",
+      "fetch_or",  "fetch_xor", "test_and_set"};
+  return std::find(kOps.begin(), kOps.end(), name) != kOps.end() ||
+         name.rfind("compare_exchange", 0) == 0;
+}
+
+bool is_mutex_type(const std::string& type_last) {
+  return type_last == "mutex" || type_last == "shared_mutex" ||
+         type_last == "recursive_mutex" || type_last == "timed_mutex" ||
+         type_last == "recursive_timed_mutex" ||
+         type_last == "condition_variable" ||
+         type_last == "condition_variable_any";
+}
+
+/// Per-file [body_begin, body_end] extents of lambdas passed to a ThreadPool
+/// entry point — code in these runs on a pool thread, not the caller's.
+std::vector<std::vector<std::pair<std::size_t, std::size_t>>>
+pool_lambda_extents(const std::vector<FileUnit>& units) {
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> out(
+      units.size());
+  for (std::size_t f = 0; f < units.size(); ++f) {
+    if (!units[f].in_graph) continue;
+    const FileUnit& unit = units[f];
+    for (const Call& call : unit.structure.calls) {
+      if (!is_pool_call(call.name)) continue;
+      for (const Lambda& lam : unit.structure.lambdas) {
+        if (lam.intro_idx > call.open_idx && lam.intro_idx < call.close_idx) {
+          out[f].emplace_back(lam.body_begin, lam.body_end);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// The pool-lambda extent covering \p tok_idx in file \p f, if any.
+const std::pair<std::size_t, std::size_t>* covering_pool_lambda(
+    const std::vector<std::vector<std::pair<std::size_t, std::size_t>>>&
+        extents,
+    std::size_t f, std::size_t tok_idx) {
+  for (const auto& e : extents[f]) {
+    if (tok_idx > e.first && tok_idx < e.second) return &e;
+  }
+  return nullptr;
+}
+
+/// Lock keys held at token \p at inside \p def.  Inside a pool-submitted
+/// lambda only locks acquired within the lambda body count; the submitting
+/// frame's guards are not held on the pool thread.
+std::vector<std::string> locks_at(
+    const std::vector<FileUnit>& units, const FunctionDef& def,
+    std::size_t at,
+    const std::pair<std::size_t, std::size_t>* pool_lambda) {
+  const FileUnit& unit = units[def.file];
+  std::vector<std::string> keys;
+  for (const LockScope& lock : unit.structure.locks) {
+    if (lock.decl_idx <= def.body_begin || lock.decl_idx >= def.body_end) {
+      continue;
+    }
+    if (lock.decl_idx >= at || lock.scope_end <= at) continue;
+    if (pool_lambda != nullptr && lock.decl_idx <= pool_lambda->first) {
+      continue;  // acquired outside the lambda that owns this site
+    }
+    for (const std::string& chain : lock.mutexes) {
+      const std::string key = mutex_key(unit, def, chain, lock.decl_idx);
+      if (std::find(keys.begin(), keys.end(), key) == keys.end()) {
+        keys.push_back(key);
+      }
+    }
+  }
+  return keys;
+}
+
+/// One class/struct body extent, for attributing field declarations.
+struct ClassExtent {
+  std::string name;
+  std::size_t begin = 0;  ///< token index of the body '{'
+  std::size_t end = 0;    ///< matching '}'
+};
+
+std::vector<ClassExtent> class_extents(const TokenStream& ts) {
+  std::vector<ClassExtent> out;
+  const auto& toks = ts.tokens();
+  const std::size_t n = toks.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Token& t = toks[i];
+    if (!(t.ident("class") || t.ident("struct")) ||
+        ts.at(ts.prev_code(i)).ident("enum")) {
+      continue;
+    }
+    std::string cls;
+    std::size_t k = ts.next_code(i);
+    while (k < n) {
+      const Token& ct = ts.at(k);
+      if (ct.kind == TK::kIdentifier) {
+        cls = ct.text;  // last component of a qualified name wins
+        k = ts.next_code(k);
+        continue;
+      }
+      if (ct.punct("::") || ct.ident("final")) {
+        k = ts.next_code(k);
+        continue;
+      }
+      if (ct.punct("<")) {
+        const std::size_t close = ts.match_forward(k);
+        if (close >= n) break;
+        k = ts.next_code(close);
+        continue;
+      }
+      if (ct.punct(":")) {  // base clause: skip to the body '{'
+        while (k < n && !ts.at(k).punct("{") && !ts.at(k).punct(";")) {
+          if (ts.at(k).punct("<")) {
+            const std::size_t close = ts.match_forward(k);
+            if (close >= n) break;
+            k = close;
+          }
+          ++k;
+        }
+      }
+      break;
+    }
+    if (k < n && ts.at(k).punct("{") && !cls.empty()) {
+      const std::size_t close = ts.match_forward(k);
+      if (close < n) out.push_back({cls, k, close});
+    }
+  }
+  return out;
+}
+
+/// Innermost class extent covering \p idx; nullptr at namespace scope.
+const ClassExtent* innermost_class(const std::vector<ClassExtent>& classes,
+                                   std::size_t idx) {
+  const ClassExtent* best = nullptr;
+  for (const ClassExtent& c : classes) {
+    if (idx <= c.begin || idx >= c.end) continue;
+    if (best == nullptr || c.end - c.begin < best->end - best->begin) {
+      best = &c;
+    }
+  }
+  return best;
+}
+
+/// Assignment-flavored punctuation that makes the preceding postfix chain a
+/// write.  `==` / `!=` lex as their own tokens, so "=" here is always a store.
+bool is_assignment(const Token& t) {
+  if (t.kind != TK::kPunct) return false;
+  static constexpr std::array<std::string_view, 11> kOps = {
+      "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="};
+  return std::find(kOps.begin(), kOps.end(), t.text) != kOps.end();
+}
+
+}  // namespace
+
+std::string mutex_key(const FileUnit& unit, const FunctionDef& def,
+                      const std::string& chain, std::size_t at) {
+  const std::size_t dot = chain.find('.');
+  if (dot == std::string::npos) {
+    if (!def.class_name.empty()) return def.class_name + "::" + chain;
+    return unit.rel + "::" + chain;
+  }
+  const std::string head = chain.substr(0, dot);
+  const std::string last = chain.substr(chain.rfind('.') + 1);
+  const std::string rtype = unit.structure.type_of(head, at);
+  if (!rtype.empty() && rtype != "auto") return rtype + "::" + last;
+  return unit.rel + "::" + chain;
+}
+
+std::set<std::string> AccessIndex::lockset_of(const FieldAccess& a) const {
+  std::set<std::string> out(a.local_locks.begin(), a.local_locks.end());
+  if (!a.in_pool_lambda && a.node < entry_locks.size()) {
+    out.insert(entry_locks[a.node].begin(), entry_locks[a.node].end());
+  }
+  return out;
+}
+
+AccessIndex build_access_index(const std::vector<FileUnit>& units,
+                               const CallGraph& graph) {
+  AccessIndex index;
+  const auto pool_extents = pool_lambda_extents(units);
+
+  // --- field table ----------------------------------------------------------
+  // A scope-parser decl is a data member when it sits inside a class body but
+  // outside every function definition body *and* signature (parameters are
+  // decls too, and they live between a definition's name and its '{').
+  for (std::size_t f = 0; f < units.size(); ++f) {
+    if (!units[f].in_graph) continue;
+    const FileUnit& unit = units[f];
+    const std::vector<ClassExtent> classes = class_extents(unit.ts);
+    if (classes.empty()) continue;
+    std::vector<std::pair<std::size_t, std::size_t>> signatures;
+    for (const CallGraph::Node& node : graph.nodes()) {
+      for (const FunctionDef& def : node.defs) {
+        if (def.file == f) signatures.emplace_back(def.name_idx, def.body_begin);
+      }
+    }
+    for (const Decl& d : unit.structure.decls) {
+      const ClassExtent* cls = innermost_class(classes, d.name_idx);
+      if (cls == nullptr) continue;
+      if (graph.enclosing(f, d.name_idx) != npos) continue;
+      const bool in_signature = std::any_of(
+          signatures.begin(), signatures.end(), [&](const auto& s) {
+            return d.name_idx > s.first && d.name_idx < s.second;
+          });
+      if (in_signature) continue;
+      // A name directly followed by '(' is a method declaration the decl
+      // walker happened to record, not a data member.
+      if (unit.ts.at(unit.ts.next_code(d.name_idx)).punct("(")) continue;
+      FieldInfo info;
+      info.type = d.type;
+      info.type_last = d.type_last;
+      info.is_atomic = d.type.find("atomic") != std::string::npos;
+      info.is_mutex = is_mutex_type(d.type_last);
+      info.is_thread_local = d.type.find("thread_local") != std::string::npos;
+      info.file = f;
+      info.line = unit.ts.at(d.name_idx).line;
+      index.fields[cls->name].emplace(d.name, std::move(info));
+    }
+  }
+
+  // --- thread-root partition ------------------------------------------------
+  // Roots: callees of call edges whose site lies inside a pool-submitted
+  // lambda.  Everything reachable from them runs (also) on pool threads.
+  std::vector<std::size_t> roots;
+  for (std::size_t node = 0; node < graph.nodes().size(); ++node) {
+    for (const CallEdge& e : graph.nodes()[node].edges) {
+      if (covering_pool_lambda(pool_extents, e.file, e.tok_idx) != nullptr &&
+          std::find(roots.begin(), roots.end(), e.callee) == roots.end()) {
+        roots.push_back(e.callee);
+      }
+    }
+  }
+  const std::vector<std::size_t> pool_parent = graph.reach_from(roots);
+  index.pool_reachable.assign(graph.nodes().size(), false);
+  for (std::size_t node = 0; node < graph.nodes().size(); ++node) {
+    index.pool_reachable[node] = pool_parent[node] != npos;
+  }
+
+  // --- held-at-entry lockset dataflow ---------------------------------------
+  // Must-hold analysis: entry(F) = ∩ over resolved call sites of
+  // entry(caller) ∪ locks lexically held around the site.  A call made from
+  // inside a pool lambda contributes only the locks acquired within the
+  // lambda (the submitting frame's context does not transfer to the pool
+  // thread).  TOP (= "no constraint yet") is the std::nullopt lattice top;
+  // iteration is monotone decreasing, so the fixpoint loop converges — the
+  // pass cap only bounds pathological SCC chains.
+  const std::size_t count = graph.nodes().size();
+  std::vector<std::optional<std::set<std::string>>> entry(count);
+  std::vector<bool> has_caller(count, false);
+  for (std::size_t u = 0; u < count; ++u) {
+    for (const CallEdge& e : graph.nodes()[u].edges) {
+      has_caller[e.callee] = true;
+    }
+  }
+  for (std::size_t v = 0; v < count; ++v) {
+    if (!has_caller[v]) entry[v] = std::set<std::string>{};
+  }
+  auto def_containing = [&](std::size_t u, std::size_t file,
+                            std::size_t tok) -> const FunctionDef* {
+    for (const FunctionDef& def : graph.nodes()[u].defs) {
+      if (def.file == file && tok > def.body_begin && tok < def.body_end) {
+        return &def;
+      }
+    }
+    return nullptr;
+  };
+  for (std::size_t pass = 0; pass < 16; ++pass) {
+    bool changed = false;
+    for (std::size_t u = 0; u < count; ++u) {
+      for (const CallEdge& e : graph.nodes()[u].edges) {
+        const FunctionDef* def = def_containing(u, e.file, e.tok_idx);
+        if (def == nullptr) continue;
+        const auto* lam =
+            covering_pool_lambda(pool_extents, e.file, e.tok_idx);
+        const std::vector<std::string> site_locks =
+            locks_at(units, *def, e.tok_idx, lam);
+        std::set<std::string> contribution(site_locks.begin(),
+                                           site_locks.end());
+        if (lam == nullptr) {
+          if (!entry[u].has_value()) continue;  // caller still TOP: no info
+          contribution.insert(entry[u]->begin(), entry[u]->end());
+        }
+        if (!entry[e.callee].has_value()) {
+          entry[e.callee] = std::move(contribution);
+          changed = true;
+          continue;
+        }
+        std::set<std::string> meet;
+        std::set_intersection(entry[e.callee]->begin(), entry[e.callee]->end(),
+                              contribution.begin(), contribution.end(),
+                              std::inserter(meet, meet.begin()));
+        if (meet != *entry[e.callee]) {
+          entry[e.callee] = std::move(meet);
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  index.entry_locks.assign(count, {});
+  for (std::size_t v = 0; v < count; ++v) {
+    if (entry[v].has_value()) index.entry_locks[v] = std::move(*entry[v]);
+  }
+
+  // --- member-access index --------------------------------------------------
+  for (std::size_t node = 0; node < count; ++node) {
+    for (const FunctionDef& def : graph.nodes()[node].defs) {
+      const FileUnit& unit = units[def.file];
+      const TokenStream& ts = unit.ts;
+      const auto& toks = ts.tokens();
+      const std::size_t n = toks.size();
+      const bool is_ctor = !def.class_name.empty() &&
+                           def.name == def.class_name;
+      for (std::size_t i = def.body_begin + 1; i < def.body_end; ++i) {
+        if (toks[i].kind != TK::kIdentifier) continue;
+        if (graph.enclosing(def.file, i) != node) continue;  // nested def
+
+        // Resolve (class, field) for this token, or skip.
+        std::string cls;
+        std::size_t chain_start = i;
+        const std::size_t prev = ts.prev_code(i);
+        const Token& p = ts.at(prev);
+        if (p.punct(".") || p.punct("->")) {
+          const std::size_t recv = ts.prev_code(prev);
+          if (ts.at(recv).ident("this")) {
+            cls = def.class_name;
+            chain_start = recv;
+          } else if (ts.at(recv).kind == TK::kIdentifier) {
+            const std::string rtype =
+                unit.structure.type_of(ts.at(recv).text, i);
+            if (index.fields.count(rtype) == 0) continue;
+            cls = rtype;
+            chain_start = recv;
+          } else {
+            continue;  // chained off a call result or subscript
+          }
+        } else if (p.punct("::")) {
+          continue;  // qualified / static access — out of scope
+        } else {
+          // Bare identifier: a member of the enclosing class, unless a local
+          // declaration or a parameter shadows it.
+          if (def.class_name.empty()) continue;
+          const auto cit = index.fields.find(def.class_name);
+          if (cit == index.fields.end() ||
+              cit->second.count(toks[i].text) == 0) {
+            continue;
+          }
+          const bool shadowed = std::any_of(
+              unit.structure.decls.begin(), unit.structure.decls.end(),
+              [&](const Decl& d) {
+                if (d.name != toks[i].text) return false;
+                const bool local = d.name_idx > def.body_begin &&
+                                   d.name_idx <= i && d.scope_end >= i;
+                const bool param = d.name_idx > def.name_idx &&
+                                   d.name_idx < def.body_begin;
+                return local || param;
+              });
+          if (shadowed) continue;
+          cls = def.class_name;
+        }
+        const auto cit = index.fields.find(cls);
+        if (cit == index.fields.end()) continue;
+        if (cit->second.count(toks[i].text) == 0) continue;
+
+        // Classify the access.
+        FieldAccess access;
+        access.cls = cls;
+        access.field = toks[i].text;
+        access.file = def.file;
+        access.tok_idx = i;
+        access.line = toks[i].line;
+        access.node = node;
+        access.in_ctor = is_ctor;
+        access.kind = AccessKind::kRead;
+        std::size_t after = ts.next_code(i);
+        while (after < n && toks[after].punct("[")) {
+          const std::size_t close = ts.match_forward(after);
+          if (close >= n) break;
+          after = ts.next_code(close);
+        }
+        if (after < n &&
+            (toks[after].punct(".") || toks[after].punct("->"))) {
+          const std::size_t m = ts.next_code(after);
+          if (m < n && toks[m].kind == TK::kIdentifier &&
+              ts.at(m + 1).punct("(")) {
+            access.kind = is_atomic_member_call(toks[m].text)
+                              ? AccessKind::kAtomicOp
+                              : AccessKind::kCall;
+          }
+          // Otherwise a nested member access: `impl_->mu` reads impl_; the
+          // nested token produces its own record if its class resolves.
+        } else if (after < n && is_assignment(toks[after])) {
+          access.kind = AccessKind::kWrite;
+        } else if (after < n &&
+                   (toks[after].punct("++") || toks[after].punct("--"))) {
+          access.kind = AccessKind::kWrite;
+        } else {
+          const std::size_t before = ts.prev_code(chain_start);
+          if (before < n &&
+              (ts.at(before).punct("++") || ts.at(before).punct("--"))) {
+            access.kind = AccessKind::kWrite;
+          }
+        }
+
+        const auto* lam = covering_pool_lambda(pool_extents, def.file, i);
+        access.in_pool_lambda = lam != nullptr;
+        access.local_locks = locks_at(units, def, i, lam);
+        index.accesses.push_back(std::move(access));
+      }
+    }
+  }
+  std::stable_sort(index.accesses.begin(), index.accesses.end(),
+                   [](const FieldAccess& a, const FieldAccess& b) {
+                     return std::tie(a.file, a.tok_idx) <
+                            std::tie(b.file, b.tok_idx);
+                   });
+  return index;
+}
+
+}  // namespace tsce::analyze

@@ -1,0 +1,103 @@
+/// \file accesses.hpp
+/// Member-field access index and lockset dataflow for tsce_analyze's
+/// concurrency tier (rules in concurrency.hpp).
+///
+/// Three layers, all computed over the PR 8 call graph:
+///
+///   1. a **field table**: every data member declared in a class/struct body
+///      across the graph-eligible units, with its textual type and the
+///      properties the rules discriminate on (std::atomic, mutex-family,
+///      thread_local);
+///   2. a **member-access index**: every member read / write / atomic member
+///      call / other member call inside a function definition, attributed to
+///      its (receiver class, field) and stamped with the lock scopes the
+///      scope parser sees covering the site;
+///   3. an **interprocedural lockset dataflow**: a must-hold "held at entry"
+///      set per function (intersection over every resolved call site of the
+///      caller's entry set plus the locks lexically held around the call),
+///      iterated to a fixpoint over the SCC-condensed graph, plus a
+///      **thread-root partition** marking the functions reachable from
+///      pool-submitted lambdas (ThreadPool submit / parallel_for /
+///      for_each_index / for_each capture sites) as pool-side.
+///
+/// The final lockset of an access is entry_locks(function) ∪ the locks
+/// lexically covering the site — except inside a pool-submitted lambda,
+/// where only locks acquired *inside* the lambda body count (the submitting
+/// frame's guards are not held when the lambda runs on a pool thread).
+///
+/// Heuristic by design, like the scope parser it builds on: when receiver
+/// types or field declarations cannot be recovered the access is simply not
+/// indexed.  A missed access weakens a finding; a fabricated one manufactures
+/// it — the index always prefers the former.
+
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/callgraph.hpp"
+
+namespace tsce::analyze {
+
+enum class AccessKind {
+  kRead,      ///< plain load (incl. reads feeding a larger expression)
+  kWrite,     ///< plain store: =, compound assignment, ++/--
+  kAtomicOp,  ///< member call from the std::atomic vocabulary (.load, .store…)
+  kCall,      ///< any other member call (mutation-unknown)
+};
+
+/// One member access site.
+struct FieldAccess {
+  std::string cls;    ///< owning class of the field
+  std::string field;  ///< field name
+  std::size_t file = 0;
+  std::size_t tok_idx = 0;
+  std::size_t line = 0;
+  std::size_t node = CallGraph::npos;  ///< enclosing call-graph node
+  AccessKind kind = AccessKind::kRead;
+  bool in_ctor = false;         ///< enclosing function is a ctor/dtor of cls
+  bool in_pool_lambda = false;  ///< site lies inside a pool-submitted lambda
+  /// Lock keys lexically held at the site (the enclosing function's lock
+  /// scopes; inside a pool lambda, only locks acquired within the lambda).
+  std::vector<std::string> local_locks;
+};
+
+/// Declared properties of one data member.
+struct FieldInfo {
+  std::string type;       ///< joined type spelling
+  std::string type_last;  ///< last type identifier (the discriminator)
+  bool is_atomic = false;
+  bool is_mutex = false;  ///< mutex / shared_mutex / condition_variable family
+  bool is_thread_local = false;
+  std::size_t file = 0;
+  std::size_t line = 0;
+};
+
+struct AccessIndex {
+  /// class -> field -> declared properties.
+  std::map<std::string, std::map<std::string, FieldInfo>> fields;
+  /// Every indexed access, in (file, token) order.
+  std::vector<FieldAccess> accesses;
+  /// Per call-graph node: reachable from a pool-submitted lambda?
+  std::vector<bool> pool_reachable;
+  /// Per call-graph node: must-hold lock keys at function entry.
+  std::vector<std::set<std::string>> entry_locks;
+
+  /// entry_locks ∪ local_locks for one access — the set the rules test.
+  [[nodiscard]] std::set<std::string> lockset_of(const FieldAccess& a) const;
+};
+
+/// Stable identity key for a spelled mutex access chain (shared with the
+/// lock-order-cycle rule): member chains with a typed receiver key on the
+/// class, bare members on the enclosing class, everything else on the file —
+/// so two unrelated `mu`s never merge.
+[[nodiscard]] std::string mutex_key(const FileUnit& unit, const FunctionDef& def,
+                                    const std::string& chain, std::size_t at);
+
+[[nodiscard]] AccessIndex build_access_index(const std::vector<FileUnit>& units,
+                                             const CallGraph& graph);
+
+}  // namespace tsce::analyze

@@ -410,6 +410,12 @@ CallGraph build_call_graph(const std::vector<FileUnit>& units) {
       std::size_t callee = CallGraph::npos;
       if (!call.receiver.empty() && call.qualified) {
         callee = lookup_method(call.receiver, call.name);
+      } else if (call.receiver == "this") {
+        // `this->method()` dispatches on the caller's own class (virtual
+        // overrides are handled below like any other resolved method edge).
+        const std::string& caller_cls =
+            g.nodes_[caller].defs.front().class_name;
+        if (!caller_cls.empty()) callee = lookup_method(caller_cls, call.name);
       } else if (!call.receiver.empty()) {
         const std::string rtype =
             unit.structure.type_of(call.receiver, call.name_idx);

@@ -1,0 +1,346 @@
+#include "analyze/concurrency.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "util/json.hpp"
+
+namespace tsce::analyze {
+
+namespace {
+
+/// Minimum non-constructor access sites before a guarded-by majority is
+/// meaningful; with the 80% threshold the smallest reportable split is 4/5.
+constexpr std::size_t kGuardedByMinSites = 5;
+
+/// A (class, field) group of access sites with their resolved locksets.
+struct FieldGroup {
+  const FieldInfo* info = nullptr;
+  std::vector<const FieldAccess*> sites;  ///< non-constructor accesses
+  std::vector<std::set<std::string>> locksets;  ///< parallel to sites
+};
+
+std::string site_of(const std::vector<FileUnit>& units, const FieldAccess& a) {
+  return units[a.file].rel + ":" + std::to_string(a.line);
+}
+
+bool pool_side(const AccessIndex& index, const FieldAccess& a) {
+  return a.in_pool_lambda ||
+         (a.node < index.pool_reachable.size() &&
+          index.pool_reachable[a.node]);
+}
+
+/// Groups the index by (class, field), dropping constructor/destructor sites
+/// (single-threaded by construction) and mutex-typed fields (their "accesses"
+/// are the lock declarations themselves).
+std::map<std::pair<std::string, std::string>, FieldGroup> group_fields(
+    const AccessIndex& index) {
+  std::map<std::pair<std::string, std::string>, FieldGroup> groups;
+  for (const FieldAccess& a : index.accesses) {
+    const auto cit = index.fields.find(a.cls);
+    if (cit == index.fields.end()) continue;
+    const auto fit = cit->second.find(a.field);
+    if (fit == cit->second.end()) continue;
+    if (fit->second.is_mutex) continue;
+    if (a.in_ctor) continue;
+    FieldGroup& g = groups[{a.cls, a.field}];
+    g.info = &fit->second;
+    g.sites.push_back(&a);
+    g.locksets.push_back(index.lockset_of(a));
+  }
+  return groups;
+}
+
+/// Best-supported lock for a group: the key held at the most sites
+/// (lexicographic tie-break for determinism).  Returns the count via
+/// \p guarded.
+std::string majority_lock(const FieldGroup& g, std::size_t* guarded) {
+  std::map<std::string, std::size_t> votes;
+  for (const std::set<std::string>& held : g.locksets) {
+    for (const std::string& key : held) ++votes[key];
+  }
+  std::string best;
+  std::size_t best_count = 0;
+  for (const auto& [key, count] : votes) {
+    if (count > best_count) {
+      best = key;
+      best_count = count;
+    }
+  }
+  *guarded = best_count;
+  return best;
+}
+
+// --- guarded-by-inconsistency -----------------------------------------------
+
+void rule_guarded_by_inconsistency(
+    const std::vector<FileUnit>& units,
+    const std::map<std::pair<std::string, std::string>, FieldGroup>& groups,
+    std::vector<Finding>& out) {
+  for (const auto& [key, g] : groups) {
+    if (g.info->is_atomic || g.info->is_thread_local) continue;
+    if (g.sites.size() < kGuardedByMinSites) continue;
+    // A race needs a writer: a field only read outside its constructor is
+    // immutable-after-construction (the lock at the majority sites is held
+    // for some *other* field), so an unguarded read cannot race.
+    const bool has_write =
+        std::any_of(g.sites.begin(), g.sites.end(), [](const FieldAccess* a) {
+          return a->kind == AccessKind::kWrite;
+        });
+    if (!has_write) continue;
+    std::size_t guarded = 0;
+    const std::string lock = majority_lock(g, &guarded);
+    if (lock.empty() || guarded == g.sites.size()) continue;
+    if (guarded * 5 < g.sites.size() * 4) continue;  // below the 80% bar
+
+    // Spell out up to three majority-witness sites in the message.
+    std::string witnesses;
+    std::size_t listed = 0;
+    for (std::size_t i = 0; i < g.sites.size() && listed < 3; ++i) {
+      if (g.locksets[i].count(lock) == 0) continue;
+      if (!witnesses.empty()) witnesses += ", ";
+      witnesses += site_of(units, *g.sites[i]);
+      ++listed;
+    }
+    if (listed < guarded) witnesses += ", ...";
+
+    for (std::size_t i = 0; i < g.sites.size(); ++i) {
+      if (g.locksets[i].count(lock) != 0) continue;
+      const FieldAccess& a = *g.sites[i];
+      out.push_back(
+          {units[a.file].rel, a.line, "guarded-by-inconsistency",
+           "field '" + key.first + "::" + key.second + "' is guarded by '" +
+               lock + "' at " + std::to_string(guarded) + " of " +
+               std::to_string(g.sites.size()) + " access sites (" + witnesses +
+               ") but is accessed lock-free here; take the same lock or "
+               "document why this site cannot race",
+           {}});
+    }
+  }
+}
+
+// --- unguarded-shared-write -------------------------------------------------
+
+/// Classes with *synchronization evidence*: a mutex/atomic member, or at
+/// least one field access performed under a lock.  The RacerD insight: a
+/// class that never synchronizes anything is per-task data handed between
+/// threads by value or by ownership transfer (result structs, per-stream
+/// Rngs) — reporting races on every such class would bury the real ones.
+std::set<std::string> sync_evidence_classes(
+    const AccessIndex& index,
+    const std::map<std::pair<std::string, std::string>, FieldGroup>& groups) {
+  std::set<std::string> classes;
+  for (const auto& [cls, fields] : index.fields) {
+    for (const auto& [name, info] : fields) {
+      if (info.is_mutex || info.is_atomic) {
+        classes.insert(cls);
+        break;
+      }
+    }
+  }
+  for (const auto& [key, g] : groups) {
+    if (classes.count(key.first) != 0) continue;
+    for (const std::set<std::string>& held : g.locksets) {
+      if (!held.empty()) {
+        classes.insert(key.first);
+        break;
+      }
+    }
+  }
+  return classes;
+}
+
+void rule_unguarded_shared_write(
+    const std::vector<FileUnit>& units, const AccessIndex& index,
+    const std::map<std::pair<std::string, std::string>, FieldGroup>& groups,
+    std::vector<Finding>& out) {
+  const std::set<std::string> sync_classes =
+      sync_evidence_classes(index, groups);
+  for (const auto& [key, g] : groups) {
+    if (g.info->is_atomic || g.info->is_thread_local) continue;
+    if (sync_classes.count(key.first) == 0) continue;
+    bool pool = false;
+    bool main_only = false;
+    for (const FieldAccess* a : g.sites) {
+      (pool_side(index, *a) ? pool : main_only) = true;
+    }
+    if (!pool || !main_only) continue;  // never crosses the thread boundary
+    for (std::size_t i = 0; i < g.sites.size(); ++i) {
+      const FieldAccess& a = *g.sites[i];
+      if (a.kind != AccessKind::kWrite || !g.locksets[i].empty()) continue;
+      // Witness the opposite partition so the message shows the race pair.
+      std::string other;
+      for (const FieldAccess* b : g.sites) {
+        if (pool_side(index, *b) != pool_side(index, a)) {
+          other = site_of(units, *b);
+          break;
+        }
+      }
+      out.push_back(
+          {units[a.file].rel, a.line, "unguarded-shared-write",
+           "plain write to '" + key.first + "::" + key.second +
+               "' with no lock held, but the field is also touched " +
+               (pool_side(index, a) ? "outside the pool" : "from pool-submitted code") +
+               " at " + other +
+               "; guard both sides, make the field std::atomic, or shard it "
+               "per thread",
+           {}});
+    }
+  }
+}
+
+// --- atomic-plain-mix -------------------------------------------------------
+
+void rule_atomic_plain_mix(
+    const std::vector<FileUnit>& units,
+    const std::map<std::pair<std::string, std::string>, FieldGroup>& groups,
+    std::vector<Finding>& out) {
+  for (const auto& [key, g] : groups) {
+    const FieldAccess* atomic_site = nullptr;
+    for (const FieldAccess* a : g.sites) {
+      if (a->kind == AccessKind::kAtomicOp) {
+        atomic_site = a;
+        break;
+      }
+    }
+    if (atomic_site == nullptr) continue;
+    for (const FieldAccess* a : g.sites) {
+      if (a->kind != AccessKind::kWrite) continue;
+      out.push_back(
+          {units[a->file].rel, a->line, "atomic-plain-mix",
+           "field '" + key.first + "::" + key.second +
+               "' is accessed through atomic member calls (e.g. " +
+               site_of(units, *atomic_site) +
+               ") but written with a plain store here; spell every access "
+               "through the atomic API so the memory ordering is explicit",
+           {}});
+    }
+  }
+}
+
+// --- lock-scope-leak --------------------------------------------------------
+
+void rule_lock_scope_leak(const std::vector<FileUnit>& units,
+                          std::vector<Finding>& out) {
+  for (const FileUnit& unit : units) {
+    if (!unit.in_graph) continue;
+    const TokenStream& ts = unit.ts;
+    const auto& toks = ts.tokens();
+    const std::size_t n = toks.size();
+    for (const LockScope& lock : unit.structure.locks) {
+      const std::string& guard = toks[lock.decl_idx].text;
+      for (std::size_t k = lock.decl_idx + 1;
+           k < lock.scope_end && k < n; ++k) {
+        bool leaks = false;
+        std::string how;
+        if (toks[k].ident("return")) {
+          // `return guard;` or `return std::move(guard);`
+          std::size_t v = ts.next_code(k);
+          std::size_t guard_steps = 0;
+          while (v < n && guard_steps++ < 4 &&
+                 (toks[v].ident("std") || toks[v].punct("::") ||
+                  toks[v].ident("move") || toks[v].punct("("))) {
+            v = ts.next_code(v);
+          }
+          if (v < n && toks[v].ident(guard)) {
+            const std::size_t after = ts.next_code(v);
+            if (after < n &&
+                (toks[after].punct(";") || toks[after].punct(")"))) {
+              leaks = true;
+              how = "returned";
+            }
+          }
+        } else if (toks[k].ident("move") && ts.at(k + 1).punct("(")) {
+          const std::size_t v = ts.next_code(k + 1);
+          if (v < n && toks[v].ident(guard) &&
+              ts.at(ts.next_code(v)).punct(")")) {
+            leaks = true;
+            how = "moved";
+          }
+        }
+        if (leaks) {
+          out.push_back(
+              {unit.rel, toks[k].line, "lock-scope-leak",
+               "lock handle '" + guard + "' (acquired at line " +
+                   std::to_string(lock.line) + ") is " + how +
+                   " out of its scope; the analyzer credits the lock to this "
+                   "scope, so every lockset derived from it would be wrong — "
+                   "keep the guard where the critical section is",
+               {}});
+          break;  // one finding per lock scope
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> run_concurrency_rules(const std::vector<FileUnit>& units,
+                                           const CallGraph& graph,
+                                           const AccessIndex& index,
+                                           std::vector<RuleStat>* stats) {
+  (void)graph;
+  std::vector<Finding> out;
+  const auto groups = group_fields(index);
+  const auto timed = [&](const char* name, auto&& fn) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    if (stats != nullptr) {
+      const auto t1 = std::chrono::steady_clock::now();
+      stats->push_back(
+          {name, std::chrono::duration<double, std::milli>(t1 - t0).count()});
+    }
+  };
+  timed("guarded-by-inconsistency",
+        [&] { rule_guarded_by_inconsistency(units, groups, out); });
+  timed("unguarded-shared-write", [&] {
+    rule_unguarded_shared_write(units, index, groups, out);
+  });
+  timed("atomic-plain-mix",
+        [&] { rule_atomic_plain_mix(units, groups, out); });
+  timed("lock-scope-leak", [&] { rule_lock_scope_leak(units, out); });
+  return out;
+}
+
+std::string guarded_by_report_json(const std::vector<FileUnit>& units,
+                                   const AccessIndex& index) {
+  using tsce::util::Json;
+  Json fields = Json::array();
+  for (const auto& [key, g] : group_fields(index)) {
+    Json entry = Json::object();
+    entry.set("field", key.first + "::" + key.second);
+    entry.set("type", g.info->type);
+    entry.set("declared", units[g.info->file].rel + ":" +
+                              std::to_string(g.info->line));
+    entry.set("sites", g.sites.size());
+    entry.set("atomic", g.info->is_atomic);
+    entry.set("thread_local", g.info->is_thread_local);
+    bool pool = false;
+    for (const FieldAccess* a : g.sites) {
+      if (pool_side(index, *a)) pool = true;
+    }
+    entry.set("pool_touched", pool);
+    std::size_t guarded = 0;
+    const std::string lock = majority_lock(g, &guarded);
+    entry.set("lock", lock);
+    entry.set("guarded_sites", guarded);
+    entry.set("confidence",
+              g.sites.empty()
+                  ? 0.0
+                  : static_cast<double>(guarded) /
+                        static_cast<double>(g.sites.size()));
+    fields.push_back(std::move(entry));
+  }
+  Json doc = Json::object();
+  doc.set("tool", "tsce_analyze");
+  doc.set("report", "guarded-by-inference");
+  doc.set("version", 1);
+  doc.set("fields", std::move(fields));
+  return doc.dump(2);
+}
+
+}  // namespace tsce::analyze

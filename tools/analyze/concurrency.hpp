@@ -1,0 +1,56 @@
+/// \file concurrency.hpp
+/// The concurrency dataflow tier of tsce_analyze: four RacerD-style static
+/// race rules written against the member-field access index and the
+/// interprocedural lockset dataflow (accesses.hpp):
+///
+///   guarded-by-inconsistency  a field protected by lock L at >= 80% of its
+///                             access sites but touched lock-free elsewhere —
+///                             the unguarded site is reported with the
+///                             majority-witness sites spelled out.  Requires
+///                             at least one non-constructor write site: a
+///                             field that is immutable after construction
+///                             cannot race, however often it is read under a
+///                             lock held for its neighbors;
+///   unguarded-shared-write    a plain write with an empty lockset to a field
+///                             that is accessed from both pool-reachable and
+///                             main-thread-only code (std::atomic and
+///                             thread-local fields exempt).  Fires only on
+///                             classes with synchronization evidence (a
+///                             mutex/atomic member or a locked access site):
+///                             a class that never synchronizes is per-task
+///                             data moved between threads by ownership
+///                             transfer, not shared state;
+///   atomic-plain-mix          one field accessed through atomic member calls
+///                             (.load/.store/.fetch_*) in some places and
+///                             through plain stores in others;
+///   lock-scope-leak           a lock handle returned or std::move'd out of
+///                             the scope the analyzer credited it to, which
+///                             would silently poison every lockset computed
+///                             from that scope.
+///
+/// Findings come back raw; analyze_project routes them through each file's
+/// suppression list before they become diagnostics.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analyze/accesses.hpp"
+#include "analyze/callgraph.hpp"
+#include "analyze/rules.hpp"
+
+namespace tsce::analyze {
+
+[[nodiscard]] std::vector<Finding> run_concurrency_rules(
+    const std::vector<FileUnit>& units, const CallGraph& graph,
+    const AccessIndex& index, std::vector<RuleStat>* stats);
+
+/// The guarded-by inference report: one JSON document listing, per field with
+/// at least one indexed non-constructor access, the best-supported lock key,
+/// its confidence (guarded sites / total sites), and the partition the field
+/// is touched from.  CI uploads this next to the SARIF artifact.
+[[nodiscard]] std::string guarded_by_report_json(
+    const std::vector<FileUnit>& units, const AccessIndex& index);
+
+}  // namespace tsce::analyze

@@ -1,10 +1,13 @@
 #include "analyze/interp.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <set>
 #include <string>
 #include <tuple>
+
+#include "analyze/accesses.hpp"
 
 namespace tsce::analyze {
 
@@ -147,24 +150,8 @@ struct Acquisition {
   std::size_t line = 0;
 };
 
-/// Resolves a spelled mutex chain to a stable identity key.  Member chains
-/// with a typed receiver key on the class (`impl_->mu` in a MetricsRegistry
-/// method whose file declares `Impl* impl_` -> "Impl::mu"); bare members key
-/// on the enclosing class; everything else keys on the file so two unrelated
-/// `mu`s never merge into a false cycle.
-std::string mutex_key(const FileUnit& unit, const FunctionDef& def,
-                      const std::string& chain, std::size_t at) {
-  const std::size_t dot = chain.find('.');
-  if (dot == std::string::npos) {
-    if (!def.class_name.empty()) return def.class_name + "::" + chain;
-    return unit.rel + "::" + chain;
-  }
-  const std::string head = chain.substr(0, dot);
-  const std::string last = chain.substr(chain.rfind('.') + 1);
-  const std::string rtype = unit.structure.type_of(head, at);
-  if (!rtype.empty() && rtype != "auto") return rtype + "::" + last;
-  return unit.rel + "::" + chain;
-}
+// mutex_key (the chain -> stable identity resolution shared with the
+// concurrency tier's lockset dataflow) lives in accesses.{hpp,cpp}.
 
 void rule_lock_order_cycle(const std::vector<FileUnit>& units,
                            const CallGraph& g, std::vector<Finding>& out) {
@@ -449,12 +436,22 @@ void rule_hot_path_virtual(const std::vector<FileUnit>& units,
 }  // namespace
 
 std::vector<Finding> run_interprocedural_rules(
-    const std::vector<FileUnit>& units, const CallGraph& graph) {
+    const std::vector<FileUnit>& units, const CallGraph& graph,
+    std::vector<RuleStat>* stats) {
   std::vector<Finding> out;
-  rule_transitive_hot_alloc(units, graph, out);
-  rule_lock_order_cycle(units, graph, out);
-  rule_rng_stream_escape(units, graph, out);
-  rule_hot_path_virtual(units, graph, out);
+  const auto timed = [&](const char* name, auto&& fn) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn(units, graph, out);
+    if (stats != nullptr) {
+      stats->push_back({name, std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count()});
+    }
+  };
+  timed("transitive-hot-alloc", rule_transitive_hot_alloc);
+  timed("lock-order-cycle", rule_lock_order_cycle);
+  timed("rng-stream-escape", rule_rng_stream_escape);
+  timed("hot-path-virtual", rule_hot_path_virtual);
   return out;
 }
 

@@ -29,7 +29,9 @@
 
 namespace tsce::analyze {
 
+/// \p stats, when non-null, receives one wall-time row per rule (--stats).
 [[nodiscard]] std::vector<Finding> run_interprocedural_rules(
-    const std::vector<FileUnit>& units, const CallGraph& graph);
+    const std::vector<FileUnit>& units, const CallGraph& graph,
+    std::vector<RuleStat>* stats = nullptr);
 
 }  // namespace tsce::analyze

@@ -1,12 +1,15 @@
 #include "analyze/rules.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <set>
 #include <tuple>
 
+#include "analyze/accesses.hpp"
 #include "analyze/callgraph.hpp"
+#include "analyze/concurrency.hpp"
 #include "analyze/interp.hpp"
 #include "analyze/lexer.hpp"
 #include "analyze/scopes.hpp"
@@ -17,7 +20,7 @@ namespace {
 
 using TK = TokenKind;
 
-const std::array<RuleInfo, 15> kRegistry = {{
+const std::array<RuleInfo, 19> kRegistry = {{
     {"deterministic-rng",
      "all randomness flows through util::Rng; no std::rand / srand / "
      "random_device / time() seeds outside tests/"},
@@ -57,6 +60,18 @@ const std::array<RuleInfo, 15> kRegistry = {{
     {"hot-path-virtual",
      "no virtual or std::function dispatch inside TSCE_HOT-reachable code; "
      "devirtualize or hoist the dispatch"},
+    {"guarded-by-inconsistency",
+     "a field guarded by the same lock at >= 80% of its access sites must not "
+     "be touched lock-free at the remaining sites"},
+    {"unguarded-shared-write",
+     "no plain lock-free write to a field accessed from both pool-submitted "
+     "and main-thread code; guard it, make it std::atomic, or shard it"},
+    {"atomic-plain-mix",
+     "a field accessed through atomic member calls (.load/.store/.fetch_*) "
+     "must not also be written with plain stores"},
+    {"lock-scope-leak",
+     "a lock handle must not be returned or std::move'd out of the scope the "
+     "analyzer credited it to; escaped guards poison every derived lockset"},
     {"unused-suppression",
      "every tsce-lint: allow(...) comment must suppress an actual finding"},
 }};
@@ -156,6 +171,7 @@ struct FileCheck {
   /// Registered metric/trace names (src/obs/names.hpp literals); empty when
   /// the caller did not supply a registry.
   const std::vector<std::string>& registered_names;
+  bool is_header = false;
 
   /// Reports unless a matching suppression covers \p line.
   void report(std::size_t line, std::string_view rule, std::string message) {
@@ -313,8 +329,8 @@ void rule_metric_name_registry(FileCheck& c) {
   }
 }
 
-void rule_pragma_once(FileCheck& c, bool is_header) {
-  if (!is_header) return;
+void rule_pragma_once(FileCheck& c) {
+  if (!c.is_header) return;
   bool saw_pragma_once = false;
   std::size_t guard_line = 0;
   for (const Token& t : c.ts.tokens()) {
@@ -737,27 +753,48 @@ void rule_no_alloc_hot(FileCheck& c) {
   }
 }
 
+/// The per-file rule table, in registry order — table-driven so the project
+/// pass can attribute wall-time to each rule for --stats.
+struct FileRule {
+  std::string_view name;
+  void (*run)(FileCheck&);
+};
+
+constexpr std::array<FileRule, 10> kFileRules = {{
+    {"deterministic-rng", rule_deterministic_rng},
+    {"invalid-id-sentinel", rule_invalid_id_sentinel},
+    {"no-iostream-hot", rule_no_iostream_hot},
+    {"metric-name-registry", rule_metric_name_registry},
+    {"pragma-once", rule_pragma_once},
+    {"nondeterministic-iteration", rule_nondeterministic_iteration},
+    {"float-fitness-equality", rule_float_fitness_equality},
+    {"lock-across-callback", rule_lock_across_callback},
+    {"rng-shared-capture", rule_rng_shared_capture},
+    {"no-alloc-hot", rule_no_alloc_hot},
+}};
+
+double millis_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
 /// Runs every per-file rule on one parsed unit (the interprocedural rules and
-/// the unused-suppression finalization happen at project level).
+/// the unused-suppression finalization happen at project level), accumulating
+/// per-rule wall-time into \p timings.
 void run_file_rules(const std::string& rel, const TokenStream& ts,
                     const FileStructure& fs,
                     std::vector<Suppression>& suppressions,
                     const std::vector<std::string>& registered_names,
-                    std::vector<Finding>& findings) {
-  FileCheck check{rel, ts, fs, suppressions, findings, registered_names};
-  const bool is_header =
-      rel.size() > 4 && rel.compare(rel.size() - 4, 4, ".hpp") == 0;
-
-  rule_deterministic_rng(check);
-  rule_invalid_id_sentinel(check);
-  rule_no_iostream_hot(check);
-  rule_metric_name_registry(check);
-  rule_pragma_once(check, is_header);
-  rule_nondeterministic_iteration(check);
-  rule_float_fitness_equality(check);
-  rule_lock_across_callback(check);
-  rule_rng_shared_capture(check);
-  rule_no_alloc_hot(check);
+                    std::vector<Finding>& findings,
+                    std::map<std::string_view, double>& timings) {
+  FileCheck check{rel, ts, fs, suppressions, findings, registered_names,
+                  rel.size() > 4 && rel.compare(rel.size() - 4, 4, ".hpp") == 0};
+  for (const FileRule& rule : kFileRules) {
+    const auto t0 = std::chrono::steady_clock::now();
+    rule.run(check);
+    timings[rule.name] += millis_since(t0);
+  }
 }
 
 /// unused-suppression runs last: every allow() that did not absorb a finding
@@ -845,7 +882,7 @@ std::string fingerprint_of(const Finding& f, std::string_view source) {
 
 }  // namespace
 
-const std::array<RuleInfo, 15>& rule_registry() noexcept { return kRegistry; }
+const std::array<RuleInfo, 19>& rule_registry() noexcept { return kRegistry; }
 
 ProjectResult analyze_project(const std::vector<FileInput>& files,
                               const std::vector<std::string>& registered_names,
@@ -855,6 +892,7 @@ ProjectResult analyze_project(const std::vector<FileInput>& files,
   std::vector<std::vector<Suppression>> suppressions;
   units.reserve(files.size());
   suppressions.reserve(files.size());
+  auto t0 = std::chrono::steady_clock::now();
   for (const FileInput& f : files) {
     TokenStream ts{lex(f.source)};
     FileStructure structure = parse_structure(ts);
@@ -863,30 +901,51 @@ ProjectResult analyze_project(const std::vector<FileInput>& files,
                           in_dir(f.rel, "tools");
     units.push_back({f.rel, std::move(ts), std::move(structure), in_graph});
   }
+  result.stats.push_back({"(lex+parse)", millis_since(t0)});
 
+  std::map<std::string_view, double> file_rule_millis;
   for (std::size_t i = 0; i < units.size(); ++i) {
     run_file_rules(units[i].rel, units[i].ts, units[i].structure,
-                   suppressions[i], registered_names, result.findings);
+                   suppressions[i], registered_names, result.findings,
+                   file_rule_millis);
+  }
+  for (const FileRule& rule : kFileRules) {
+    result.stats.push_back(
+        {std::string(rule.name), file_rule_millis[rule.name]});
   }
 
+  t0 = std::chrono::steady_clock::now();
   const CallGraph graph = build_call_graph(units);
+  result.stats.push_back({"(callgraph)", millis_since(t0)});
   std::map<std::string, std::size_t> by_rel;
   for (std::size_t i = 0; i < units.size(); ++i) {
     by_rel.emplace(units[i].rel, i);
   }
-  std::vector<Finding> interp = run_interprocedural_rules(units, graph);
-  for (Finding& f : interp) {
-    const auto it = by_rel.find(f.file);
-    if (it != by_rel.end() &&
-        absorb(suppressions[it->second], f.rule, f.line)) {
-      continue;
+  // Interprocedural and concurrency findings flow through the same
+  // per-file suppression lists as the local rules.
+  const auto route = [&](std::vector<Finding> raw) {
+    for (Finding& f : raw) {
+      const auto it = by_rel.find(f.file);
+      if (it != by_rel.end() &&
+          absorb(suppressions[it->second], f.rule, f.line)) {
+        continue;
+      }
+      result.findings.push_back(std::move(f));
     }
-    result.findings.push_back(std::move(f));
-  }
+  };
+  route(run_interprocedural_rules(units, graph, &result.stats));
 
+  t0 = std::chrono::steady_clock::now();
+  const AccessIndex access_index = build_access_index(units, graph);
+  result.stats.push_back({"(accesses)", millis_since(t0)});
+  route(run_concurrency_rules(units, graph, access_index, &result.stats));
+  result.guarded_by_report = guarded_by_report_json(units, access_index);
+
+  t0 = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < units.size(); ++i) {
     finalize_suppressions(units[i].rel, suppressions[i], result.findings);
   }
+  result.stats.push_back({"unused-suppression", millis_since(t0)});
 
   for (Finding& f : result.findings) {
     const auto it = by_rel.find(f.file);

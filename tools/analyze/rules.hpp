@@ -1,14 +1,17 @@
 /// \file rules.hpp
 /// Rule metadata and the analysis entry points for tsce_analyze.
 ///
-/// Fifteen rules: the five token rules inherited from the original regex-based
+/// Nineteen rules: the five token rules inherited from the original regex-based
 /// tsce_lint (deterministic-rng, invalid-id-sentinel, no-iostream-hot,
 /// metric-name-registry, pragma-once), six semantics-aware per-file rules
 /// built on the scope parser (nondeterministic-iteration,
 /// float-fitness-equality, lock-across-callback, rng-shared-capture,
-/// no-alloc-hot, unused-suppression), and four interprocedural rules written
+/// no-alloc-hot, unused-suppression), four interprocedural rules written
 /// against the project call graph (transitive-hot-alloc, lock-order-cycle,
-/// rng-stream-escape, hot-path-virtual — see interp.hpp).
+/// rng-stream-escape, hot-path-virtual — see interp.hpp), and four
+/// concurrency dataflow rules written against the member-field access index
+/// and lockset dataflow (guarded-by-inconsistency, unguarded-shared-write,
+/// atomic-plain-mix, lock-scope-leak — see concurrency.hpp).
 ///
 /// Suppression: `// tsce-lint: allow(<rule>)` on the offending line, or on a
 /// comment-only line directly above it.  Every suppression must match a
@@ -42,7 +45,15 @@ struct RuleInfo {
 
 /// Registry of every rule id the analyzer can emit (drives SARIF
 /// tool.driver.rules and the unknown-suppression diagnostic).
-[[nodiscard]] const std::array<RuleInfo, 15>& rule_registry() noexcept;
+[[nodiscard]] const std::array<RuleInfo, 19>& rule_registry() noexcept;
+
+/// One row of the --stats wall-time table: milliseconds attributed to a rule,
+/// or to a parenthesized analysis phase ("(lex+parse)", "(callgraph)",
+/// "(accesses)") that is shared by several rules.
+struct RuleStat {
+  std::string name;
+  double millis = 0.0;
+};
 
 /// One translation unit handed to the project pass.
 struct FileInput {
@@ -53,6 +64,12 @@ struct FileInput {
 struct ProjectResult {
   std::vector<Finding> findings;  ///< sorted by (file, line, rule)
   std::string callgraph_dot;      ///< Graphviz rendering; empty unless requested
+  /// Wall-time per rule (plus shared phases), in pipeline order — drives
+  /// tsce_analyze --stats.  Always populated; the timers cost microseconds.
+  std::vector<RuleStat> stats;
+  /// Guarded-by inference report (JSON): per field, the best-supported lock
+  /// and its confidence.  See concurrency.hpp.  Always populated.
+  std::string guarded_by_report;
 };
 
 /// Whole-program analysis: runs the per-file rules on every input, builds the

@@ -25,7 +25,8 @@ bool is_not_type_head(const std::string& s) {
 
 bool is_type_modifier(const std::string& s) {
   return s == "const" || s == "constexpr" || s == "static" || s == "inline" ||
-         s == "mutable" || s == "volatile" || s == "typename" || s == "auto";
+         s == "mutable" || s == "volatile" || s == "typename" || s == "auto" ||
+         s == "thread_local";
 }
 
 }  // namespace
@@ -145,8 +146,8 @@ FileStructure parse_structure(const TokenStream& ts) {
       if (toks[open].punct("(")) {
         const std::size_t close = ts.match_forward(open);
         std::string chain;
-        for (std::size_t k = open + 1; k < close && k < n; ++k) {
-          const Token& a = toks[k];
+        for (std::size_t j = open + 1; j < close && j < n; ++j) {
+          const Token& a = toks[j];
           if (a.kind == TK::kIdentifier) {
             chain += a.text;
           } else if (a.punct(".") || a.punct("->")) {

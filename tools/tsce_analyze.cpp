@@ -12,7 +12,8 @@
 /// Usage:
 ///   tsce_analyze [--root <repo-root>] [--sarif <out.sarif>]
 ///                [--baseline <old.sarif>] [--changed-only [<git-ref>]]
-///                [--callgraph-dot <out.dot>]
+///                [--callgraph-dot <out.dot>] [--guarded-by-report <out.json>]
+///                [--stats [--csv]]
 ///   tsce_analyze --file <path> [--as <repo-relative-path>] [--sarif <out>]
 ///
 /// The default mode walks src/, tools/, bench/, examples/, and tests/
@@ -26,8 +27,12 @@
 /// only on NEW findings (matched on rule + file + fingerprint, not line
 /// numbers).  --changed-only restricts *reported* findings to files changed
 /// against a git ref (default HEAD) plus untracked files; the call graph is
-/// still built project-wide so interprocedural findings stay sound.
-/// --callgraph-dot writes the resolved call graph in Graphviz DOT form.
+/// still built project-wide so interprocedural findings stay sound.  A failed
+/// `git diff` is a hard error (exit 2) — a silent empty scope would let a bad
+/// ref pass CI.  --callgraph-dot writes the resolved call graph in Graphviz
+/// DOT form.  --guarded-by-report writes the per-field inferred-lock report
+/// (JSON) the concurrency tier computed.  --stats prints a per-rule finding
+/// count and wall-time table to stdout (--csv for a machine-readable form).
 ///
 /// Findings print to stderr in file:line: [rule] message form; with --sarif a
 /// SARIF 2.1.0 document is also written.  Exit: 0 clean (or no new findings
@@ -38,6 +43,7 @@
 #include <exception>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
@@ -68,6 +74,7 @@ int usage(int code) {
       "usage: tsce_analyze [--root <repo-root>] [--sarif <out.sarif>]\n"
       "                    [--baseline <old.sarif>] [--changed-only [<ref>]]\n"
       "                    [--callgraph-dot <out.dot>]\n"
+      "                    [--guarded-by-report <out.json>] [--stats [--csv]]\n"
       "       tsce_analyze --file <path> [--as <rel-path>] [--names <hpp>]\n"
       "                    [--sarif <out>]\n"
       "\n--names points at a metric-name registry header (default: the\n"
@@ -76,7 +83,10 @@ int usage(int code) {
       "spell out.\n"
       "--baseline exits 1 only on findings absent from the given SARIF\n"
       "document (rule+file+fingerprint match).  --changed-only reports only\n"
-      "files changed vs. a git ref (default HEAD) or untracked.\n"
+      "files changed vs. a git ref (default HEAD) or untracked; a failed git\n"
+      "diff is a hard error, not an empty scope.  --guarded-by-report writes\n"
+      "the per-field inferred-lock JSON report.  --stats prints per-rule\n"
+      "finding counts and wall times (--csv: rule,findings,millis rows).\n"
       "\nrules:\n");
   for (const tsce::analyze::RuleInfo& r : tsce::analyze::rule_registry()) {
     std::printf("  %-26s %.*s\n", std::string(r.id).c_str(),
@@ -85,51 +95,71 @@ int usage(int code) {
   return code;
 }
 
-/// Lines of a shell command's stdout; ok=false when the command failed.
-std::vector<std::string> command_lines(const std::string& cmd, bool& ok) {
-  std::vector<std::string> lines;
+/// Single-quotes \p s for POSIX sh, escaping embedded quotes, so paths with
+/// spaces (or worse) survive the popen shell.
+std::string shell_quote(const std::string& s) {
+  std::string out = "'";
+  for (const char c : s) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out += c;
+    }
+  }
+  out += '\'';
+  return out;
+}
+
+/// NUL-separated fields of a shell command's stdout (the `git -z` framing:
+/// paths are emitted verbatim, never quoted or escaped, so spaces and quotes
+/// in filenames round-trip).  ok=false when the command could not be started
+/// or exited non-zero.
+std::vector<std::string> command_fields(const std::string& cmd, bool& ok) {
+  std::vector<std::string> fields;
   FILE* pipe = popen(cmd.c_str(), "r");
   if (pipe == nullptr) {
     ok = false;
-    return lines;
+    return fields;
   }
   std::string current;
   char buf[4096];
-  while (std::fgets(buf, sizeof buf, pipe) != nullptr) {
-    current += buf;
-    std::size_t nl = current.find('\n');
-    while (nl != std::string::npos) {
-      if (nl > 0) lines.push_back(current.substr(0, nl));
-      current.erase(0, nl + 1);
-      nl = current.find('\n');
-    }
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, pipe)) > 0) {
+    current.append(buf, got);
   }
-  if (!current.empty()) lines.push_back(current);
   ok = pclose(pipe) == 0;
-  return lines;
+  std::size_t start = 0;
+  while (start < current.size()) {
+    const std::size_t nul = current.find('\0', start);
+    const std::size_t end = nul == std::string::npos ? current.size() : nul;
+    if (end > start) fields.push_back(current.substr(start, end - start));
+    start = end + 1;
+  }
+  return fields;
 }
 
 /// Files changed against \p ref plus untracked files, repo-relative.
+/// ok=false when `git diff` itself failed (bad ref, not a repo) — the caller
+/// must treat that as a usage error, NOT as "nothing changed".
 std::set<std::string> changed_files(const fs::path& root,
-                                    const std::string& ref) {
+                                    const std::string& ref, bool& ok) {
   std::set<std::string> changed;
-  const std::string git = "git -C '" + root.string() + "' ";
+  const std::string git = "git -C " + shell_quote(root.string()) + " ";
   bool diff_ok = false;
-  for (const std::string& line :
-       command_lines(git + "diff --name-only " + ref + " 2>/dev/null",
-                     diff_ok)) {
-    changed.insert(line);
+  for (std::string& field : command_fields(
+           git + "diff --name-only -z " + shell_quote(ref) + " 2>/dev/null",
+           diff_ok)) {
+    changed.insert(std::move(field));
   }
-  if (!diff_ok) {
-    std::fprintf(stderr,
-                 "tsce_analyze: warning: 'git diff --name-only %s' failed; "
-                 "--changed-only may be empty\n",
-                 ref.c_str());
-  }
+  ok = diff_ok;
+  if (!diff_ok) return changed;
+  // Untracked files are additive; a failure here (pathological, given the
+  // diff just succeeded) only narrows the report and is safe to tolerate.
   bool ls_ok = false;
-  for (const std::string& line : command_lines(
-           git + "ls-files --others --exclude-standard 2>/dev/null", ls_ok)) {
-    changed.insert(line);
+  for (std::string& field : command_fields(
+           git + "ls-files --others --exclude-standard -z 2>/dev/null",
+           ls_ok)) {
+    changed.insert(std::move(field));
   }
   return changed;
 }
@@ -144,6 +174,9 @@ int main(int argc, char** argv) {
   std::string names_path;
   std::string baseline_path;
   std::string dot_path;
+  std::string guarded_by_path;
+  bool want_stats = false;
+  bool stats_csv = false;
   bool changed_only = false;
   std::string changed_ref = "HEAD";
   for (int i = 1; i < argc; ++i) {
@@ -162,6 +195,12 @@ int main(int argc, char** argv) {
       baseline_path = argv[++i];
     } else if (arg == "--callgraph-dot" && i + 1 < argc) {
       dot_path = argv[++i];
+    } else if (arg == "--guarded-by-report" && i + 1 < argc) {
+      guarded_by_path = argv[++i];
+    } else if (arg == "--stats") {
+      want_stats = true;
+    } else if (arg == "--csv") {
+      stats_csv = true;
     } else if (arg == "--changed-only") {
       changed_only = true;
       if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
@@ -173,6 +212,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "tsce_analyze: unknown argument '%s'\n", argv[i]);
       return usage(2);
     }
+  }
+  if (stats_csv && !want_stats) {
+    std::fprintf(stderr, "tsce_analyze: --csv requires --stats\n");
+    return usage(2);
   }
 
   // The registered-name set: explicit --names wins; both modes fall back to
@@ -242,7 +285,16 @@ int main(int argc, char** argv) {
 
   std::string scope_note;
   if (changed_only) {
-    const std::set<std::string> changed = changed_files(root, changed_ref);
+    bool git_ok = false;
+    const std::set<std::string> changed =
+        changed_files(root, changed_ref, git_ok);
+    if (!git_ok) {
+      std::fprintf(stderr,
+                   "tsce_analyze: 'git diff --name-only %s' failed in '%s'; "
+                   "refusing to treat the failure as an empty change set\n",
+                   changed_ref.c_str(), root.string().c_str());
+      return 2;
+    }
     std::erase_if(findings, [&](const tsce::analyze::Finding& f) {
       return changed.count(f.file) == 0;
     });
@@ -276,6 +328,38 @@ int main(int argc, char** argv) {
       return 2;
     }
     out << result.callgraph_dot;
+  }
+  if (!guarded_by_path.empty()) {
+    std::ofstream out(guarded_by_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "tsce_analyze: cannot write '%s'\n",
+                   guarded_by_path.c_str());
+      return 2;
+    }
+    out << result.guarded_by_report << '\n';
+  }
+
+  if (want_stats) {
+    // Finding counts per rule (parenthesized phase rows stay at zero — no
+    // finding carries a phase name as its rule).
+    std::map<std::string, std::size_t> counts;
+    for (const tsce::analyze::Finding& f : findings) ++counts[f.rule];
+    double total_ms = 0.0;
+    for (const tsce::analyze::RuleStat& s : result.stats) total_ms += s.millis;
+    if (stats_csv) {
+      std::printf("rule,findings,millis\n");
+      for (const tsce::analyze::RuleStat& s : result.stats) {
+        std::printf("%s,%zu,%.3f\n", s.name.c_str(), counts[s.name], s.millis);
+      }
+      std::printf("total,%zu,%.3f\n", findings.size(), total_ms);
+    } else {
+      std::printf("%-28s %9s %12s\n", "rule", "findings", "millis");
+      for (const tsce::analyze::RuleStat& s : result.stats) {
+        std::printf("%-28s %9zu %12.3f\n", s.name.c_str(), counts[s.name],
+                    s.millis);
+      }
+      std::printf("%-28s %9zu %12.3f\n", "total", findings.size(), total_ms);
+    }
   }
 
   if (!baseline_path.empty()) {
